@@ -1,0 +1,309 @@
+// Command benchreport regenerates every table and figure of the paper in
+// one run — the artifact behind EXPERIMENTS.md. Sections:
+//
+//	stats    dataset statistics of §2 (documents → chunks → questions)
+//	models   Table 1 (model roster)
+//	table2   synthetic benchmark + Figure 4
+//	table3   Astro all questions + Figure 5 + GPT-4 crossover
+//	table4   Astro no-math subset + Figure 6
+//	ablation retrieval-depth and index ablations (design-choice benches)
+//
+// Usage:
+//
+//	benchreport -scale 0.1 [-section all] [-out EXPERIMENTS-run.md]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/embed"
+	"repro/internal/eval"
+	"repro/internal/llmsim"
+	"repro/internal/vecstore"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.1, "fraction of the paper's corpus")
+	seed := flag.Uint64("seed", 42, "experiment seed")
+	section := flag.String("section", "all", "stats|models|table2|table3|table4|ablation|all")
+	out := flag.String("out", "", "also write the report to a file")
+	flag.Parse()
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = io.MultiWriter(os.Stdout, f)
+	}
+	if err := run(w, *scale, *seed, *section); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer, scale float64, seed uint64, section string) error {
+	want := func(s string) bool { return section == "all" || section == s }
+
+	fmt.Fprintf(w, "# Reproduction report (scale %.3f, seed %d, %s)\n\n",
+		scale, seed, time.Now().UTC().Format(time.RFC3339))
+
+	if want("models") {
+		fmt.Fprintln(w, "## Table 1: evaluated models")
+		fmt.Fprintln(w)
+		fmt.Fprintln(w, eval.RenderTable1(llmsim.Profiles()))
+	}
+
+	needBuild := want("stats") || want("table2") || want("table3") || want("table4") ||
+		want("ablation") || want("extensions")
+	if !needBuild {
+		return nil
+	}
+
+	t0 := time.Now()
+	cfg := core.DefaultConfig(scale)
+	cfg.Seed = seed
+	a, err := core.BuildBenchmark(cfg)
+	if err != nil {
+		return err
+	}
+	buildDur := time.Since(t0)
+
+	if want("stats") {
+		s := a.Stats
+		fmt.Fprintf(w, `## Dataset statistics (paper §2)
+
+| quantity | paper (full scale) | this run (scale %.3f) |
+|---|---|---|
+| full-text papers | 14,115 | %d |
+| abstracts | 8,433 | %d |
+| semantic chunks | 173,318 | %d |
+| candidate questions | 173,318 | %d |
+| benchmark questions (≥7/10) | 16,680 | %d |
+| acceptance rate | ~9.6%% | %.1f%% |
+| reasoning traces (3 modes) | 50,040 | %d |
+| embedding store | 747 MB FP16 | %.1f MB FP16 (dim %d) |
+| generation wall-clock | — | %s |
+
+`,
+			scale, s.Papers, s.Abstracts, s.Chunks, s.Candidates, s.Accepted,
+			100*s.AcceptanceRate, s.Traces, float64(s.ChunkStoreBytes)/1e6,
+			s.EmbeddingDim, buildDur.Round(time.Millisecond))
+	}
+
+	if want("table2") {
+		m, err := core.EvaluateSynthetic(a)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "## Table 2: synthetic benchmark accuracy")
+		fmt.Fprintln(w)
+		fmt.Fprintln(w, eval.RenderTable2(m))
+		fmt.Fprintln(w, "```")
+		fmt.Fprintln(w, eval.RenderFigure(m, "Figure 4: % improvement of best RT retrieval (synthetic)"))
+		fmt.Fprintln(w, "```")
+	}
+
+	if want("table3") || want("table4") {
+		all, noMath, err := core.EvaluateAstro(a)
+		if err != nil {
+			return err
+		}
+		if want("table3") {
+			fmt.Fprintln(w, "##", "Table 3: Astro exam (all questions)")
+			fmt.Fprintln(w)
+			fmt.Fprintln(w, eval.RenderAstroTable(all, ""))
+			fmt.Fprintln(w, "```")
+			fmt.Fprintln(w, eval.RenderFigure(all, "Figure 5: % improvement of best RT retrieval (Astro all)"))
+			fmt.Fprintln(w, "```")
+			crossover(w, all)
+		}
+		if want("table4") {
+			fmt.Fprintln(w, "##", "Table 4: Astro exam (no-math subset)")
+			fmt.Fprintln(w)
+			fmt.Fprintln(w, eval.RenderAstroTable(noMath, ""))
+			fmt.Fprintln(w, "```")
+			fmt.Fprintln(w, eval.RenderFigure(noMath, "Figure 6: % improvement of best RT retrieval (Astro no-math)"))
+			fmt.Fprintln(w, "```")
+		}
+	}
+
+	if want("ablation") {
+		if err := ablations(w, a); err != nil {
+			return err
+		}
+	}
+	if want("extensions") || section == "all" {
+		if err := extensions(w, a); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// extensions exercises the paper's §5 future-work directions: sub-domain
+// organisation of the benchmark and continual pretraining on reasoning
+// traces (simulated; see internal/llmsim/distill.go).
+func extensions(w io.Writer, a *core.Artifacts) error {
+	fmt.Fprintln(w, "## Extensions (paper §5 future work)")
+	fmt.Fprintln(w)
+
+	// Sub-domain breakdown for one representative model.
+	prof, err := llmsim.ProfileByName("SmolLM3-3B")
+	if err != nil {
+		return err
+	}
+	conds := []llmsim.Condition{llmsim.CondBaseline, llmsim.CondChunks, llmsim.CondRTFocused}
+	m, err := eval.Run(a.SyntheticSetup(), []*llmsim.Profile{prof}, conds)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "### Benchmark organised by sub-domain")
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, eval.RenderTopicBreakdown(m.Rows[0], conds, 10))
+
+	// Trace distillation: measured coverage drives simulated continual
+	// pretraining; distilled baselines are then re-evaluated.
+	coverage := llmsim.TraceCoverage(a.KB, a.Traces, ragQuestionFactMap(a))
+	fmt.Fprintf(w, "### Continual pretraining on reasoning traces (simulated)\n\n")
+	fmt.Fprintf(w, "Measured trace coverage of the knowledge base: %.2f\n\n", coverage)
+	fmt.Fprintln(w, "| Model | baseline | distilled baseline (measured) | RT ceiling |")
+	fmt.Fprintln(w, "|---|---|---|---|")
+	distilled, reports := llmsim.DistillAll(llmsim.Profiles(), coverage)
+	dm, err := eval.Run(a.SyntheticSetup(), distilled, []llmsim.Condition{llmsim.CondBaseline})
+	if err != nil {
+		return err
+	}
+	for i, rep := range reports {
+		measured := dm.Rows[i].Cells[llmsim.CondBaseline].Accuracy
+		fmt.Fprintf(w, "| %s | %.3f | %.3f | %.3f |\n",
+			rep.Model, rep.BaselineBefore, measured, rep.BestRTReference)
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+func ragQuestionFactMap(a *core.Artifacts) map[string]string {
+	m := make(map[string]string, len(a.Questions))
+	for _, q := range a.Questions {
+		if q.Prov.FactID != "" {
+			m[q.ID] = q.Prov.FactID
+		}
+	}
+	return m
+}
+
+func crossover(w io.Writer, m *eval.Matrix) {
+	row := m.Row("GPT-4")
+	if row == nil {
+		return
+	}
+	base := row.Cells[llmsim.CondBaseline].Accuracy
+	fmt.Fprintf(w, "\nGPT-4 Astro baseline %.3f; SLMs surpassing it with RT retrieval: ", base)
+	n := 0
+	for _, r := range m.Rows {
+		if r.Model == "GPT-4" {
+			continue
+		}
+		if best := r.Best(); best != nil && best.Accuracy > base {
+			if n > 0 {
+				fmt.Fprint(w, ", ")
+			}
+			fmt.Fprintf(w, "%s (%.3f)", r.Model, best.Accuracy)
+			n++
+		}
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w)
+}
+
+// ablations sweeps the design choices DESIGN.md calls out: retrieval depth
+// k and the Flat→IVF index trade-off.
+func ablations(w io.Writer, a *core.Artifacts) error {
+	fmt.Fprintln(w, "## Ablations")
+	fmt.Fprintln(w)
+
+	// Retrieval depth on one representative small model.
+	prof, err := llmsim.ProfileByName("SmolLM3-3B")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "### Retrieval depth k (SmolLM3-3B, RT-focused)")
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "| k | accuracy | mean utility |")
+	fmt.Fprintln(w, "|---|---|---|")
+	for _, k := range []int{1, 3, 5, 10} {
+		setup := a.SyntheticSetup()
+		setup.K = k
+		m, err := eval.Run(setup, []*llmsim.Profile{prof},
+			[]llmsim.Condition{llmsim.CondBaseline, llmsim.CondRTFocused})
+		if err != nil {
+			return err
+		}
+		cell := m.Rows[0].Cells[llmsim.CondRTFocused]
+		fmt.Fprintf(w, "| %d | %.3f | %.3f |\n", k, cell.Accuracy, cell.MeanUtility)
+	}
+	fmt.Fprintln(w)
+
+	// Trace self-exclusion ablation (cross-question generalisation).
+	fmt.Fprintln(w, "### Trace self-exclusion (SmolLM3-3B, RT-focused)")
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "| protocol | accuracy | mean utility |")
+	fmt.Fprintln(w, "|---|---|---|")
+	for _, exclude := range []bool{false, true} {
+		setup := a.SyntheticSetup()
+		setup.SelfExcludeTraces = exclude
+		m, err := eval.Run(setup, []*llmsim.Profile{prof},
+			[]llmsim.Condition{llmsim.CondBaseline, llmsim.CondRTFocused})
+		if err != nil {
+			return err
+		}
+		cell := m.Rows[0].Cells[llmsim.CondRTFocused]
+		label := "paper (own trace retrievable)"
+		if exclude {
+			label = "ablation (own trace excluded)"
+		}
+		fmt.Fprintf(w, "| %s | %.3f | %.3f |\n", label, cell.Accuracy, cell.MeanUtility)
+	}
+	fmt.Fprintln(w)
+
+	// Flat vs IVF recall/latency.
+	fmt.Fprintln(w, "### Index ablation: IVF recall vs probes (chunk store)")
+	fmt.Fprintln(w)
+	if err := ivfAblation(w, a); err != nil {
+		return err
+	}
+	return nil
+}
+
+func ivfAblation(w io.Writer, a *core.Artifacts) error {
+	// Rebuild a small IVF over the chunk embeddings and sweep nprobe.
+	ix := vecstore.NewIVF(vecstore.IVFConfig{Dim: 384, NList: 64, Seed: 1})
+	queries := make([][]float32, 0, 50)
+	encDefault := embed.NewDefault()
+	for i, q := range a.Questions {
+		if i >= 50 {
+			break
+		}
+		queries = append(queries, encDefault.Encode(q.Question))
+	}
+	for _, c := range a.Chunks {
+		ix.Add(encDefault.Encode(c.Text), c.ID)
+	}
+	ix.Train()
+	fmt.Fprintln(w, "| nprobe | recall@5 |")
+	fmt.Fprintln(w, "|---|---|")
+	for _, np := range []int{1, 2, 4, 8, 16, 64} {
+		ix.SetNProbe(np)
+		fmt.Fprintf(w, "| %d | %.3f |\n", np, ix.Recall(queries, 5))
+	}
+	fmt.Fprintln(w)
+	return nil
+}

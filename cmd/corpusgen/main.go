@@ -1,0 +1,77 @@
+// Command corpusgen generates the synthetic radiation/cancer-biology corpus
+// to disk as SPDF containers, the input of the parsing stage — the role the
+// Semantic Scholar download plays in the paper.
+//
+// Usage:
+//
+//	corpusgen -out corpus/ -scale 0.01 -seed 42 [-corrupt 0.02]
+//
+// -corrupt injects a fraction of damaged files so a subsequent mcqgen run
+// exercises the parser's fault tolerance, as real PDF collections do.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/internal/corpus"
+	"repro/internal/rng"
+	"repro/internal/spdf"
+)
+
+func main() {
+	out := flag.String("out", "corpus", "output directory")
+	scale := flag.Float64("scale", 0.01, "fraction of the paper's 22,548-document corpus")
+	seed := flag.Uint64("seed", 42, "experiment seed")
+	factsPerTopic := flag.Int("facts", 40, "knowledge-base facts per topic")
+	corrupt := flag.Float64("corrupt", 0, "fraction of files to damage (fault-injection)")
+	flag.Parse()
+
+	if err := run(*out, *scale, *seed, *factsPerTopic, *corrupt); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(out string, scale float64, seed uint64, factsPerTopic int, corrupt float64) error {
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+	kb := corpus.Build(seed, factsPerTopic)
+	gen := corpus.NewGenerator(kb, seed)
+	spec := corpus.FullScale.Scaled(scale)
+	fmt.Printf("generating %d full papers + %d abstracts (scale %.4f, seed %d)\n",
+		spec.Papers, spec.Abstracts, scale, seed)
+
+	r := rng.New(seed).Split("corruption")
+	classes := []spdf.ErrorClass{
+		spdf.ErrBadHeader, spdf.ErrTruncated, spdf.ErrBadChecksum, spdf.ErrNoStream,
+	}
+	var bytesTotal int64
+	corrupted := 0
+	write := func(d *corpus.Document) error {
+		data := spdf.Encode(d)
+		if corrupt > 0 && r.Bool(corrupt) {
+			data = spdf.Corrupt(data, classes[r.Intn(len(classes))], r)
+			corrupted++
+		}
+		bytesTotal += int64(len(data))
+		return os.WriteFile(filepath.Join(out, d.ID+".spdf"), data, 0o644)
+	}
+	for i := 0; i < spec.Papers; i++ {
+		if err := write(gen.GenerateDoc(corpus.FullPaper, i)); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < spec.Abstracts; i++ {
+		if err := write(gen.GenerateDoc(corpus.AbstractOnly, i)); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("wrote %d files (%.1f MB) to %s; %d corrupted for fault-injection\n",
+		spec.Total(), float64(bytesTotal)/1e6, out, corrupted)
+	fmt.Printf("knowledge base: %d topics, %d facts\n", len(kb.Topics), kb.NumFacts())
+	return nil
+}

@@ -1,0 +1,163 @@
+// Command evalrun reproduces the paper's evaluation: it builds (or reuses)
+// the benchmark at the requested scale and runs the model × condition
+// matrix, printing the requested tables and percent-improvement figures.
+//
+// Usage:
+//
+//	evalrun -bench synthetic            # Table 2 + Figure 4
+//	evalrun -bench astro                # Table 3 + Figure 5 (incl. GPT-4)
+//	evalrun -bench astro-nomath         # Table 4 + Figure 6
+//	evalrun -bench all -scale 0.1       # everything, at 10% corpus scale
+//	evalrun -bench synthetic -csv out.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/llmsim"
+)
+
+func main() {
+	bench := flag.String("bench", "all", "synthetic | astro | astro-nomath | all")
+	scale := flag.Float64("scale", 0.01, "fraction of the paper's corpus")
+	seed := flag.Uint64("seed", 42, "experiment seed")
+	k := flag.Int("k", 5, "retrieval depth")
+	workers := flag.Int("workers", 0, "parallelism (0 = GOMAXPROCS)")
+	csvPath := flag.String("csv", "", "also write the matrix as CSV")
+	figures := flag.Bool("figures", true, "print percent-improvement figures")
+	artifacts := flag.String("artifacts", "",
+		"load a saved artifact directory (from mcqgen) instead of regenerating")
+	selfExclude := flag.Bool("self-exclude-traces", false,
+		"ablation: forbid retrieving a question's own trace (paper protocol allows it)")
+	topics := flag.String("topics", "",
+		"also print a per-sub-domain accuracy breakdown for the named model")
+	flag.Parse()
+
+	if err := run(*bench, *scale, *seed, *k, *workers, *csvPath, *artifacts, *topics, *figures, *selfExclude); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(bench string, scale float64, seed uint64, k, workers int, csvPath, artifactDir, topicsModel string, figures, selfExclude bool) error {
+	var a *core.Artifacts
+	var err error
+	if artifactDir != "" {
+		fmt.Printf("loading artifacts from %s…\n", artifactDir)
+		a, err = core.Load(artifactDir)
+	} else {
+		cfg := core.DefaultConfig(scale)
+		cfg.Seed = seed
+		cfg.Workers = workers
+		fmt.Printf("building benchmark at scale %.4f (seed %d)…\n", scale, seed)
+		a, err = core.BuildBenchmark(cfg)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("benchmark: %d questions from %d chunks (%d docs)\n\n",
+		len(a.Questions), a.Stats.Chunks, a.Stats.Papers+a.Stats.Abstracts)
+
+	var lastMatrix *eval.Matrix
+	runSynthetic := func() error {
+		setup := a.SyntheticSetup()
+		setup.K = k
+		setup.SelfExcludeTraces = selfExclude
+		m, err := eval.Run(setup, llmsim.Profiles(), llmsim.AllConditions)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Table 2: synthetic benchmark accuracy")
+		fmt.Println(eval.RenderTable2(m))
+		if figures {
+			fmt.Println(eval.RenderFigure(m, "Figure 4: % improvement of best RT retrieval (synthetic)"))
+		}
+		if topicsModel != "" {
+			if row := m.Row(topicsModel); row != nil {
+				fmt.Println(eval.RenderTopicBreakdown(row, llmsim.AllConditions, 5))
+			} else {
+				fmt.Printf("(no row for model %q; -topics skipped)\n", topicsModel)
+			}
+		}
+		lastMatrix = m
+		return nil
+	}
+	runAstro := func(noMath bool) error {
+		setup, exam := a.AstroSetup()
+		setup.K = k
+		setup.SelfExcludeTraces = selfExclude
+		if noMath {
+			setup = core.AstroNoMathSetup(setup, exam)
+		}
+		profiles := append(llmsim.Profiles(), llmsim.GPT4Profile())
+		m, err := eval.Run(setup, profiles, llmsim.AllConditions)
+		if err != nil {
+			return err
+		}
+		if noMath {
+			fmt.Println(eval.RenderAstroTable(m,
+				fmt.Sprintf("Table 4: Astro exam, no-math subset (%d questions)", len(setup.Questions))))
+			if figures {
+				fmt.Println(eval.RenderFigure(m, "Figure 6: % improvement of best RT retrieval (Astro no-math)"))
+			}
+		} else {
+			fmt.Println(eval.RenderAstroTable(m,
+				fmt.Sprintf("Table 3: Astro exam, all questions (%d)", len(setup.Questions))))
+			if figures {
+				fmt.Println(eval.RenderFigure(m, "Figure 5: % improvement of best RT retrieval (Astro all)"))
+			}
+			reportCrossover(m)
+		}
+		lastMatrix = m
+		return nil
+	}
+
+	switch bench {
+	case "synthetic":
+		err = runSynthetic()
+	case "astro":
+		err = runAstro(false)
+	case "astro-nomath":
+		err = runAstro(true)
+	case "all":
+		if err = runSynthetic(); err == nil {
+			if err = runAstro(false); err == nil {
+				err = runAstro(true)
+			}
+		}
+	default:
+		err = fmt.Errorf("unknown bench %q", bench)
+	}
+	if err != nil {
+		return err
+	}
+	if csvPath != "" && lastMatrix != nil {
+		if err := os.WriteFile(csvPath, []byte(eval.RenderCSV(lastMatrix)), 0o644); err != nil {
+			return err
+		}
+		fmt.Println("wrote", csvPath)
+	}
+	return nil
+}
+
+func reportCrossover(m *eval.Matrix) {
+	gpt4 := m.Row("GPT-4")
+	if gpt4 == nil {
+		return
+	}
+	base := gpt4.Cells[llmsim.CondBaseline].Accuracy
+	fmt.Printf("GPT-4 baseline: %.3f — SLMs surpassing it with reasoning-trace retrieval:\n", base)
+	for _, row := range m.Rows {
+		if row.Model == "GPT-4" {
+			continue
+		}
+		if best := row.Best(); best != nil && best.Accuracy > base {
+			fmt.Printf("  %-26s %.3f (%s)\n", row.Model, best.Accuracy, best.Condition)
+		}
+	}
+	fmt.Println()
+}

@@ -1,0 +1,47 @@
+// distillation runs the paper's §5 future-work direction as a simulated
+// experiment: continual pretraining of the small models on the distilled
+// reasoning-trace corpus, with transfer scaled by the *measured* fact
+// coverage of the traces, then re-evaluation of the retrieval-free
+// baseline.
+//
+//	go run ./examples/distillation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/llmsim"
+	"repro/internal/rag"
+)
+
+func main() {
+	artifacts, err := core.BuildBenchmark(core.DefaultConfig(0.02))
+	if err != nil {
+		log.Fatal(err)
+	}
+	coverage := llmsim.TraceCoverage(artifacts.KB, artifacts.Traces,
+		rag.QuestionFactMap(artifacts.Questions))
+	fmt.Printf("trace corpus: %d traces covering %.0f%% of the %d knowledge-base facts\n\n",
+		len(artifacts.Traces), 100*coverage, artifacts.KB.NumFacts())
+
+	distilled, reports := llmsim.DistillAll(llmsim.Profiles(), coverage)
+	m, err := eval.Run(artifacts.SyntheticSetup(), distilled,
+		[]llmsim.Condition{llmsim.CondBaseline})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-28s %10s %12s %12s %10s\n",
+		"model", "baseline", "distilled*", "measured", "RT ceiling")
+	for i, rep := range reports {
+		measured := m.Rows[i].Cells[llmsim.CondBaseline].Accuracy
+		fmt.Printf("%-28s %10.3f %12.3f %12.3f %10.3f\n",
+			rep.Model, rep.BaselineBefore, rep.BaselineAfter, measured, rep.BestRTReference)
+	}
+	fmt.Println("\n* calibrated expectation; 'measured' is the re-evaluated accuracy on the benchmark.")
+	fmt.Println("Distillation internalises part of the retrieval gain; it approaches but never")
+	fmt.Println("reaches the RT ceiling — having the right trace in context still wins.")
+}

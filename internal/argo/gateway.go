@@ -1,0 +1,362 @@
+// Package argo implements the batched model-API gateway standing in for the
+// Argo-Proxy service the paper routes GPT-4.1 calls through ("chunks are fed
+// to GPT-4.1 in batches through the Argo-Proxy API").
+//
+// The gateway provides the orchestration semantics an HPC generation
+// campaign needs from a model endpoint:
+//
+//   - request coalescing: concurrent Call()s are packed into batches of up
+//     to MaxBatch, or whatever arrived within MaxDelay;
+//   - token-bucket rate limiting across batches;
+//   - bounded retries with exponential backoff and deterministic jitter for
+//     transient failures;
+//   - an optional net/http JSON transport (server.go) so the same handler
+//     can sit behind a real socket.
+package argo
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Request is one unit of model work. Payload is opaque to the gateway.
+type Request struct {
+	ID      string `json:"id"`
+	Op      string `json:"op"` // e.g. "generate-mcq", "trace", "judge"
+	Payload []byte `json:"payload"`
+}
+
+// Response carries the handler's output for one request. Transient
+// failures set Retry, telling the gateway the request may be retried.
+type Response struct {
+	ID      string `json:"id"`
+	Payload []byte `json:"payload,omitempty"`
+	Err     string `json:"err,omitempty"`
+	Retry   bool   `json:"retry,omitempty"`
+}
+
+// BatchHandler services one batch. It must return exactly one response per
+// request, in any order, keyed by ID.
+type BatchHandler func(ctx context.Context, batch []Request) []Response
+
+// Config parameterises a Gateway.
+type Config struct {
+	MaxBatch    int           // max requests per handler call (default 16)
+	MaxDelay    time.Duration // max time a request waits for batchmates (default 2ms)
+	MaxRetries  int           // retry budget per request for transient failures (default 3)
+	BaseBackoff time.Duration // first retry delay (default 1ms, doubles per attempt)
+	// RatePerSec limits handler dispatches per second; 0 disables.
+	RatePerSec float64
+	// Burst is the token-bucket depth when rate limiting (default 1).
+	Burst int
+}
+
+func (c *Config) fill() {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 16
+	}
+	if c.MaxDelay <= 0 {
+		c.MaxDelay = 2 * time.Millisecond
+	}
+	if c.MaxRetries < 0 {
+		c.MaxRetries = 0
+	} else if c.MaxRetries == 0 {
+		c.MaxRetries = 3
+	}
+	if c.BaseBackoff <= 0 {
+		c.BaseBackoff = time.Millisecond
+	}
+	if c.Burst <= 0 {
+		c.Burst = 1
+	}
+}
+
+// Stats is a snapshot of gateway accounting.
+type Stats struct {
+	Requests   int64
+	Batches    int64
+	Retries    int64
+	Failures   int64
+	MaxBatched int
+}
+
+// ErrGatewayClosed is returned by Call after Close.
+var ErrGatewayClosed = errors.New("argo: gateway closed")
+
+type pending struct {
+	req  Request
+	done chan Response
+}
+
+// Gateway batches concurrent requests into handler calls.
+type Gateway struct {
+	cfg     Config
+	handler BatchHandler
+	queue   chan pending
+	closed  chan struct{}
+	wg      sync.WaitGroup
+
+	// closeMu serialises enqueue against shutdown: Call holds the read
+	// side across its enqueue, so Close cannot finish draining while a
+	// request is in flight into the queue (a select races its two ready
+	// cases randomly, so without this a request could be enqueued after
+	// the dispatcher's final drain and never be answered).
+	closeMu    sync.RWMutex
+	closedFlag bool
+
+	mu    sync.Mutex
+	stats Stats
+}
+
+// NewGateway starts a gateway around handler.
+func NewGateway(cfg Config, handler BatchHandler) *Gateway {
+	cfg.fill()
+	g := &Gateway{
+		cfg:     cfg,
+		handler: handler,
+		queue:   make(chan pending, cfg.MaxBatch*4),
+		closed:  make(chan struct{}),
+	}
+	g.wg.Add(1)
+	go g.dispatchLoop()
+	return g
+}
+
+// Close drains and stops the gateway. Calls after Close fail.
+func (g *Gateway) Close() {
+	g.closeMu.Lock()
+	if g.closedFlag {
+		g.closeMu.Unlock()
+		return
+	}
+	g.closedFlag = true
+	g.closeMu.Unlock()
+	close(g.closed)
+	g.wg.Wait()
+	// Catch any request whose enqueue won the race against the
+	// dispatcher's own drain.
+	g.failRemaining()
+}
+
+// Stats returns a snapshot of the gateway counters.
+func (g *Gateway) Stats() Stats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.stats
+}
+
+// Call submits one request and blocks for its response. Transient failures
+// are retried internally up to the configured budget; exhaustion surfaces
+// as an error.
+func (g *Gateway) Call(ctx context.Context, req Request) (Response, error) {
+	p := pending{req: req, done: make(chan Response, 1)}
+	// Hold the read side across the enqueue: either we observe the closed
+	// flag and refuse, or the enqueue completes before Close can run its
+	// final drain — so every accepted request is always answered.
+	g.closeMu.RLock()
+	if g.closedFlag {
+		g.closeMu.RUnlock()
+		return Response{}, ErrGatewayClosed
+	}
+	select {
+	case g.queue <- p:
+		g.closeMu.RUnlock()
+	case <-ctx.Done():
+		g.closeMu.RUnlock()
+		return Response{}, ctx.Err()
+	}
+	select {
+	case resp := <-p.done:
+		if resp.Err != "" {
+			if resp.Err == ErrGatewayClosed.Error() {
+				return resp, ErrGatewayClosed
+			}
+			return resp, fmt.Errorf("argo: %s: %s", req.ID, resp.Err)
+		}
+		return resp, nil
+	case <-ctx.Done():
+		return Response{}, ctx.Err()
+	}
+}
+
+// CallAll submits requests concurrently (letting the gateway batch them)
+// and returns responses in request order.
+func (g *Gateway) CallAll(ctx context.Context, reqs []Request) ([]Response, error) {
+	out := make([]Response, len(reqs))
+	errs := make([]error, len(reqs))
+	var wg sync.WaitGroup
+	for i := range reqs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i], errs[i] = g.Call(ctx, reqs[i])
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+// dispatchLoop collects pending requests into batches and services them.
+func (g *Gateway) dispatchLoop() {
+	defer g.wg.Done()
+	limiter := newBucket(g.cfg.RatePerSec, g.cfg.Burst)
+	for {
+		// Block for the first request (or shutdown).
+		var first pending
+		select {
+		case first = <-g.queue:
+		case <-g.closed:
+			g.failRemaining()
+			return
+		}
+		batch := []pending{first}
+		timer := time.NewTimer(g.cfg.MaxDelay)
+	fill:
+		for len(batch) < g.cfg.MaxBatch {
+			select {
+			case p := <-g.queue:
+				batch = append(batch, p)
+			case <-timer.C:
+				break fill
+			case <-g.closed:
+				break fill
+			}
+		}
+		timer.Stop()
+		limiter.wait()
+		g.serveBatch(batch, 0)
+	}
+}
+
+// failRemaining answers queued requests with a closed error.
+func (g *Gateway) failRemaining() {
+	for {
+		select {
+		case p := <-g.queue:
+			p.done <- Response{ID: p.req.ID, Err: ErrGatewayClosed.Error()}
+		default:
+			return
+		}
+	}
+}
+
+// serveBatch invokes the handler, delivering terminal responses and
+// re-serving transient failures with backoff until the retry budget is
+// spent.
+func (g *Gateway) serveBatch(batch []pending, attempt int) {
+	reqs := make([]Request, len(batch))
+	byID := make(map[string]pending, len(batch))
+	for i, p := range batch {
+		reqs[i] = p.req
+		byID[p.req.ID] = p
+	}
+	g.mu.Lock()
+	g.stats.Batches++
+	if attempt == 0 {
+		g.stats.Requests += int64(len(batch))
+	}
+	if len(batch) > g.stats.MaxBatched {
+		g.stats.MaxBatched = len(batch)
+	}
+	g.mu.Unlock()
+
+	responses := g.handler(context.Background(), reqs)
+	var retry []pending
+	answered := make(map[string]bool, len(responses))
+	for _, resp := range responses {
+		p, ok := byID[resp.ID]
+		if !ok {
+			continue
+		}
+		answered[resp.ID] = true
+		if resp.Retry && attempt < g.cfg.MaxRetries {
+			retry = append(retry, p)
+			continue
+		}
+		if resp.Err != "" {
+			g.mu.Lock()
+			g.stats.Failures++
+			g.mu.Unlock()
+		}
+		p.done <- resp
+	}
+	// Handler contract violations (missing IDs) become failures.
+	for id, p := range byID {
+		if !answered[id] {
+			g.mu.Lock()
+			g.stats.Failures++
+			g.mu.Unlock()
+			p.done <- Response{ID: id, Err: "argo: handler returned no response"}
+		}
+	}
+	if len(retry) > 0 {
+		g.mu.Lock()
+		g.stats.Retries += int64(len(retry))
+		g.mu.Unlock()
+		// Exponential backoff with deterministic jitter from the attempt
+		// number (no wall-clock randomness, keeping runs reproducible).
+		delay := g.cfg.BaseBackoff << uint(attempt)
+		delay += time.Duration(attempt*7%5) * g.cfg.BaseBackoff / 4
+		time.Sleep(delay)
+		g.serveBatch(retry, attempt+1)
+	}
+}
+
+// bucket is a token-bucket rate limiter; nil-safe when disabled.
+type bucket struct {
+	interval time.Duration
+	tokens   int
+	depth    int
+	last     time.Time
+	mu       sync.Mutex
+}
+
+func newBucket(ratePerSec float64, burst int) *bucket {
+	if ratePerSec <= 0 {
+		return nil
+	}
+	return &bucket{
+		interval: time.Duration(float64(time.Second) / ratePerSec),
+		tokens:   burst,
+		depth:    burst,
+		last:     time.Now(),
+	}
+}
+
+// wait blocks until a token is available.
+func (b *bucket) wait() {
+	if b == nil {
+		return
+	}
+	for {
+		b.mu.Lock()
+		now := time.Now()
+		refill := int(now.Sub(b.last) / b.interval)
+		if refill > 0 {
+			b.tokens += refill
+			if b.tokens > b.depth {
+				b.tokens = b.depth
+			}
+			b.last = b.last.Add(time.Duration(refill) * b.interval)
+		}
+		if b.tokens > 0 {
+			b.tokens--
+			b.mu.Unlock()
+			return
+		}
+		sleep := b.interval - now.Sub(b.last)
+		b.mu.Unlock()
+		if sleep < time.Microsecond {
+			sleep = time.Microsecond
+		}
+		time.Sleep(sleep)
+	}
+}

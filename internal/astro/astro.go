@@ -1,0 +1,209 @@
+// Package astro synthesises the expert-written exam of the paper's external
+// validity study: the 2023 ASTRO Radiation and Cancer Biology Study Guide,
+// 337 questions of which 2 are excluded for requiring multimodal reasoning,
+// leaving 335 evaluated (189 non-mathematical, 146 mathematical per the
+// paper's GPT-5 classification).
+//
+// The generated exam draws on the same domain knowledge base as the corpus
+// but is NOT derived from corpus chunks: questions carry no chunk
+// provenance, use the 4-option format of board-style exams, and cover facts
+// regardless of whether the synthetic literature happened to realise them —
+// exactly the out-of-distribution role the real exam plays.
+package astro
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/corpus"
+	"repro/internal/mcq"
+	"repro/internal/rng"
+)
+
+// Paper-fixed exam dimensions.
+const (
+	TotalQuestions     = 337
+	MultimodalExcluded = 2
+	EvaluatedQuestions = 335
+	NoMathQuestions    = 189
+	MathQuestions      = 146
+	OptionsPerQuestion = 4
+)
+
+// Exam is the generated expert benchmark.
+type Exam struct {
+	// Questions are the evaluated 335 items (multimodal already excluded).
+	Questions []*mcq.Question
+	// Multimodal are the two excluded items, kept for reporting.
+	Multimodal []*mcq.Question
+}
+
+// Generate builds the exam deterministically from the knowledge base.
+// The math/no-math mix matches the paper's counts exactly by construction;
+// the Classifier (the GPT-5 stand-in) then recovers the split from text.
+func Generate(kb *corpus.KB, seed uint64) *Exam {
+	r := rng.New(seed).Split("astro-exam")
+	var mathFacts, plainFacts []*corpus.Fact
+	for _, f := range kb.AllFacts() {
+		if f.Math {
+			mathFacts = append(mathFacts, f)
+		} else {
+			plainFacts = append(plainFacts, f)
+		}
+	}
+	if len(mathFacts) == 0 || len(plainFacts) == 0 {
+		panic("astro: knowledge base lacks a math/no-math mix")
+	}
+	exam := &Exam{}
+	used := map[corpus.FactID]int{}
+
+	pick := func(pool []*corpus.Fact) *corpus.Fact {
+		// Prefer unused facts; the KB may be smaller than the exam, in
+		// which case facts are reused with fresh distractor draws (board
+		// exams revisit core facts too).
+		for attempt := 0; attempt < 64; attempt++ {
+			f := pool[r.Intn(len(pool))]
+			if used[f.ID] == 0 || attempt > 32 {
+				used[f.ID]++
+				return f
+			}
+		}
+		f := pool[r.Intn(len(pool))]
+		used[f.ID]++
+		return f
+	}
+
+	build := func(idx int, f *corpus.Fact, multimodal bool) *mcq.Question {
+		q := &mcq.Question{
+			ID:       fmt.Sprintf("astro-%03d", idx),
+			Question: f.QuestionStem(),
+			Type:     "exam",
+			Math:     f.Math,
+			Prov: mcq.Provenance{
+				DocID:    "astro-2023-study-guide",
+				FilePath: "RadBio_StudyGuide_23.pdf",
+				FactID:   string(f.ID),
+			},
+			Checks: mcq.Checks{Relevant: true, QualityScore: 10, JudgeModel: "expert-annotated"},
+		}
+		if multimodal {
+			q.Question = "Based on the survival curves shown in the figure, " +
+				lowerFirst(f.QuestionStem())
+			q.Type = "exam-multimodal"
+		}
+		distractors := kb.Distractors(f, OptionsPerQuestion-1, r)
+		options := append([]string{f.Object}, distractors...)
+		correct := 0
+		r.Shuffle(len(options), func(i, j int) {
+			options[i], options[j] = options[j], options[i]
+			switch correct {
+			case i:
+				correct = j
+			case j:
+				correct = i
+			}
+		})
+		q.Options = options
+		q.Answer = correct
+		return q
+	}
+
+	idx := 0
+	for i := 0; i < MathQuestions; i++ {
+		exam.Questions = append(exam.Questions, build(idx, pick(mathFacts), false))
+		idx++
+	}
+	for i := 0; i < NoMathQuestions; i++ {
+		exam.Questions = append(exam.Questions, build(idx, pick(plainFacts), false))
+		idx++
+	}
+	// Interleave deterministically so math items are not a contiguous block.
+	r.Shuffle(len(exam.Questions), func(i, j int) {
+		exam.Questions[i], exam.Questions[j] = exam.Questions[j], exam.Questions[i]
+	})
+	for i := 0; i < MultimodalExcluded; i++ {
+		exam.Multimodal = append(exam.Multimodal, build(idx, pick(plainFacts), true))
+		idx++
+	}
+	return exam
+}
+
+func lowerFirst(s string) string {
+	if s == "" {
+		return s
+	}
+	return strings.ToLower(s[:1]) + s[1:]
+}
+
+// NoMath returns the non-mathematical subset per the classifier, the
+// paper's second Astro evaluation setting.
+func (e *Exam) NoMath(c *Classifier) []*mcq.Question {
+	var out []*mcq.Question
+	for _, q := range e.Questions {
+		if !c.RequiresMath(q) {
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// Classifier is the GPT-5 stand-in that partitions exam questions into
+// mathematical and non-mathematical, from text features alone (numeric
+// tokens, dose units, quantitative stems) — it never reads the ground-truth
+// Math flag.
+type Classifier struct{}
+
+// NewClassifier returns the math/no-math classifier.
+func NewClassifier() *Classifier { return &Classifier{} }
+
+// mathMarkers are lexical features of quantitative radiation-biology exam
+// items: dose units, survival-fraction arithmetic, ratios.
+var mathMarkers = []string{
+	"gy", "dose", "fraction", "bed", "α/β", "alpha/beta",
+	"survival fraction", "half-life", "ratio", "percent", "log kill",
+}
+
+// RequiresMath classifies one question from its text and options.
+func (c *Classifier) RequiresMath(q *mcq.Question) bool {
+	blob := strings.ToLower(q.Question + " " + strings.Join(q.Options, " "))
+	// Numeric content in the options is the strongest signal (dose values,
+	// fractions).
+	digits := 0
+	for _, r := range blob {
+		if r >= '0' && r <= '9' {
+			digits++
+		}
+	}
+	score := 0
+	if digits >= 2 {
+		score += 2
+	}
+	for _, m := range mathMarkers {
+		if strings.Contains(blob, m) {
+			score++
+		}
+	}
+	// "typical dose" stems and Gy-valued options dominate the math class
+	// in our generator, as dose-calculation items do in the real guide.
+	return score >= 3
+}
+
+// Agreement measures the classifier against ground truth, returning
+// (accuracy, predictedMathCount). The reproduction's harness requires high
+// agreement so the published 189/146 split is recovered from text.
+func (c *Classifier) Agreement(qs []*mcq.Question) (float64, int) {
+	if len(qs) == 0 {
+		return 0, 0
+	}
+	correct, predMath := 0, 0
+	for _, q := range qs {
+		pred := c.RequiresMath(q)
+		if pred {
+			predMath++
+		}
+		if pred == q.Math {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(qs)), predMath
+}

@@ -1,0 +1,172 @@
+package astro
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/mcq"
+)
+
+func exam(t testing.TB) (*Exam, *corpus.KB) {
+	t.Helper()
+	kb := corpus.Build(42, 30)
+	return Generate(kb, 7), kb
+}
+
+func TestExamDimensions(t *testing.T) {
+	e, _ := exam(t)
+	if len(e.Questions) != EvaluatedQuestions {
+		t.Fatalf("%d evaluated questions, want %d", len(e.Questions), EvaluatedQuestions)
+	}
+	if len(e.Multimodal) != MultimodalExcluded {
+		t.Fatalf("%d multimodal, want %d", len(e.Multimodal), MultimodalExcluded)
+	}
+	if EvaluatedQuestions+MultimodalExcluded != TotalQuestions {
+		t.Fatal("dimension constants inconsistent")
+	}
+	math, noMath := 0, 0
+	for _, q := range e.Questions {
+		if q.Math {
+			math++
+		} else {
+			noMath++
+		}
+	}
+	if math != MathQuestions || noMath != NoMathQuestions {
+		t.Fatalf("split %d math / %d no-math, want %d/%d", math, noMath, MathQuestions, NoMathQuestions)
+	}
+}
+
+func TestExamQuestionsValid(t *testing.T) {
+	e, kb := exam(t)
+	for _, q := range e.Questions {
+		if err := q.Validate(); err != nil {
+			t.Fatalf("%s: %v", q.ID, err)
+		}
+		if len(q.Options) != OptionsPerQuestion {
+			t.Fatalf("%s: %d options", q.ID, len(q.Options))
+		}
+		if q.Prov.FactID == "" {
+			t.Fatalf("%s: no fact ground truth", q.ID)
+		}
+		f := kb.Fact(corpus.FactID(q.Prov.FactID))
+		if f == nil {
+			t.Fatalf("%s: unknown fact", q.ID)
+		}
+		if q.AnswerText() != f.Object {
+			t.Fatalf("%s: keyed answer %q != fact object %q", q.ID, q.AnswerText(), f.Object)
+		}
+		if q.Prov.ChunkID != "" {
+			t.Fatalf("%s: exam question has chunk provenance", q.ID)
+		}
+	}
+}
+
+func TestExamDeterministic(t *testing.T) {
+	kb := corpus.Build(42, 30)
+	a := Generate(kb, 7)
+	b := Generate(kb, 7)
+	for i := range a.Questions {
+		if a.Questions[i].Question != b.Questions[i].Question ||
+			a.Questions[i].Answer != b.Questions[i].Answer {
+			t.Fatal("exam not deterministic")
+		}
+	}
+	c := Generate(kb, 8)
+	same := 0
+	for i := range a.Questions {
+		if a.Questions[i].Question == c.Questions[i].Question {
+			same++
+		}
+	}
+	if same == len(a.Questions) {
+		t.Fatal("different seeds gave identical exams")
+	}
+}
+
+func TestExamIDsUnique(t *testing.T) {
+	e, _ := exam(t)
+	seen := map[string]bool{}
+	for _, q := range append(append([]*mcq.Question{}, e.Questions...), e.Multimodal...) {
+		if seen[q.ID] {
+			t.Fatalf("duplicate id %s", q.ID)
+		}
+		seen[q.ID] = true
+	}
+}
+
+func TestMultimodalFlagged(t *testing.T) {
+	e, _ := exam(t)
+	for _, q := range e.Multimodal {
+		if !strings.Contains(q.Question, "figure") {
+			t.Fatalf("multimodal stem lacks figure reference: %q", q.Question)
+		}
+		if q.Type != "exam-multimodal" {
+			t.Fatalf("type %q", q.Type)
+		}
+	}
+}
+
+func TestMathNotContiguous(t *testing.T) {
+	e, _ := exam(t)
+	// After shuffling, the first 146 evaluated questions must not all be
+	// math items.
+	math := 0
+	for _, q := range e.Questions[:MathQuestions] {
+		if q.Math {
+			math++
+		}
+	}
+	if math == MathQuestions {
+		t.Fatal("math block not interleaved")
+	}
+}
+
+func TestClassifierHighAgreement(t *testing.T) {
+	e, _ := exam(t)
+	c := NewClassifier()
+	acc, predMath := c.Agreement(e.Questions)
+	if acc < 0.95 {
+		t.Fatalf("classifier agreement %.3f too low", acc)
+	}
+	// Predicted split must be close to the published 146/189.
+	if predMath < MathQuestions-10 || predMath > MathQuestions+10 {
+		t.Fatalf("predicted %d math items, want ~%d", predMath, MathQuestions)
+	}
+}
+
+func TestNoMathSubset(t *testing.T) {
+	e, _ := exam(t)
+	c := NewClassifier()
+	subset := e.NoMath(c)
+	if len(subset) < NoMathQuestions-10 || len(subset) > NoMathQuestions+10 {
+		t.Fatalf("no-math subset %d, want ~%d", len(subset), NoMathQuestions)
+	}
+	for _, q := range subset {
+		if c.RequiresMath(q) {
+			t.Fatal("math item in no-math subset")
+		}
+	}
+}
+
+func TestClassifierIgnoresGroundTruth(t *testing.T) {
+	// Flipping the Math flag must not change the prediction (it reads text
+	// only).
+	e, _ := exam(t)
+	c := NewClassifier()
+	q := *e.Questions[0]
+	before := c.RequiresMath(&q)
+	q.Math = !q.Math
+	if c.RequiresMath(&q) != before {
+		t.Fatal("classifier peeked at the ground-truth flag")
+	}
+}
+
+func BenchmarkGenerateExam(b *testing.B) {
+	kb := corpus.Build(42, 30)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Generate(kb, uint64(i))
+	}
+}

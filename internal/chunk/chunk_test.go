@@ -1,0 +1,218 @@
+package chunk
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/tokenizer"
+)
+
+func sampleText(t testing.TB) (string, string) {
+	t.Helper()
+	kb := corpus.Build(42, 20)
+	g := corpus.NewGenerator(kb, 7)
+	d := g.GenerateDoc(corpus.FullPaper, 0)
+	return d.ID, d.Text()
+}
+
+func TestSplitBasic(t *testing.T) {
+	docID, text := sampleText(t)
+	c := New(DefaultConfig(), nil)
+	chunks := c.Split(docID, text)
+	if len(chunks) < 2 {
+		t.Fatalf("full paper produced only %d chunks", len(chunks))
+	}
+	for i, ch := range chunks {
+		if ch.DocID != docID {
+			t.Fatalf("chunk %d provenance %q", i, ch.DocID)
+		}
+		if ch.Index != i {
+			t.Fatalf("chunk %d has index %d", i, ch.Index)
+		}
+		if ch.Text == "" {
+			t.Fatalf("chunk %d empty", i)
+		}
+		if ch.Tokens != tokenizer.CountTokens(ch.Text) {
+			t.Fatalf("chunk %d token count stale", i)
+		}
+		if !strings.HasPrefix(ch.ID, "chunk-") {
+			t.Fatalf("chunk id %q", ch.ID)
+		}
+	}
+}
+
+func TestMaxTokensRespected(t *testing.T) {
+	docID, text := sampleText(t)
+	cfg := DefaultConfig()
+	c := New(cfg, nil)
+	for _, ch := range c.Split(docID, text) {
+		// A single sentence may exceed the cap; multi-sentence chunks must not.
+		if ch.Tokens > cfg.MaxTokens && strings.Count(ch.Text, ". ") > 0 {
+			t.Fatalf("multi-sentence chunk of %d tokens exceeds cap %d", ch.Tokens, cfg.MaxTokens)
+		}
+	}
+}
+
+func TestTextPreserved(t *testing.T) {
+	docID, text := sampleText(t)
+	c := New(DefaultConfig(), nil)
+	chunks := c.Split(docID, text)
+	var rebuilt strings.Builder
+	for _, ch := range chunks {
+		rebuilt.WriteString(ch.Text)
+		rebuilt.WriteString(" ")
+	}
+	// Compare ignoring whitespace differences.
+	norm := func(s string) string { return strings.Join(strings.Fields(s), " ") }
+	if norm(rebuilt.String()) != norm(text) {
+		t.Fatal("chunking lost or reordered text")
+	}
+}
+
+func TestDeterministicIDs(t *testing.T) {
+	docID, text := sampleText(t)
+	a := New(DefaultConfig(), nil).Split(docID, text)
+	b := New(DefaultConfig(), nil).Split(docID, text)
+	if len(a) != len(b) {
+		t.Fatal("chunk counts differ across runs")
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID {
+			t.Fatal("chunk ids not deterministic")
+		}
+	}
+}
+
+func TestIDsUniqueAcrossDocs(t *testing.T) {
+	kb := corpus.Build(42, 20)
+	g := corpus.NewGenerator(kb, 7)
+	c := New(DefaultConfig(), nil)
+	seen := map[string]bool{}
+	for i := 0; i < 10; i++ {
+		d := g.GenerateDoc(corpus.FullPaper, i)
+		for _, ch := range c.Split(d.ID, d.Text()) {
+			if seen[ch.ID] {
+				t.Fatalf("duplicate chunk id %s", ch.ID)
+			}
+			seen[ch.ID] = true
+		}
+	}
+}
+
+func TestEmptyAndTinyInput(t *testing.T) {
+	c := New(DefaultConfig(), nil)
+	if got := c.Split("d", ""); len(got) != 0 {
+		t.Fatalf("empty text produced %d chunks", len(got))
+	}
+	got := c.Split("d", "One short sentence.")
+	if len(got) != 1 {
+		t.Fatalf("single sentence produced %d chunks", len(got))
+	}
+	if got[0].Text != "One short sentence." {
+		t.Fatalf("chunk text %q", got[0].Text)
+	}
+}
+
+func TestQuantileKnob(t *testing.T) {
+	docID, text := sampleText(t)
+	low := New(Config{MinTokens: 20, MaxTokens: 10000, BoundaryQuantile: 0.05}, nil).Split(docID, text)
+	high := New(Config{MinTokens: 20, MaxTokens: 10000, BoundaryQuantile: 0.9}, nil).Split(docID, text)
+	if len(high) <= len(low) {
+		t.Fatalf("higher boundary quantile should cut more: low=%d high=%d", len(low), len(high))
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := New(Config{}, nil)
+	if c.cfg.MinTokens <= 0 || c.cfg.MaxTokens <= c.cfg.MinTokens {
+		t.Fatalf("defaults not applied: %+v", c.cfg)
+	}
+	if c.cfg.BoundaryQuantile <= 0 || c.cfg.BoundaryQuantile >= 1 {
+		t.Fatalf("quantile default: %v", c.cfg.BoundaryQuantile)
+	}
+}
+
+func TestSplitAllMatchesSequential(t *testing.T) {
+	kb := corpus.Build(42, 20)
+	g := corpus.NewGenerator(kb, 7)
+	c := New(DefaultConfig(), nil)
+	var docs []Doc
+	for i := 0; i < 8; i++ {
+		d := g.GenerateDoc(corpus.FullPaper, i)
+		docs = append(docs, Doc{ID: d.ID, Text: d.Text()})
+	}
+	par := c.SplitAll(docs, 4)
+	var seq []Chunk
+	for _, d := range docs {
+		seq = append(seq, c.Split(d.ID, d.Text)...)
+	}
+	if len(par) != len(seq) {
+		t.Fatalf("parallel %d vs sequential %d chunks", len(par), len(seq))
+	}
+	for i := range seq {
+		if par[i].ID != seq[i].ID {
+			t.Fatalf("chunk order differs at %d", i)
+		}
+	}
+}
+
+func TestSplitAllEmpty(t *testing.T) {
+	c := New(DefaultConfig(), nil)
+	if got := c.SplitAll(nil, 4); len(got) != 0 {
+		t.Fatal("nil docs produced chunks")
+	}
+}
+
+func TestFactSentencesSurviveChunking(t *testing.T) {
+	// The pipeline's correctness hinges on fact sentences remaining intact
+	// inside some chunk, so provenance lookups can find them.
+	kb := corpus.Build(42, 20)
+	g := corpus.NewGenerator(kb, 7)
+	c := New(DefaultConfig(), nil)
+	for i := 0; i < 5; i++ {
+		d := g.GenerateDoc(corpus.FullPaper, i)
+		chunks := c.Split(d.ID, d.Text())
+		for _, fid := range d.Facts {
+			f := kb.Fact(fid)
+			found := false
+			for _, ch := range chunks {
+				if strings.Contains(ch.Text, f.Sentence()) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("doc %s: fact %s sentence split across chunks", d.ID, fid)
+			}
+		}
+	}
+}
+
+func BenchmarkSplit(b *testing.B) {
+	kb := corpus.Build(42, 20)
+	g := corpus.NewGenerator(kb, 7)
+	d := g.GenerateDoc(corpus.FullPaper, 0)
+	c := New(DefaultConfig(), nil)
+	text := d.Text()
+	b.SetBytes(int64(len(text)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = c.Split(d.ID, text)
+	}
+}
+
+func BenchmarkSplitAll100(b *testing.B) {
+	kb := corpus.Build(42, 20)
+	g := corpus.NewGenerator(kb, 7)
+	var docs []Doc
+	for i := 0; i < 100; i++ {
+		d := g.GenerateDoc(corpus.FullPaper, i)
+		docs = append(docs, Doc{ID: d.ID, Text: d.Text()})
+	}
+	c := New(DefaultConfig(), nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = c.SplitAll(docs, 0)
+	}
+}

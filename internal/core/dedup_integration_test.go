@@ -1,0 +1,38 @@
+package core
+
+import "testing"
+
+func TestDedupOptionShrinksBenchmark(t *testing.T) {
+	// The same knowledge-base fact surfaces in multiple documents, so the
+	// accepted set contains repeated stems; the Dedup option must remove
+	// them without touching anything else.
+	cfg := DefaultConfig(0.01)
+	cfg.Dedup = true
+	deduped, err := BuildBenchmark(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := build(t) // shared fixture, same seed/scale, no dedup
+	if deduped.Stats.Deduplicated == 0 {
+		t.Fatal("dedup removed nothing despite repeated facts across documents")
+	}
+	if len(deduped.Questions)+deduped.Stats.Deduplicated != len(plain.Questions) {
+		t.Fatalf("dedup accounting: %d kept + %d dropped != %d accepted",
+			len(deduped.Questions), deduped.Stats.Deduplicated, len(plain.Questions))
+	}
+	// No verbatim stem survives twice.
+	seen := map[string]bool{}
+	for _, q := range deduped.Questions {
+		if seen[q.Question] {
+			t.Fatalf("duplicate stem survived: %q", q.Question)
+		}
+		seen[q.Question] = true
+	}
+}
+
+func TestDedupOffByDefault(t *testing.T) {
+	a := build(t)
+	if a.Stats.Deduplicated != 0 {
+		t.Fatal("dedup ran without being enabled")
+	}
+}

@@ -1,0 +1,319 @@
+package corpus
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func testKB(t testing.TB) *KB {
+	t.Helper()
+	return Build(42, 30)
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	a := Build(42, 30)
+	b := Build(42, 30)
+	if a.NumFacts() != b.NumFacts() {
+		t.Fatalf("fact counts differ: %d vs %d", a.NumFacts(), b.NumFacts())
+	}
+	fa, fb := a.AllFacts(), b.AllFacts()
+	for i := range fa {
+		if fa[i].ID != fb[i].ID || fa[i].Sentence() != fb[i].Sentence() {
+			t.Fatalf("fact %d differs", i)
+		}
+	}
+}
+
+func TestBuildSeedChangesFacts(t *testing.T) {
+	a := Build(1, 30).AllFacts()
+	b := Build(2, 30).AllFacts()
+	same := 0
+	for i := range a {
+		if i < len(b) && a[i].Subject == b[i].Subject && a[i].Object == b[i].Object {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical KBs")
+	}
+}
+
+func TestTopicsPopulated(t *testing.T) {
+	kb := testKB(t)
+	if len(kb.Topics) != len(topicNames) {
+		t.Fatalf("topic count %d", len(kb.Topics))
+	}
+	for _, topic := range kb.Topics {
+		if len(topic.Facts) == 0 {
+			t.Fatalf("topic %q has no facts", topic.Name)
+		}
+		if len(topic.Keywords) == 0 {
+			t.Fatalf("topic %q has no keywords", topic.Name)
+		}
+	}
+}
+
+func TestUniqueSubjectRelationPairs(t *testing.T) {
+	kb := testKB(t)
+	seen := map[string]FactID{}
+	for _, f := range kb.AllFacts() {
+		key := f.Subject + "|" + string(f.Relation)
+		if prev, dup := seen[key]; dup {
+			t.Fatalf("duplicate (subject, relation): %q in %s and %s", key, prev, f.ID)
+		}
+		seen[key] = f.ID
+	}
+}
+
+func TestFactLookup(t *testing.T) {
+	kb := testKB(t)
+	f := kb.AllFacts()[0]
+	if got := kb.Fact(f.ID); got != f {
+		t.Fatal("Fact lookup failed")
+	}
+	if kb.Fact("fact-nonexistent") != nil {
+		t.Fatal("lookup of missing fact returned non-nil")
+	}
+}
+
+func TestSentenceAndStemNonEmpty(t *testing.T) {
+	kb := testKB(t)
+	for _, f := range kb.AllFacts() {
+		s := f.Sentence()
+		if !strings.Contains(s, f.Subject) || !strings.Contains(s, f.Object) {
+			t.Fatalf("sentence missing subject/object: %q", s)
+		}
+		stem := f.QuestionStem()
+		if !strings.Contains(stem, f.Subject) {
+			t.Fatalf("stem missing subject: %q", stem)
+		}
+		if strings.Contains(stem, f.Object) {
+			t.Fatalf("stem leaks the answer: %q", stem)
+		}
+		if !strings.HasSuffix(stem, "?") {
+			t.Fatalf("stem not a question: %q", stem)
+		}
+		// Self-containment: no reference to a source text.
+		lower := strings.ToLower(stem)
+		for _, banned := range []string{"the text", "the passage", "according to the"} {
+			if strings.Contains(lower, banned) {
+				t.Fatalf("stem references source text: %q", stem)
+			}
+		}
+	}
+}
+
+func TestDistractorsValid(t *testing.T) {
+	kb := testKB(t)
+	r := rng.New(5)
+	for _, f := range kb.AllFacts()[:50] {
+		d := kb.Distractors(f, 6, r)
+		if len(d) == 0 {
+			t.Fatalf("no distractors for %s", f.ID)
+		}
+		seen := map[string]bool{}
+		for _, o := range d {
+			if o == f.Object {
+				t.Fatalf("distractor equals answer for %s", f.ID)
+			}
+			if seen[o] {
+				t.Fatalf("duplicate distractor %q for %s", o, f.ID)
+			}
+			seen[o] = true
+		}
+	}
+}
+
+func TestDistractorsRespectsN(t *testing.T) {
+	kb := testKB(t)
+	r := rng.New(6)
+	f := kb.AllFacts()[0]
+	if d := kb.Distractors(f, 3, r); len(d) > 3 {
+		t.Fatalf("asked 3 distractors, got %d", len(d))
+	}
+}
+
+func TestMathFactsExist(t *testing.T) {
+	kb := testKB(t)
+	math, nonMath := 0, 0
+	for _, f := range kb.AllFacts() {
+		if f.Math {
+			math++
+		} else {
+			nonMath++
+		}
+	}
+	if math == 0 || nonMath == 0 {
+		t.Fatalf("math split degenerate: %d math, %d non-math", math, nonMath)
+	}
+}
+
+func TestGenerateDocDeterministic(t *testing.T) {
+	kb := testKB(t)
+	g1 := NewGenerator(kb, 7)
+	g2 := NewGenerator(kb, 7)
+	a := g1.GenerateDoc(FullPaper, 3)
+	b := g2.GenerateDoc(FullPaper, 3)
+	if a.Text() != b.Text() {
+		t.Fatal("document generation not deterministic")
+	}
+	if len(a.Facts) != len(b.Facts) {
+		t.Fatal("fact lists differ")
+	}
+}
+
+func TestGenerateDocDistinct(t *testing.T) {
+	kb := testKB(t)
+	g := NewGenerator(kb, 7)
+	a := g.GenerateDoc(FullPaper, 0)
+	b := g.GenerateDoc(FullPaper, 1)
+	if a.Text() == b.Text() {
+		t.Fatal("consecutive documents identical")
+	}
+	if a.ID == b.ID {
+		t.Fatal("document IDs collide")
+	}
+}
+
+func TestFullPaperStructure(t *testing.T) {
+	kb := testKB(t)
+	g := NewGenerator(kb, 7)
+	d := g.GenerateDoc(FullPaper, 11)
+	if d.Kind != FullPaper {
+		t.Fatal("wrong kind")
+	}
+	if len(d.Sections) != len(sectionTitles) {
+		t.Fatalf("sections = %d", len(d.Sections))
+	}
+	if d.Title == "" || d.Abstract == "" || len(d.Authors) == 0 {
+		t.Fatal("missing front matter")
+	}
+	if d.Year < 2015 || d.Year > 2024 {
+		t.Fatalf("year %d out of range", d.Year)
+	}
+	if len(d.Facts) < 4 {
+		t.Fatalf("full paper carries only %d facts", len(d.Facts))
+	}
+}
+
+func TestAbstractOnlyStructure(t *testing.T) {
+	kb := testKB(t)
+	g := NewGenerator(kb, 7)
+	d := g.GenerateDoc(AbstractOnly, 2)
+	if d.Kind != AbstractOnly {
+		t.Fatal("wrong kind")
+	}
+	if len(d.Sections) != 0 {
+		t.Fatal("abstract-only doc has sections")
+	}
+	if len(d.Facts) < 2 {
+		t.Fatalf("abstract carries %d facts", len(d.Facts))
+	}
+	if !strings.HasPrefix(d.ID, "abs-") {
+		t.Fatalf("abstract ID %q", d.ID)
+	}
+}
+
+func TestFactSentencesAppearInText(t *testing.T) {
+	kb := testKB(t)
+	g := NewGenerator(kb, 7)
+	for idx := 0; idx < 20; idx++ {
+		d := g.GenerateDoc(FullPaper, idx)
+		text := d.Text()
+		for _, id := range d.Facts {
+			f := kb.Fact(id)
+			if f == nil {
+				t.Fatalf("doc %s references unknown fact %s", d.ID, id)
+			}
+			if !strings.Contains(text, f.Sentence()) {
+				t.Fatalf("doc %s claims fact %s but sentence absent", d.ID, id)
+			}
+		}
+	}
+}
+
+func TestNoDuplicateFactsInDoc(t *testing.T) {
+	kb := testKB(t)
+	g := NewGenerator(kb, 9)
+	for idx := 0; idx < 30; idx++ {
+		d := g.GenerateDoc(FullPaper, idx)
+		seen := map[FactID]bool{}
+		for _, id := range d.Facts {
+			if seen[id] {
+				t.Fatalf("doc %s lists fact %s twice", d.ID, id)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+func TestZipfTopicSkew(t *testing.T) {
+	kb := testKB(t)
+	g := NewGenerator(kb, 7)
+	counts := make([]int, len(kb.Topics))
+	for i := 0; i < 2000; i++ {
+		counts[g.GenerateDoc(AbstractOnly, i).Topic]++
+	}
+	max, min := 0, 1<<30
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+		if c < min {
+			min = c
+		}
+	}
+	if max < 2*min {
+		t.Fatalf("topic distribution too flat: max %d min %d", max, min)
+	}
+}
+
+func TestCorpusSpecScaled(t *testing.T) {
+	s := FullScale.Scaled(0.01)
+	if s.Papers != 141 || s.Abstracts != 84 {
+		t.Fatalf("Scaled(0.01) = %+v", s)
+	}
+	tiny := FullScale.Scaled(0.000001)
+	if tiny.Papers < 1 || tiny.Abstracts < 1 {
+		t.Fatalf("Scaled floor violated: %+v", tiny)
+	}
+	if FullScale.Total() != 22548 {
+		t.Fatalf("FullScale total %d, want 22548", FullScale.Total())
+	}
+}
+
+func TestGenerateAll(t *testing.T) {
+	kb := testKB(t)
+	g := NewGenerator(kb, 7)
+	docs := g.GenerateAll(CorpusSpec{Papers: 5, Abstracts: 3})
+	if len(docs) != 8 {
+		t.Fatalf("GenerateAll produced %d docs", len(docs))
+	}
+	full, abs := 0, 0
+	ids := map[string]bool{}
+	for _, d := range docs {
+		if ids[d.ID] {
+			t.Fatalf("duplicate doc ID %s", d.ID)
+		}
+		ids[d.ID] = true
+		if d.Kind == FullPaper {
+			full++
+		} else {
+			abs++
+		}
+	}
+	if full != 5 || abs != 3 {
+		t.Fatalf("kind counts: %d full, %d abstracts", full, abs)
+	}
+}
+
+func BenchmarkGenerateDoc(b *testing.B) {
+	kb := Build(42, 30)
+	g := NewGenerator(kb, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.GenerateDoc(FullPaper, i)
+	}
+}

@@ -1,0 +1,347 @@
+// Package corpus synthesises the scientific corpus the reproduction runs
+// on, standing in for the paper's 14,115 full-text papers and 8,433
+// abstracts downloaded from Semantic Scholar with radiation and cancer
+// biology keywords.
+//
+// The corpus is built on an explicit domain knowledge base: a set of topics
+// in radiation/cancer biology, each holding entities and subject–relation–
+// object facts with natural-language realisations. Papers are sampled from
+// the knowledge base with Zipf topic popularity, so every sentence that
+// carries a fact is traceable to a FactID. That ground truth is what lets
+// downstream stages measure — rather than assume — retrieval quality:
+// a retrieved chunk either does or does not carry the fact a question was
+// generated from.
+package corpus
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/rng"
+)
+
+// FactID uniquely identifies a domain fact.
+type FactID string
+
+// Relation is the predicate type of a fact; distractors for a question are
+// drawn from sibling facts sharing the relation, which makes them plausible
+// (same answer category) but wrong.
+type Relation string
+
+// The relation inventory of the knowledge base. Each relation has sentence
+// templates in realisations below.
+const (
+	RelActivates   Relation = "activates"
+	RelInhibits    Relation = "inhibits"
+	RelCauses      Relation = "causes"
+	RelRepairedBy  Relation = "repaired_by"
+	RelMarkerOf    Relation = "marker_of"
+	RelTreats      Relation = "treats"
+	RelSensitizes  Relation = "sensitizes"
+	RelProtects    Relation = "protects_against"
+	RelMeasuredBy  Relation = "measured_by"
+	RelRegulates   Relation = "regulates"
+	RelDoseOf      Relation = "typical_dose"
+	RelMechanismOf Relation = "mechanism_of"
+)
+
+// AllRelations lists every relation in a stable order.
+var AllRelations = []Relation{
+	RelActivates, RelInhibits, RelCauses, RelRepairedBy, RelMarkerOf,
+	RelTreats, RelSensitizes, RelProtects, RelMeasuredBy, RelRegulates,
+	RelDoseOf, RelMechanismOf,
+}
+
+// Fact is one subject–relation–object triple.
+type Fact struct {
+	ID       FactID
+	Topic    int // index into KB.Topics
+	Subject  string
+	Relation Relation
+	Object   string
+	// Requires numeric/mathematical reasoning when asked about (dose
+	// calculations, survival-fraction arithmetic). Mirrors the paper's
+	// math/no-math split of the Astro exam.
+	Math bool
+}
+
+// Sentence renders the canonical natural-language realisation of the fact.
+func (f *Fact) Sentence() string {
+	switch f.Relation {
+	case RelActivates:
+		return fmt.Sprintf("%s activates %s following radiation exposure.", f.Subject, f.Object)
+	case RelInhibits:
+		return fmt.Sprintf("%s potently inhibits %s in irradiated tumor cells.", f.Subject, f.Object)
+	case RelCauses:
+		return fmt.Sprintf("%s is a principal cause of %s.", f.Subject, f.Object)
+	case RelRepairedBy:
+		return fmt.Sprintf("%s is predominantly repaired by %s.", f.Subject, f.Object)
+	case RelMarkerOf:
+		return fmt.Sprintf("%s serves as a sensitive marker of %s.", f.Subject, f.Object)
+	case RelTreats:
+		return fmt.Sprintf("%s is an established treatment for %s.", f.Subject, f.Object)
+	case RelSensitizes:
+		return fmt.Sprintf("%s sensitizes tumor cells to %s.", f.Subject, f.Object)
+	case RelProtects:
+		return fmt.Sprintf("%s protects normal tissue against %s.", f.Subject, f.Object)
+	case RelMeasuredBy:
+		return fmt.Sprintf("%s is most commonly quantified by %s.", f.Subject, f.Object)
+	case RelRegulates:
+		return fmt.Sprintf("%s tightly regulates %s during the damage response.", f.Subject, f.Object)
+	case RelDoseOf:
+		return fmt.Sprintf("The typical fractional dose for %s is %s.", f.Subject, f.Object)
+	case RelMechanismOf:
+		return fmt.Sprintf("The dominant mechanism of %s is %s.", f.Subject, f.Object)
+	default:
+		return fmt.Sprintf("%s %s %s.", f.Subject, f.Relation, f.Object)
+	}
+}
+
+// QuestionStem renders the fact as an exam-style question asking for the
+// object. Stems never reference "the text", matching the paper's
+// self-containment requirement for generated MCQs.
+func (f *Fact) QuestionStem() string {
+	switch f.Relation {
+	case RelActivates:
+		return fmt.Sprintf("Which of the following is activated by %s following radiation exposure?", f.Subject)
+	case RelInhibits:
+		return fmt.Sprintf("Which target is potently inhibited by %s in irradiated tumor cells?", f.Subject)
+	case RelCauses:
+		return fmt.Sprintf("%s is a principal cause of which of the following?", f.Subject)
+	case RelRepairedBy:
+		return fmt.Sprintf("By which pathway is %s predominantly repaired?", f.Subject)
+	case RelMarkerOf:
+		return fmt.Sprintf("%s is a sensitive marker of which process?", f.Subject)
+	case RelTreats:
+		return fmt.Sprintf("%s is an established treatment for which condition?", f.Subject)
+	case RelSensitizes:
+		return fmt.Sprintf("%s sensitizes tumor cells to which of the following?", f.Subject)
+	case RelProtects:
+		return fmt.Sprintf("%s protects normal tissue against which of the following?", f.Subject)
+	case RelMeasuredBy:
+		return fmt.Sprintf("Which assay is most commonly used to quantify %s?", f.Subject)
+	case RelRegulates:
+		return fmt.Sprintf("During the damage response, %s tightly regulates which of the following?", f.Subject)
+	case RelDoseOf:
+		return fmt.Sprintf("What is the typical fractional dose for %s?", f.Subject)
+	case RelMechanismOf:
+		return fmt.Sprintf("What is the dominant mechanism of %s?", f.Subject)
+	default:
+		return fmt.Sprintf("What is related to %s via %s?", f.Subject, f.Relation)
+	}
+}
+
+// Topic groups entities and facts around one research theme.
+type Topic struct {
+	Name     string
+	Keywords []string
+	Facts    []*Fact
+}
+
+// KB is the domain knowledge base.
+type KB struct {
+	Topics  []*Topic
+	facts   map[FactID]*Fact
+	byRel   map[Relation][]*Fact
+	objects map[Relation][]string // distinct object strings per relation
+}
+
+// Lexical building blocks for the radiation/cancer-biology domain. These
+// seed lists are combined combinatorially to yield hundreds of distinct
+// entities, so the corpus vocabulary has realistic breadth.
+var (
+	topicNames = []string{
+		"DNA damage response", "radiotherapy fractionation", "tumor hypoxia",
+		"cell cycle checkpoints", "apoptosis signaling", "radioprotectors",
+		"immunoradiotherapy", "particle therapy", "radiation carcinogenesis",
+		"normal tissue toxicity", "DNA repair pathways", "tumor microenvironment",
+		"radiosensitizers", "stereotactic radiosurgery", "brachytherapy",
+		"radiation dosimetry", "cancer stem cells", "bystander effects",
+	}
+	geneStems = []string{
+		"ATM", "ATR", "CHK1", "CHK2", "TP53", "BRCA1", "BRCA2", "RAD51",
+		"KU70", "KU80", "DNA-PKcs", "PARP1", "H2AX", "MDM2", "CDC25",
+		"WEE1", "LIG4", "XRCC4", "NBS1", "MRE11", "53BP1", "PTEN", "EGFR",
+		"HIF1A", "VEGF", "BAX", "BCL2", "CASP3", "CASP9", "FANCD2",
+	}
+	processNouns = []string{
+		"double-strand break repair", "single-strand annealing",
+		"homologous recombination", "non-homologous end joining",
+		"nucleotide excision repair", "base excision repair",
+		"mismatch repair", "G1/S checkpoint arrest", "G2/M checkpoint arrest",
+		"mitotic catastrophe", "replication fork stalling", "senescence induction",
+		"autophagy", "ferroptosis", "clonogenic survival", "chromosome aberration formation",
+	}
+	modalities = []string{
+		"conventional fractionated radiotherapy", "hypofractionated radiotherapy",
+		"stereotactic body radiotherapy", "proton beam therapy",
+		"carbon ion therapy", "intensity-modulated radiotherapy",
+		"high-dose-rate brachytherapy", "low-dose-rate brachytherapy",
+		"total body irradiation", "FLASH radiotherapy",
+	}
+	conditions = []string{
+		"glioblastoma", "non-small cell lung cancer", "prostate adenocarcinoma",
+		"head and neck squamous carcinoma", "cervical carcinoma",
+		"hepatocellular carcinoma", "pancreatic ductal adenocarcinoma",
+		"early-stage breast cancer", "oropharyngeal cancer", "esophageal cancer",
+		"radiation-induced fibrosis", "radiation pneumonitis",
+		"acute radiation syndrome", "radiation-induced mucositis",
+	}
+	assays = []string{
+		"the clonogenic survival assay", "gamma-H2AX focus counting",
+		"the comet assay", "the micronucleus assay",
+		"flow cytometric cell cycle analysis", "western blot quantification",
+		"dicentric chromosome scoring", "the TUNEL assay",
+		"EPR oximetry", "pimonidazole immunostaining",
+	}
+	agents = []string{
+		"amifostine", "cisplatin", "the PARP inhibitor olaparib",
+		"the ATR inhibitor ceralasertib", "the WEE1 inhibitor adavosertib",
+		"nimorazole", "misonidazole", "hyperbaric oxygen",
+		"the HDAC inhibitor vorinostat", "gemcitabine", "5-fluorouracil",
+		"pembrolizumab combined with radiotherapy",
+	}
+	doses = []string{
+		"1.8 Gy", "2.0 Gy", "2.67 Gy", "3.0 Gy", "5.0 Gy",
+		"7.25 Gy", "8.0 Gy", "10 Gy", "12 Gy", "18 Gy",
+	}
+	// Subject modifiers multiply the effective entity space so every topic
+	// can mint unique (subject, relation) pairs without ambiguity.
+	modifiers = []string{
+		"phosphorylated", "nuclear", "overexpressed", "constitutively active",
+		"mutant", "wild-type", "stabilized", "hypoxia-induced",
+		"radiation-induced", "acetylated", "ubiquitinated", "truncated",
+	}
+	mechanisms = []string{
+		"indirect action via hydroxyl radicals", "direct ionization of DNA",
+		"oxygen fixation of free-radical damage", "reoxygenation between fractions",
+		"redistribution of cells into sensitive phases", "repopulation of surviving clonogens",
+		"sublethal damage repair between fractions", "vascular endothelial apoptosis",
+		"immunogenic cell death induction", "abscopal immune activation",
+	}
+)
+
+// Build constructs the knowledge base deterministically from a seed. The
+// number of facts scales with factsPerTopic; Build(seed, 40) yields ~720
+// facts across 18 topics, enough to support a full-scale corpus without
+// repeating sentences verbatim in every paper.
+func Build(seed uint64, factsPerTopic int) *KB {
+	if factsPerTopic <= 0 {
+		factsPerTopic = 40
+	}
+	r := rng.New(seed).Split("kb")
+	kb := &KB{
+		facts:   make(map[FactID]*Fact),
+		byRel:   make(map[Relation][]*Fact),
+		objects: make(map[Relation][]string),
+	}
+	// Per-relation (subjects, objects) pools.
+	pools := map[Relation][2][]string{
+		RelActivates:   {geneStems, geneStems},
+		RelInhibits:    {agents, geneStems},
+		RelCauses:      {mechanisms, processNouns},
+		RelRepairedBy:  {processNouns, processNouns},
+		RelMarkerOf:    {geneStems, processNouns},
+		RelTreats:      {modalities, conditions},
+		RelSensitizes:  {agents, modalities},
+		RelProtects:    {agents, conditions},
+		RelMeasuredBy:  {processNouns, assays},
+		RelRegulates:   {geneStems, processNouns},
+		RelDoseOf:      {modalities, doses},
+		RelMechanismOf: {processNouns, mechanisms},
+	}
+	seen := make(map[string]bool)
+	for ti, name := range topicNames {
+		topic := &Topic{Name: name, Keywords: keywordsFor(name)}
+		tr := r.SplitN("topic", ti)
+		attempts := 0
+		for len(topic.Facts) < factsPerTopic && attempts < factsPerTopic*30 {
+			attempts++
+			rel := AllRelations[tr.Intn(len(AllRelations))]
+			pool := pools[rel]
+			subj := pool[0][tr.Intn(len(pool[0]))]
+			obj := pool[1][tr.Intn(len(pool[1]))]
+			if subj == obj {
+				continue
+			}
+			key := subj + "|" + string(rel)
+			// One object per (subject, relation) pair keeps questions
+			// uniquely answerable. When a bare subject is taken, qualify it
+			// with a modifier to mint a fresh, still-unambiguous entity.
+			if seen[key] {
+				subj = modifiers[tr.Intn(len(modifiers))] + " " + subj
+				key = subj + "|" + string(rel)
+			}
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			id := FactID(fmt.Sprintf("fact-%03d-%03d", ti, len(topic.Facts)))
+			f := &Fact{
+				ID: id, Topic: ti, Subject: subj, Relation: rel, Object: obj,
+				// Dose questions are the quantitative class: their stems
+				// and Gy-valued options require numeric reasoning, the
+				// property the Astro math/no-math split keys on.
+				Math: rel == RelDoseOf,
+			}
+			topic.Facts = append(topic.Facts, f)
+			kb.facts[id] = f
+			kb.byRel[rel] = append(kb.byRel[rel], f)
+		}
+		kb.Topics = append(kb.Topics, topic)
+	}
+	for rel, facts := range kb.byRel {
+		distinct := make(map[string]bool)
+		for _, f := range facts {
+			if !distinct[f.Object] {
+				distinct[f.Object] = true
+				kb.objects[rel] = append(kb.objects[rel], f.Object)
+			}
+		}
+	}
+	return kb
+}
+
+func keywordsFor(topic string) []string {
+	words := strings.Fields(strings.ToLower(topic))
+	return append(words, "radiation", "cancer")
+}
+
+// Fact returns the fact with the given id, or nil.
+func (kb *KB) Fact(id FactID) *Fact { return kb.facts[id] }
+
+// NumFacts returns the total fact count.
+func (kb *KB) NumFacts() int { return len(kb.facts) }
+
+// AllFacts returns every fact in stable topic/index order.
+func (kb *KB) AllFacts() []*Fact {
+	var out []*Fact
+	for _, t := range kb.Topics {
+		out = append(out, t.Facts...)
+	}
+	return out
+}
+
+// Distractors returns up to n objects sharing the fact's relation but
+// differing from its correct object — the plausible-but-wrong options of an
+// MCQ. Selection is deterministic given r.
+func (kb *KB) Distractors(f *Fact, n int, r *rng.Source) []string {
+	pool := kb.objects[f.Relation]
+	cand := make([]string, 0, len(pool))
+	for _, o := range pool {
+		if o != f.Object {
+			cand = append(cand, o)
+		}
+	}
+	if len(cand) <= n {
+		out := make([]string, len(cand))
+		copy(out, cand)
+		return out
+	}
+	idx := r.SampleK(len(cand), n)
+	out := make([]string, n)
+	for i, j := range idx {
+		out[i] = cand[j]
+	}
+	return out
+}

@@ -1,0 +1,234 @@
+package embed
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/f16"
+)
+
+func TestDeterministic(t *testing.T) {
+	e1 := NewDefault()
+	e2 := NewDefault()
+	a := e1.Encode("ionizing radiation induces DNA double-strand breaks")
+	b := e2.Encode("ionizing radiation induces DNA double-strand breaks")
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic at dim %d", i)
+		}
+	}
+}
+
+func TestUnitNorm(t *testing.T) {
+	e := NewDefault()
+	v := e.Encode("tumor suppressor p53 activates apoptosis")
+	if n := f16.Norm(v); math.Abs(float64(n-1)) > 1e-5 {
+		t.Fatalf("norm = %v", n)
+	}
+}
+
+func TestEmptyTextZeroVector(t *testing.T) {
+	e := NewDefault()
+	v := e.Encode("")
+	for _, x := range v {
+		if x != 0 {
+			t.Fatal("empty text produced nonzero vector")
+		}
+	}
+}
+
+func TestSimilarTextsCloser(t *testing.T) {
+	e := NewDefault()
+	base := e.Encode("radiation therapy damages tumor cell DNA causing apoptosis")
+	near := e.Encode("radiation treatment damages tumor cell DNA and triggers apoptosis")
+	far := e.Encode("the stock market closed higher on strong quarterly earnings")
+	simNear := f16.Cosine(base, near)
+	simFar := f16.Cosine(base, far)
+	if simNear <= simFar {
+		t.Fatalf("similar text cosine %v <= dissimilar %v", simNear, simFar)
+	}
+	if simNear < 0.5 {
+		t.Fatalf("paraphrase similarity too low: %v", simNear)
+	}
+	if simFar > 0.4 {
+		t.Fatalf("unrelated similarity too high: %v", simFar)
+	}
+}
+
+func TestMorphologicalOverlap(t *testing.T) {
+	// Character n-grams should make inflected forms resemble each other.
+	e := NewDefault()
+	a := e.Encode("irradiated cells")
+	b := e.Encode("irradiation of cells")
+	c := e.Encode("financial quarterly report")
+	if f16.Cosine(a, b) <= f16.Cosine(a, c) {
+		t.Fatalf("morphological variants not closer: %v vs %v",
+			f16.Cosine(a, b), f16.Cosine(a, c))
+	}
+}
+
+func TestWordOrderMatters(t *testing.T) {
+	// Bigram features must distinguish compositions sharing a vocabulary.
+	e := NewDefault()
+	a := e.Encode("dose escalation before surgery improves control")
+	b := e.Encode("surgery before dose escalation improves control")
+	if sim := f16.Cosine(a, b); sim >= 0.9999 {
+		t.Fatalf("word order ignored entirely: cosine %v", sim)
+	}
+}
+
+func TestDimensions(t *testing.T) {
+	for _, dim := range []int{16, 128, 384} {
+		e := New(dim, 1)
+		if got := len(e.Encode("test")); got != dim {
+			t.Fatalf("dim %d produced %d", dim, got)
+		}
+		if e.Dim() != dim {
+			t.Fatalf("Dim() = %d", e.Dim())
+		}
+	}
+}
+
+func TestSeedChangesEmbedding(t *testing.T) {
+	a := New(128, 1).Encode("radiation biology")
+	b := New(128, 2).Encode("radiation biology")
+	if f16.Cosine(a, b) > 0.9 {
+		t.Fatalf("different seeds produce near-identical embeddings: %v", f16.Cosine(a, b))
+	}
+}
+
+func TestEncodeInto(t *testing.T) {
+	e := New(64, 3)
+	dst := make([]float32, 64)
+	e.EncodeInto(dst, "alpha beta")
+	want := e.Encode("alpha beta")
+	for i := range dst {
+		if dst[i] != want[i] {
+			t.Fatal("EncodeInto differs from Encode")
+		}
+	}
+	// Buffer reuse must fully overwrite.
+	e.EncodeInto(dst, "gamma delta")
+	want2 := e.Encode("gamma delta")
+	for i := range dst {
+		if dst[i] != want2[i] {
+			t.Fatal("EncodeInto buffer reuse leaked state")
+		}
+	}
+}
+
+func TestEncodeIntoPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on wrong buffer size")
+		}
+	}()
+	New(64, 0).EncodeInto(make([]float32, 32), "x")
+}
+
+func TestTermFrequencyDamping(t *testing.T) {
+	e := NewDefault()
+	once := e.Encode("apoptosis regulation pathway")
+	spam := e.Encode("apoptosis apoptosis apoptosis apoptosis apoptosis regulation pathway")
+	if sim := f16.Cosine(once, spam); sim < 0.6 {
+		t.Fatalf("repetition dominated embedding: cosine %v", sim)
+	}
+}
+
+func TestPoolMatchesSequential(t *testing.T) {
+	e := NewDefault()
+	texts := make([]string, 37)
+	for i := range texts {
+		texts[i] = fmt.Sprintf("document %d about radiation dose fractionation topic %d", i, i%5)
+	}
+	seq := e.EncodeBatch(texts)
+	par := NewPool(e, 4).EncodeAll(texts)
+	for i := range texts {
+		for j := range seq[i] {
+			if seq[i][j] != par[i][j] {
+				t.Fatalf("pool output differs at text %d dim %d", i, j)
+			}
+		}
+	}
+}
+
+func TestPoolEmptyInput(t *testing.T) {
+	out := NewPool(NewDefault(), 4).EncodeAll(nil)
+	if len(out) != 0 {
+		t.Fatal("empty input gave output")
+	}
+}
+
+func TestPoolF16(t *testing.T) {
+	e := NewDefault()
+	texts := []string{"alpha", "beta gamma", "delta"}
+	halves := NewPool(e, 2).EncodeAllF16(texts)
+	for i, h := range halves {
+		want := f16.Encode(e.Encode(texts[i]))
+		if len(h) != len(want) {
+			t.Fatal("length mismatch")
+		}
+		for j := range h {
+			if h[j] != want[j] {
+				t.Fatalf("f16 pool mismatch text %d dim %d", i, j)
+			}
+		}
+	}
+}
+
+func TestPoolDefaultWorkers(t *testing.T) {
+	p := NewPool(NewDefault(), 0)
+	if p.workers <= 0 {
+		t.Fatal("default workers not positive")
+	}
+}
+
+// Property: any text embeds to either zero (no features) or a unit vector.
+func TestQuickNormInvariant(t *testing.T) {
+	e := New(64, 9)
+	f := func(s string) bool {
+		v := e.Encode(s)
+		n := float64(f16.Norm(v))
+		return n == 0 || math.Abs(n-1) < 1e-4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: cosine self-similarity is 1 for non-empty embeddings.
+func TestQuickSelfSimilarity(t *testing.T) {
+	e := New(64, 10)
+	f := func(a uint32) bool {
+		text := fmt.Sprintf("token%d radiation token%d", a%50, a%13)
+		v := e.Encode(text)
+		return math.Abs(float64(f16.Cosine(v, v))-1) < 1e-5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	e := NewDefault()
+	text := "Ionizing radiation induces double-strand breaks that activate the ATM kinase pathway and p53-mediated apoptosis in tumor cells."
+	b.SetBytes(int64(len(text)))
+	for i := 0; i < b.N; i++ {
+		_ = e.Encode(text)
+	}
+}
+
+func BenchmarkPoolEncode1000(b *testing.B) {
+	e := NewDefault()
+	texts := make([]string, 1000)
+	for i := range texts {
+		texts[i] = fmt.Sprintf("chunk %d of radiation biology text with dose %d Gy and pathway %d", i, i%30, i%7)
+	}
+	p := NewPool(e, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = p.EncodeAll(texts)
+	}
+}

@@ -1,0 +1,99 @@
+package embed
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/f16"
+)
+
+func idfCorpus() []string {
+	docs := make([]string, 40)
+	for i := range docs {
+		// "radiation" and "the" appear everywhere; one rare content term
+		// per document.
+		docs[i] = fmt.Sprintf("the radiation study reports finding rareterm%d in the cohort", i)
+	}
+	return docs
+}
+
+func TestTrainIDFWeights(t *testing.T) {
+	idf := TrainIDF(idfCorpus())
+	common := idf.Weight("radiation")
+	rare := idf.Weight("rareterm7")
+	if rare <= common {
+		t.Fatalf("rare weight %v not above common %v", rare, common)
+	}
+	if idf.Weight("neverseenword") < rare {
+		t.Fatalf("unseen word weight %v below rarest observed %v", idf.Weight("neverseenword"), rare)
+	}
+	if idf.Vocab() == 0 {
+		t.Fatal("empty vocabulary")
+	}
+}
+
+func TestTrainIDFEmptyCorpus(t *testing.T) {
+	idf := TrainIDF(nil)
+	if w := idf.Weight("anything"); w <= 0 {
+		t.Fatalf("degenerate fallback weight %v", w)
+	}
+}
+
+func TestIDFMeanWeightNearOne(t *testing.T) {
+	idf := TrainIDF(idfCorpus())
+	var sum float32
+	var n int
+	for w := range idf.weights {
+		sum += idf.weights[w]
+		n++
+	}
+	mean := sum / float32(n)
+	if mean < 0.95 || mean > 1.05 {
+		t.Fatalf("mean weight %v, want ~1", mean)
+	}
+}
+
+func TestWithIDFSharpensContentMatch(t *testing.T) {
+	// Query shares only boilerplate with doc A but the content term with
+	// doc B; IDF weighting must rank B closer than the uniform encoder
+	// margin.
+	docs := idfCorpus()
+	idf := TrainIDF(docs)
+	plain := NewDefault()
+	weighted := plain.WithIDF(idf)
+
+	query := "rareterm7 effects observed"
+	boiler := "the radiation study reports finding in the cohort"
+	content := docs[7]
+
+	marginPlain := f16.Cosine(plain.Encode(query), plain.Encode(content)) -
+		f16.Cosine(plain.Encode(query), plain.Encode(boiler))
+	marginW := f16.Cosine(weighted.Encode(query), weighted.Encode(content)) -
+		f16.Cosine(weighted.Encode(query), weighted.Encode(boiler))
+	if marginW <= marginPlain {
+		t.Fatalf("IDF did not sharpen content match: margin %v vs %v", marginW, marginPlain)
+	}
+}
+
+func TestWithIDFDoesNotMutateOriginal(t *testing.T) {
+	plain := NewDefault()
+	before := plain.Encode("radiation dose fractionation")
+	_ = plain.WithIDF(TrainIDF(idfCorpus()))
+	after := plain.Encode("radiation dose fractionation")
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatal("WithIDF mutated the base encoder")
+		}
+	}
+}
+
+func TestIDFEncoderDeterministic(t *testing.T) {
+	idf := TrainIDF(idfCorpus())
+	a := NewDefault().WithIDF(idf).Encode("rareterm3 in the cohort")
+	b := NewDefault().WithIDF(idf).Encode("rareterm3 in the cohort")
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("IDF-weighted encoding not deterministic")
+		}
+	}
+}

@@ -1,0 +1,339 @@
+// Package eval is the evaluation harness of the reproduction: it runs every
+// (model × condition) cell of the paper's Tables 2-4, grading with the LLM
+// judge, measuring retrieval utility mechanistically, and rendering the
+// tables and percent-improvement figures (Figures 4-6).
+package eval
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"repro/internal/corpus"
+	"repro/internal/llmsim"
+	"repro/internal/mcq"
+	"repro/internal/pipeline"
+	"repro/internal/rag"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// Setup bundles one benchmark's questions and retrieval stores.
+type Setup struct {
+	KB        *corpus.KB
+	Questions []*mcq.Question
+	Chunks    *rag.ChunkStore
+	Traces    map[mcq.ReasoningMode]*rag.TraceStore
+	Bench     llmsim.Benchmark
+	// K is the retrieval depth (top-k), default 5.
+	K int
+	// SelfExcludeTraces enables the stricter cross-question ablation in
+	// which a question may not retrieve its own distilled trace. The
+	// paper's protocol (and the default) is false; Astro questions have no
+	// own traces so the flag is moot there.
+	SelfExcludeTraces bool
+	// Seed drives answer sampling; fixed seed → bit-identical tables.
+	Seed uint64
+	// Workers bounds parallelism (<=0 → GOMAXPROCS).
+	Workers int
+}
+
+func (s *Setup) k() int {
+	if s.K <= 0 {
+		return 5
+	}
+	return s.K
+}
+
+// retrieved caches one question's retrieval results for one condition so
+// the expensive similarity searches run once, not once per model.
+type retrieved struct {
+	texts  []string
+	chunks []rag.RetrievedChunk
+	traces []rag.RetrievedTrace
+}
+
+// retrieveAll performs the per-question retrieval for a condition, in
+// parallel, preserving question order.
+func (s *Setup) retrieveAll(cond llmsim.Condition) ([]retrieved, error) {
+	return pipeline.Map(context.Background(), s.Questions, s.Workers,
+		func(_ context.Context, q *mcq.Question) (retrieved, error) {
+			switch cond {
+			case llmsim.CondBaseline:
+				return retrieved{}, nil
+			case llmsim.CondChunks:
+				rc := s.Chunks.Retrieve(q.Question, s.k())
+				texts := make([]string, len(rc))
+				for i, c := range rc {
+					texts[i] = c.Chunk.Text
+				}
+				return retrieved{texts: texts, chunks: rc}, nil
+			default:
+				mode, err := condMode(cond)
+				if err != nil {
+					return retrieved{}, err
+				}
+				store, ok := s.Traces[mode]
+				if !ok {
+					return retrieved{}, fmt.Errorf("eval: no trace store for mode %s", mode)
+				}
+				exclude := ""
+				if s.SelfExcludeTraces {
+					exclude = q.ID
+				}
+				rt := store.Retrieve(q.Question, s.k(), exclude)
+				texts := make([]string, len(rt))
+				for i, tr := range rt {
+					texts[i] = tr.Trace.Reasoning
+				}
+				return retrieved{texts: texts, traces: rt}, nil
+			}
+		})
+}
+
+func condMode(c llmsim.Condition) (mcq.ReasoningMode, error) {
+	switch c {
+	case llmsim.CondRTDetail:
+		return mcq.ModeDetailed, nil
+	case llmsim.CondRTFocused:
+		return mcq.ModeFocused, nil
+	case llmsim.CondRTEfficient:
+		return mcq.ModeEfficient, nil
+	}
+	return "", fmt.Errorf("eval: condition %s has no trace mode", c)
+}
+
+// Cell is one (model, condition) result.
+type Cell struct {
+	Model       string
+	Condition   llmsim.Condition
+	Correct     int
+	Total       int
+	Accuracy    float64
+	CI          stats.Interval
+	MeanUtility float64
+	// Unparseable counts replies the judge could not map to an option
+	// (graded incorrect, as in real harnesses).
+	Unparseable int
+	// ByTopic breaks correctness down per sub-domain label (the paper's
+	// §5 plan: "benchmarks … organized by sub-domain"). Questions without
+	// a topic aggregate under "".
+	ByTopic map[string]*TopicCount
+}
+
+// TopicCount is one sub-domain's tally within a cell.
+type TopicCount struct {
+	Correct int
+	Total   int
+}
+
+// Accuracy returns the tally's accuracy (0 when empty).
+func (tc *TopicCount) Accuracy() float64 {
+	if tc.Total == 0 {
+		return 0
+	}
+	return float64(tc.Correct) / float64(tc.Total)
+}
+
+// Row collects one model's cells.
+type Row struct {
+	Model string
+	Cells map[llmsim.Condition]*Cell
+}
+
+// Best returns the best reasoning-trace cell of the row (the paper's Astro
+// tables report "RAG-RTs (best)").
+func (r *Row) Best(conds ...llmsim.Condition) *Cell {
+	if len(conds) == 0 {
+		conds = []llmsim.Condition{llmsim.CondRTDetail, llmsim.CondRTFocused, llmsim.CondRTEfficient}
+	}
+	var best *Cell
+	for _, c := range conds {
+		cell, ok := r.Cells[c]
+		if !ok {
+			continue
+		}
+		if best == nil || cell.Accuracy > best.Accuracy {
+			best = cell
+		}
+	}
+	return best
+}
+
+// Matrix is the full evaluation result for one benchmark.
+type Matrix struct {
+	Bench      llmsim.Benchmark
+	Conditions []llmsim.Condition
+	Rows       []*Row
+}
+
+// Row returns the named model's row, or nil.
+func (m *Matrix) Row(model string) *Row {
+	for _, r := range m.Rows {
+		if r.Model == model {
+			return r
+		}
+	}
+	return nil
+}
+
+// Run evaluates the given profiles under the given conditions. Retrieval is
+// performed once per condition and shared across models; each model sees
+// retrieval through its own context window (truncation drops low-ranked
+// items), and its response probability is driven by the measured utility
+// (DESIGN.md §4).
+func Run(setup *Setup, profiles []*llmsim.Profile, conditions []llmsim.Condition) (*Matrix, error) {
+	if len(setup.Questions) == 0 {
+		return nil, fmt.Errorf("eval: no questions")
+	}
+	matrix := &Matrix{Bench: setup.Bench, Conditions: conditions}
+	judge := llmsim.NewJudge()
+	root := rng.New(setup.Seed)
+
+	// Retrieval per condition, shared by all models.
+	cache := make(map[llmsim.Condition][]retrieved, len(conditions))
+	for _, cond := range conditions {
+		r, err := setup.retrieveAll(cond)
+		if err != nil {
+			return nil, err
+		}
+		cache[cond] = r
+	}
+
+	for _, prof := range profiles {
+		student := llmsim.NewStudent(prof)
+		row := &Row{Model: prof.Name, Cells: make(map[llmsim.Condition]*Cell)}
+		for _, cond := range conditions {
+			if !student.Supports(setup.Bench, cond) {
+				continue
+			}
+			cell, err := runCell(setup, student, judge, cond, cache[cond],
+				root.Split(prof.Name+"|"+string(cond)))
+			if err != nil {
+				return nil, err
+			}
+			row.Cells[cond] = cell
+		}
+		matrix.Rows = append(matrix.Rows, row)
+	}
+	return matrix, nil
+}
+
+// runCell evaluates one model under one condition.
+func runCell(setup *Setup, student *llmsim.Student, judge *llmsim.Judge,
+	cond llmsim.Condition, ret []retrieved, r *rng.Source) (*Cell, error) {
+
+	window := student.Profile.ContextWindow
+	// Pass 1: assemble prompts, measure per-question utility through this
+	// model's window.
+	type prep struct {
+		utility float64
+		prompt  rag.Prompt
+	}
+	preps, err := pipeline.Map(context.Background(), indexRange(len(setup.Questions)), setup.Workers,
+		func(_ context.Context, i int) (prep, error) {
+			q := setup.Questions[i]
+			p := rag.AssemblePrompt(q, ret[i].texts, window)
+			var u float64
+			switch cond {
+			case llmsim.CondBaseline:
+				u = 0
+			case llmsim.CondChunks:
+				u = rag.ChunkUtility(setup.KB, q, ret[i].chunks, p.Retained)
+			default:
+				u = rag.TraceUtility(setup.KB, q, ret[i].traces, p.Retained)
+			}
+			return prep{utility: u, prompt: p}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	// Mean utility per math/no-math subset: the calibrated response rows
+	// differ by subset, so each must be normalised against its own mean
+	// (a shared mean would leak one subset's utility distribution into the
+	// other's response curve).
+	var uSum, uSumMath, uSumPlain float64
+	var nMath, nPlain int
+	for i, p := range preps {
+		uSum += p.utility
+		if setup.Questions[i].Math {
+			uSumMath += p.utility
+			nMath++
+		} else {
+			uSumPlain += p.utility
+			nPlain++
+		}
+	}
+	uMean := uSum / float64(len(preps))
+	uMeanMath, uMeanPlain := uMean, uMean
+	if nMath > 0 {
+		uMeanMath = uSumMath / float64(nMath)
+	}
+	if nPlain > 0 {
+		uMeanPlain = uSumPlain / float64(nPlain)
+	}
+
+	// Pass 2: answer and grade. Sequential RNG keeps runs reproducible
+	// (answering is microseconds per item; retrieval dominated pass 1).
+	cell := &Cell{
+		Model: student.Profile.Name, Condition: cond,
+		Total: len(setup.Questions), ByTopic: make(map[string]*TopicCount),
+	}
+	cell.MeanUtility = uMean
+	for i, q := range setup.Questions {
+		m := uMeanPlain
+		if q.Math {
+			m = uMeanMath
+		}
+		resp := student.Answer(q, setup.Bench, cond, preps[i].utility, m, r)
+		grade := judge.GradeResponse(q, resp.Text)
+		if grade.ParsedChoice < 0 {
+			cell.Unparseable++
+		}
+		tc := cell.ByTopic[q.Topic]
+		if tc == nil {
+			tc = &TopicCount{}
+			cell.ByTopic[q.Topic] = tc
+		}
+		tc.Total++
+		if grade.Correct {
+			cell.Correct++
+			tc.Correct++
+		}
+	}
+	cell.Accuracy = float64(cell.Correct) / float64(cell.Total)
+	cell.CI = stats.WilsonCI(cell.Correct, cell.Total)
+	return cell, nil
+}
+
+func indexRange(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// FilterQuestions returns the subset of a matrix-compatible question list
+// selected by keep.
+func FilterQuestions(qs []*mcq.Question, keep func(*mcq.Question) bool) []*mcq.Question {
+	var out []*mcq.Question
+	for _, q := range qs {
+		if keep(q) {
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// SortedConditions returns the matrix's conditions in canonical table
+// order.
+func SortedConditions(conds []llmsim.Condition) []llmsim.Condition {
+	order := map[llmsim.Condition]int{
+		llmsim.CondBaseline: 0, llmsim.CondChunks: 1,
+		llmsim.CondRTDetail: 2, llmsim.CondRTFocused: 3, llmsim.CondRTEfficient: 4,
+	}
+	out := append([]llmsim.Condition(nil), conds...)
+	sort.Slice(out, func(i, j int) bool { return order[out[i]] < order[out[j]] })
+	return out
+}

@@ -1,0 +1,201 @@
+// Package f16 implements IEEE 754 binary16 (half-precision) conversion and
+// half-precision vector math.
+//
+// The paper stores its 173,318 PubMedBERT chunk embeddings as FP16 (747 MB
+// total) inside FAISS. This package provides the same storage layout for the
+// vector store in internal/vecstore: vectors are held as []uint16 and
+// converted on the fly during similarity computation, halving memory
+// relative to float32 at a small accuracy cost that is irrelevant for top-k
+// retrieval (verified by property tests).
+package f16
+
+import "math"
+
+// FromFloat32 converts a float32 to its nearest binary16 representation
+// (round-to-nearest-even), with overflow mapping to ±Inf and underflow
+// flushing through subnormals to zero.
+func FromFloat32(f float32) uint16 {
+	bits := math.Float32bits(f)
+	sign := uint16(bits>>16) & 0x8000
+	exp := int32(bits>>23&0xFF) - 127 + 15
+	man := bits & 0x7FFFFF
+
+	switch {
+	case exp >= 0x1F:
+		// Overflow, infinity, or NaN.
+		if int32(bits>>23&0xFF) == 0xFF {
+			if man != 0 {
+				return sign | 0x7E00 // NaN (quiet)
+			}
+			return sign | 0x7C00 // Inf
+		}
+		return sign | 0x7C00
+	case exp <= 0:
+		// Subnormal half or zero.
+		if exp < -10 {
+			return sign
+		}
+		man |= 0x800000
+		shift := uint32(14 - exp)
+		half := uint16(man >> shift)
+		// Round to nearest even.
+		rem := man & ((1 << shift) - 1)
+		mid := uint32(1) << (shift - 1)
+		if rem > mid || (rem == mid && half&1 == 1) {
+			half++
+		}
+		return sign | half
+	default:
+		half := sign | uint16(exp)<<10 | uint16(man>>13)
+		rem := man & 0x1FFF
+		if rem > 0x1000 || (rem == 0x1000 && half&1 == 1) {
+			half++
+		}
+		return half
+	}
+}
+
+// ToFloat32 converts a binary16 value to float32 exactly (every half value
+// is representable in single precision).
+func ToFloat32(h uint16) float32 {
+	sign := uint32(h&0x8000) << 16
+	exp := uint32(h >> 10 & 0x1F)
+	man := uint32(h & 0x3FF)
+
+	switch exp {
+	case 0:
+		if man == 0 {
+			return math.Float32frombits(sign)
+		}
+		// Subnormal: normalize.
+		e := uint32(127 - 15 + 1)
+		for man&0x400 == 0 {
+			man <<= 1
+			e--
+		}
+		man &= 0x3FF
+		return math.Float32frombits(sign | e<<23 | man<<13)
+	case 0x1F:
+		if man == 0 {
+			return math.Float32frombits(sign | 0x7F800000)
+		}
+		return math.Float32frombits(sign | 0x7FC00000 | man<<13)
+	default:
+		return math.Float32frombits(sign | (exp+127-15)<<23 | man<<13)
+	}
+}
+
+// Encode converts a float32 slice into a freshly allocated half slice.
+func Encode(v []float32) []uint16 {
+	out := make([]uint16, len(v))
+	for i, f := range v {
+		out[i] = FromFloat32(f)
+	}
+	return out
+}
+
+// Decode converts a half slice into a freshly allocated float32 slice.
+func Decode(h []uint16) []float32 {
+	out := make([]float32, len(h))
+	for i, x := range h {
+		out[i] = ToFloat32(x)
+	}
+	return out
+}
+
+// DecodeInto converts h into dst, which must have the same length.
+func DecodeInto(dst []float32, h []uint16) {
+	if len(dst) != len(h) {
+		panic("f16: DecodeInto length mismatch")
+	}
+	for i, x := range h {
+		dst[i] = ToFloat32(x)
+	}
+}
+
+// Dot returns the inner product of a half-precision stored vector with a
+// float32 query. This is the hot loop of vector search: the query stays in
+// full precision and each stored component is widened once. The loop is
+// manually unrolled by four to keep the widening conversions pipelined.
+func Dot(h []uint16, q []float32) float32 {
+	if len(h) != len(q) {
+		panic("f16: Dot length mismatch")
+	}
+	var s0, s1, s2, s3 float32
+	i := 0
+	for ; i+4 <= len(h); i += 4 {
+		s0 += ToFloat32(h[i]) * q[i]
+		s1 += ToFloat32(h[i+1]) * q[i+1]
+		s2 += ToFloat32(h[i+2]) * q[i+2]
+		s3 += ToFloat32(h[i+3]) * q[i+3]
+	}
+	for ; i < len(h); i++ {
+		s0 += ToFloat32(h[i]) * q[i]
+	}
+	return s0 + s1 + s2 + s3
+}
+
+// DotF32 returns the inner product of two float32 vectors.
+func DotF32(a, b []float32) float32 {
+	if len(a) != len(b) {
+		panic("f16: DotF32 length mismatch")
+	}
+	var s0, s1, s2, s3 float32
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		s0 += a[i] * b[i]
+		s1 += a[i+1] * b[i+1]
+		s2 += a[i+2] * b[i+2]
+		s3 += a[i+3] * b[i+3]
+	}
+	for ; i < len(a); i++ {
+		s0 += a[i] * b[i]
+	}
+	return s0 + s1 + s2 + s3
+}
+
+// Norm returns the Euclidean norm of a float32 vector.
+func Norm(v []float32) float32 {
+	return float32(math.Sqrt(float64(DotF32(v, v))))
+}
+
+// Normalize scales v to unit L2 norm in place. Zero vectors are left
+// untouched (cosine against them is defined as 0 by callers).
+func Normalize(v []float32) {
+	n := Norm(v)
+	if n == 0 {
+		return
+	}
+	inv := 1 / n
+	for i := range v {
+		v[i] *= inv
+	}
+}
+
+// Cosine returns the cosine similarity of two float32 vectors, 0 if either
+// is a zero vector.
+func Cosine(a, b []float32) float32 {
+	na, nb := Norm(a), Norm(b)
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return DotF32(a, b) / (na * nb)
+}
+
+// L2Squared returns the squared Euclidean distance between a stored half
+// vector and a float32 query.
+func L2Squared(h []uint16, q []float32) float32 {
+	if len(h) != len(q) {
+		panic("f16: L2Squared length mismatch")
+	}
+	var s float32
+	for i := range h {
+		d := ToFloat32(h[i]) - q[i]
+		s += d * d
+	}
+	return s
+}
+
+// BytesPerVector reports the storage footprint of one half-precision vector
+// of the given dimension, used for dataset-statistics reporting.
+func BytesPerVector(dim int) int { return 2 * dim }

@@ -1,0 +1,224 @@
+package llmsim
+
+import (
+	"fmt"
+
+	"repro/internal/mcq"
+)
+
+// Condition names the five evaluation settings of the paper's Table 2 (the
+// Astro tables use the first two plus the best reasoning-trace mode).
+type Condition string
+
+const (
+	CondBaseline    Condition = "baseline"
+	CondChunks      Condition = "rag-chunks"
+	CondRTDetail    Condition = "rag-rt-detailed"
+	CondRTFocused   Condition = "rag-rt-focused"
+	CondRTEfficient Condition = "rag-rt-efficient"
+)
+
+// AllConditions lists the synthetic-benchmark conditions in table order.
+var AllConditions = []Condition{CondBaseline, CondChunks, CondRTDetail, CondRTFocused, CondRTEfficient}
+
+// TraceCondition maps a reasoning mode to its evaluation condition.
+func TraceCondition(m mcq.ReasoningMode) Condition {
+	switch m {
+	case mcq.ModeDetailed:
+		return CondRTDetail
+	case mcq.ModeFocused:
+		return CondRTFocused
+	case mcq.ModeEfficient:
+		return CondRTEfficient
+	}
+	panic("llmsim: unknown reasoning mode " + string(m))
+}
+
+// Targets is a per-condition published-accuracy row for one benchmark.
+type Targets map[Condition]float64
+
+// Profile is the behavioural spec of one evaluated model: the roster
+// metadata of the paper's Table 1 plus the accuracy rows of Tables 2-4 that
+// the IRT calibration inverts (see DESIGN.md §4 for why published numbers
+// are the legitimate parameterisation of a simulated model).
+type Profile struct {
+	Name          string
+	Params        string // human-readable parameter count, e.g. "7 B"
+	ParamsB       float64
+	ReleaseYear   int
+	ContextWindow int
+
+	// Synthetic holds the model's Table 2 row.
+	Synthetic Targets
+	// AstroAll and AstroNoMath hold the Table 3 and Table 4 rows; the three
+	// RT modes are spread around the published RT-best with BestMode on top.
+	AstroAll    Targets
+	AstroNoMath Targets
+	// BestMode is the reasoning mode this model peaks on (from Table 2).
+	BestMode mcq.ReasoningMode
+}
+
+// astroRow expands a published (baseline, chunks, rtBest) triple into the
+// five-condition Targets map, ranking the model's BestMode at the published
+// best value and the other two modes slightly below it — the paper reports
+// only the best RT mode for Astro, and §3.1.3 finds inter-mode spread
+// "modest".
+func astroRow(baseline, chunks, rtBest float64, best mcq.ReasoningMode) Targets {
+	t := Targets{
+		CondBaseline: baseline,
+		CondChunks:   chunks,
+	}
+	for _, m := range mcq.AllModes {
+		c := TraceCondition(m)
+		switch {
+		case m == best:
+			t[c] = rtBest
+		case (m == mcq.ModeDetailed) != (best == mcq.ModeDetailed):
+			t[c] = rtBest - 0.020
+		default:
+			t[c] = rtBest - 0.035
+		}
+	}
+	return t
+}
+
+// Profiles returns the paper's eight evaluated SLMs in Table 1/2 order.
+// All numbers are transcribed from the paper (Tables 1-4).
+func Profiles() []*Profile {
+	return []*Profile{
+		{
+			Name: "OLMo-7B", Params: "7 B", ParamsB: 7, ReleaseYear: 2024, ContextWindow: 2048,
+			Synthetic: Targets{
+				CondBaseline: 0.380, CondChunks: 0.443,
+				CondRTDetail: 0.709, CondRTFocused: 0.736, CondRTEfficient: 0.720,
+			},
+			BestMode:    mcq.ModeFocused,
+			AstroAll:    astroRow(0.446, 0.269, 0.563, mcq.ModeFocused),
+			AstroNoMath: astroRow(0.471, 0.238, 0.587, mcq.ModeFocused),
+		},
+		{
+			Name: "TinyLlama-1.1B-Chat", Params: "1.1 B", ParamsB: 1.1, ReleaseYear: 2024, ContextWindow: 2048,
+			Synthetic: Targets{
+				CondBaseline: 0.176, CondChunks: 0.434,
+				CondRTDetail: 0.710, CondRTFocused: 0.699, CondRTEfficient: 0.581,
+			},
+			BestMode:    mcq.ModeDetailed,
+			AstroAll:    astroRow(0.089, 0.263, 0.319, mcq.ModeDetailed),
+			AstroNoMath: astroRow(0.138, 0.259, 0.312, mcq.ModeDetailed),
+		},
+		{
+			Name: "Gemma 3 4B-IT", Params: "4 B", ParamsB: 4, ReleaseYear: 2025, ContextWindow: 128000,
+			Synthetic: Targets{
+				CondBaseline: 0.745, CondChunks: 0.837,
+				CondRTDetail: 0.860, CondRTFocused: 0.878, CondRTEfficient: 0.873,
+			},
+			BestMode:    mcq.ModeFocused,
+			AstroAll:    astroRow(0.484, 0.551, 0.605, mcq.ModeFocused),
+			AstroNoMath: astroRow(0.540, 0.640, 0.804, mcq.ModeFocused),
+		},
+		{
+			Name: "SmolLM3-3B", Params: "3 B", ParamsB: 3, ReleaseYear: 2025, ContextWindow: 32768,
+			Synthetic: Targets{
+				CondBaseline: 0.471, CondChunks: 0.803,
+				CondRTDetail: 0.826, CondRTFocused: 0.854, CondRTEfficient: 0.856,
+			},
+			BestMode:    mcq.ModeEfficient,
+			AstroAll:    astroRow(0.377, 0.706, 0.772, mcq.ModeEfficient),
+			AstroNoMath: astroRow(0.466, 0.751, 0.894, mcq.ModeEfficient),
+		},
+		{
+			Name: "Mistral-7B-Instruct-v0.3", Params: "7 B", ParamsB: 7, ReleaseYear: 2024, ContextWindow: 4096,
+			Synthetic: Targets{
+				CondBaseline: 0.737, CondChunks: 0.839,
+				CondRTDetail: 0.886, CondRTFocused: 0.889, CondRTEfficient: 0.882,
+			},
+			BestMode:    mcq.ModeFocused,
+			AstroAll:    astroRow(0.494, 0.542, 0.575, mcq.ModeFocused),
+			AstroNoMath: astroRow(0.598, 0.614, 0.757, mcq.ModeFocused),
+		},
+		{
+			Name: "Llama-3-8B-Instruct", Params: "8 B", ParamsB: 8, ReleaseYear: 2024, ContextWindow: 8192,
+			Synthetic: Targets{
+				CondBaseline: 0.830, CondChunks: 0.864,
+				CondRTDetail: 0.875, CondRTFocused: 0.892, CondRTEfficient: 0.897,
+			},
+			BestMode:    mcq.ModeEfficient,
+			AstroAll:    astroRow(0.665, 0.674, 0.542, mcq.ModeEfficient),
+			AstroNoMath: astroRow(0.757, 0.730, 0.804, mcq.ModeEfficient),
+		},
+		{
+			Name: "Llama-3.1-8B-Instruct", Params: "8 B", ParamsB: 8, ReleaseYear: 2024, ContextWindow: 32768,
+			Synthetic: Targets{
+				CondBaseline: 0.819, CondChunks: 0.900,
+				CondRTDetail: 0.915, CondRTFocused: 0.902, CondRTEfficient: 0.916,
+			},
+			BestMode:    mcq.ModeEfficient,
+			AstroAll:    astroRow(0.644, 0.704, 0.686, mcq.ModeEfficient),
+			AstroNoMath: astroRow(0.762, 0.783, 0.857, mcq.ModeEfficient),
+		},
+		{
+			Name: "Qwen-1.5-14B-Chat", Params: "14 B", ParamsB: 14, ReleaseYear: 2024, ContextWindow: 32768,
+			Synthetic: Targets{
+				CondBaseline: 0.776, CondChunks: 0.853,
+				CondRTDetail: 0.913, CondRTFocused: 0.908, CondRTEfficient: 0.914,
+			},
+			BestMode:    mcq.ModeEfficient,
+			AstroAll:    astroRow(0.560, 0.587, 0.602, mcq.ModeEfficient),
+			AstroNoMath: astroRow(0.667, 0.667, 0.825, mcq.ModeEfficient),
+		},
+	}
+}
+
+// GPT4AstroBaseline is the GPT-4 comparator's Astro accuracy. The paper
+// states several SLMs with trace retrieval surpass a GPT-4 baseline [its
+// ref. 5] but does not tabulate the number; we fix it between the strongest
+// SLM baselines (see DESIGN.md §5) so the crossover claim is testable.
+const GPT4AstroBaseline = 0.672
+
+// GPT4Profile returns the GPT-4 comparator evaluated baseline-only on the
+// Astro exam.
+func GPT4Profile() *Profile {
+	return &Profile{
+		Name: "GPT-4", Params: "~1.8 T (reported)", ParamsB: 1800, ReleaseYear: 2023,
+		ContextWindow: 8192,
+		AstroAll:      Targets{CondBaseline: GPT4AstroBaseline},
+		AstroNoMath:   Targets{CondBaseline: GPT4AstroBaseline + 0.04},
+		BestMode:      mcq.ModeFocused,
+	}
+}
+
+// ProfileByName returns the evaluated profile with the given name.
+func ProfileByName(name string) (*Profile, error) {
+	for _, p := range Profiles() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("llmsim: unknown model %q", name)
+}
+
+// AstroMathTargets derives the math-subset accuracy row implied by the
+// published all-questions (Table 3) and no-math (Table 4) rows:
+// all = (189·noMath + 146·math)/335, so math = (335·all − 189·noMath)/146.
+// Values are clamped to [0.01, 0.99]; TinyLlama's implied math accuracy is
+// near zero, consistent with the paper's remark that these SLMs lack
+// arithmetic tool use.
+func (p *Profile) AstroMathTargets() Targets {
+	const nAll, nNoMath, nMath = 335.0, 189.0, 146.0
+	out := Targets{}
+	for cond, all := range p.AstroAll {
+		noMath, ok := p.AstroNoMath[cond]
+		if !ok {
+			continue
+		}
+		m := (nAll*all - nNoMath*noMath) / nMath
+		if m < 0.01 {
+			m = 0.01
+		}
+		if m > 0.99 {
+			m = 0.99
+		}
+		out[cond] = m
+	}
+	return out
+}

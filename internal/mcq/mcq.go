@@ -1,0 +1,270 @@
+// Package mcq defines the benchmark data model: the question record of the
+// paper's Figure 2 and the reasoning-trace record of Figure 3, plus
+// validation, quality filtering, and JSONL persistence.
+//
+// Every question retains lineage to the chunk and source file it was
+// generated from (chunk_id + file path), and carries the relevance and
+// quality checks that gate admission to the benchmark (threshold 7/10 in
+// the paper, filtering 173,318 candidates down to 16,680).
+package mcq
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Provenance links a question to its source chunk and document, the
+// lineage block of the paper's Figure 2 schema.
+type Provenance struct {
+	ChunkID  string `json:"chunk_id"`
+	DocID    string `json:"doc_id"`
+	FilePath string `json:"file_path"`
+	// FactID is reproduction-specific ground truth: the knowledge-base fact
+	// the question tests. The paper's pipeline has no such oracle; we carry
+	// it so retrieval quality can be *measured* instead of assumed. It is
+	// never shown to evaluated models.
+	FactID string `json:"fact_id,omitempty"`
+}
+
+// Rubric holds the four per-dimension scores of the paper's quality
+// prompt: "a second prompt evaluates question clarity, accuracy,
+// distractor plausibility, and educational value (score 1-10)".
+type Rubric struct {
+	Clarity     float64 `json:"clarity"`
+	Accuracy    float64 `json:"accuracy"`
+	Distractors float64 `json:"distractor_plausibility"`
+	Educational float64 `json:"educational_value"`
+}
+
+// Overall aggregates the rubric into the admission score (equal weights).
+func (r Rubric) Overall() float64 {
+	return (r.Clarity + r.Accuracy + r.Distractors + r.Educational) / 4
+}
+
+// Checks holds the generation-time quality-control results (Figure 2's
+// relevance and quality checks).
+type Checks struct {
+	Relevant     bool    `json:"relevant"`
+	QualityScore float64 `json:"quality_score"` // 1-10 overall rubric score
+	Rubric       Rubric  `json:"rubric"`
+	JudgeModel   string  `json:"judge_model"`
+	Rationale    string  `json:"rationale,omitempty"`
+}
+
+// Question is one benchmark record (paper Figure 2).
+type Question struct {
+	ID       string     `json:"question_id"`
+	Question string     `json:"question"`
+	Options  []string   `json:"options"`
+	Answer   int        `json:"answer"`          // index into Options
+	Type     string     `json:"type"`            // e.g. "factual", "mechanism", "dose"
+	Topic    string     `json:"topic,omitempty"` // sub-domain label (paper §5)
+	Chunk    string     `json:"original_chunk"`
+	Prov     Provenance `json:"provenance"`
+	Checks   Checks     `json:"checks"`
+	// Math marks questions requiring mathematical reasoning (the Astro
+	// exam's GPT-5 split uses this).
+	Math bool `json:"math"`
+}
+
+// AnswerText returns the correct option string.
+func (q *Question) AnswerText() string {
+	if q.Answer < 0 || q.Answer >= len(q.Options) {
+		return ""
+	}
+	return q.Options[q.Answer]
+}
+
+// Validate checks structural integrity; the generation pipeline rejects
+// invalid records before they reach the benchmark.
+func (q *Question) Validate() error {
+	switch {
+	case q.ID == "":
+		return errors.New("mcq: empty question id")
+	case strings.TrimSpace(q.Question) == "":
+		return fmt.Errorf("mcq: %s: empty question text", q.ID)
+	case len(q.Options) < 2:
+		return fmt.Errorf("mcq: %s: %d options", q.ID, len(q.Options))
+	case q.Answer < 0 || q.Answer >= len(q.Options):
+		return fmt.Errorf("mcq: %s: answer index %d out of range", q.ID, q.Answer)
+	}
+	seen := make(map[string]bool, len(q.Options))
+	for i, o := range q.Options {
+		if strings.TrimSpace(o) == "" {
+			return fmt.Errorf("mcq: %s: option %d empty", q.ID, i)
+		}
+		if seen[o] {
+			return fmt.Errorf("mcq: %s: duplicate option %q", q.ID, o)
+		}
+		seen[o] = true
+	}
+	lower := strings.ToLower(q.Question)
+	for _, banned := range []string{"the text", "the passage", "the excerpt", "according to the chunk"} {
+		if strings.Contains(lower, banned) {
+			return fmt.Errorf("mcq: %s: question references source text", q.ID)
+		}
+	}
+	return nil
+}
+
+// ReasoningMode is one of the three trace styles of the paper's Figure 3.
+type ReasoningMode string
+
+const (
+	// ModeDetailed is option-level analysis of every choice.
+	ModeDetailed ReasoningMode = "detailed"
+	// ModeFocused states the governing principle then eliminates.
+	ModeFocused ReasoningMode = "focused"
+	// ModeEfficient is a compact high-level rationale.
+	ModeEfficient ReasoningMode = "efficient"
+)
+
+// AllModes lists the trace modes in the paper's order.
+var AllModes = []ReasoningMode{ModeDetailed, ModeFocused, ModeEfficient}
+
+// Trace is one reasoning-trace record (paper Figure 3). The paper stores
+// one FAISS database per mode; we mirror that with one vector store per
+// mode keyed by trace id.
+type Trace struct {
+	ID         string        `json:"trace_id"`
+	QuestionID string        `json:"question_id"`
+	Mode       ReasoningMode `json:"mode"`
+	Model      string        `json:"model"` // teacher, e.g. "gpt-4.1-sim"
+	Reasoning  string        `json:"reasoning"`
+	// AnswerExcluded is always true: the teacher's final answer is stripped
+	// to prevent leakage, as the paper's prompt mandates.
+	AnswerExcluded bool `json:"answer_excluded"`
+}
+
+// Validate checks trace integrity, including the leakage guard.
+func (tr *Trace) Validate(answerText string) error {
+	switch {
+	case tr.ID == "":
+		return errors.New("mcq: empty trace id")
+	case tr.QuestionID == "":
+		return fmt.Errorf("mcq: trace %s: no question id", tr.ID)
+	case tr.Mode != ModeDetailed && tr.Mode != ModeFocused && tr.Mode != ModeEfficient:
+		return fmt.Errorf("mcq: trace %s: unknown mode %q", tr.ID, tr.Mode)
+	case strings.TrimSpace(tr.Reasoning) == "":
+		return fmt.Errorf("mcq: trace %s: empty reasoning", tr.ID)
+	case !tr.AnswerExcluded:
+		return fmt.Errorf("mcq: trace %s: answer_excluded not set", tr.ID)
+	}
+	if answerText != "" {
+		low := strings.ToLower(tr.Reasoning)
+		for _, leak := range []string{
+			"the correct answer is " + strings.ToLower(answerText),
+			"answer: " + strings.ToLower(answerText),
+		} {
+			if strings.Contains(low, leak) {
+				return fmt.Errorf("mcq: trace %s: leaks the final answer", tr.ID)
+			}
+		}
+	}
+	return nil
+}
+
+// FilterByQuality returns the questions whose quality score meets the
+// threshold and which pass validation — the paper's 7/10 admission gate.
+func FilterByQuality(qs []*Question, threshold float64) []*Question {
+	out := make([]*Question, 0, len(qs))
+	for _, q := range qs {
+		if q.Checks.QualityScore >= threshold && q.Checks.Relevant && q.Validate() == nil {
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// SaveQuestions writes questions as JSONL (one record per line).
+func SaveQuestions(path string, qs []*Question) error {
+	return saveJSONL(path, len(qs), func(i int) any { return qs[i] })
+}
+
+// LoadQuestions reads a JSONL question file.
+func LoadQuestions(path string) ([]*Question, error) {
+	var out []*Question
+	err := loadJSONL(path, func(line []byte) error {
+		var q Question
+		if err := json.Unmarshal(line, &q); err != nil {
+			return err
+		}
+		out = append(out, &q)
+		return nil
+	})
+	return out, err
+}
+
+// SaveTraces writes traces as JSONL.
+func SaveTraces(path string, trs []*Trace) error {
+	return saveJSONL(path, len(trs), func(i int) any { return trs[i] })
+}
+
+// LoadTraces reads a JSONL trace file.
+func LoadTraces(path string) ([]*Trace, error) {
+	var out []*Trace
+	err := loadJSONL(path, func(line []byte) error {
+		var tr Trace
+		if err := json.Unmarshal(line, &tr); err != nil {
+			return err
+		}
+		out = append(out, &tr)
+		return nil
+	})
+	return out, err
+}
+
+func saveJSONL(path string, n int, record func(int) any) (err error) {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err != nil {
+			os.Remove(tmp)
+		}
+	}()
+	w := bufio.NewWriterSize(f, 1<<20)
+	enc := json.NewEncoder(w)
+	for i := 0; i < n; i++ {
+		if err = enc.Encode(record(i)); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err = w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err = f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+func loadJSONL(path string, each func([]byte) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if err := each([]byte(line)); err != nil {
+			return fmt.Errorf("mcq: %s line %d: %w", path, lineNo, err)
+		}
+	}
+	return sc.Err()
+}

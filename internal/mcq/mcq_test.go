@@ -1,0 +1,266 @@
+package mcq
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func validQuestion() *Question {
+	return &Question{
+		ID:       "q-0001",
+		Question: "Which pathway predominantly repairs double-strand breaks in G1?",
+		Options:  []string{"non-homologous end joining", "homologous recombination", "base excision repair", "mismatch repair", "single-strand annealing", "nucleotide excision repair", "translesion synthesis"},
+		Answer:   0,
+		Type:     "factual",
+		Chunk:    "Double-strand breaks in G1 are predominantly repaired by non-homologous end joining.",
+		Prov: Provenance{
+			ChunkID:  "chunk-abc",
+			DocID:    "paper-000001",
+			FilePath: "corpus/paper-000001.spdf",
+			FactID:   "fact-001-002",
+		},
+		Checks: Checks{Relevant: true, QualityScore: 8.5, JudgeModel: "gpt-4.1-sim"},
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := validQuestion().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateFailures(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Question)
+	}{
+		{"empty id", func(q *Question) { q.ID = "" }},
+		{"empty text", func(q *Question) { q.Question = "  " }},
+		{"one option", func(q *Question) { q.Options = q.Options[:1] }},
+		{"answer out of range", func(q *Question) { q.Answer = 99 }},
+		{"negative answer", func(q *Question) { q.Answer = -1 }},
+		{"empty option", func(q *Question) { q.Options[3] = "" }},
+		{"duplicate option", func(q *Question) { q.Options[1] = q.Options[0] }},
+		{"references text", func(q *Question) { q.Question = "According to the passage, what is X? the text says" }},
+	}
+	for _, tc := range cases {
+		q := validQuestion()
+		tc.mutate(q)
+		if err := q.Validate(); err == nil {
+			t.Errorf("%s: validation passed", tc.name)
+		}
+	}
+}
+
+func TestAnswerText(t *testing.T) {
+	q := validQuestion()
+	if q.AnswerText() != "non-homologous end joining" {
+		t.Fatalf("AnswerText = %q", q.AnswerText())
+	}
+	q.Answer = 42
+	if q.AnswerText() != "" {
+		t.Fatal("out-of-range answer returned text")
+	}
+}
+
+func TestSchemaJSONShape(t *testing.T) {
+	// Golden structural test for the paper's Figure 2 schema: lineage and
+	// quality checks must serialise under the documented keys.
+	data, err := json.Marshal(validQuestion())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"question_id", "question", "options", "answer", "type", "original_chunk", "provenance", "checks"} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("schema missing key %q", key)
+		}
+	}
+	prov := m["provenance"].(map[string]any)
+	for _, key := range []string{"chunk_id", "doc_id", "file_path"} {
+		if _, ok := prov[key]; !ok {
+			t.Errorf("provenance missing %q", key)
+		}
+	}
+	checks := m["checks"].(map[string]any)
+	for _, key := range []string{"relevant", "quality_score", "judge_model"} {
+		if _, ok := checks[key]; !ok {
+			t.Errorf("checks missing %q", key)
+		}
+	}
+}
+
+func validTrace() *Trace {
+	return &Trace{
+		ID:             "tr-q-0001-focused",
+		QuestionID:     "q-0001",
+		Mode:           ModeFocused,
+		Model:          "gpt-4.1-sim",
+		Reasoning:      "The governing principle is cell-cycle dependence of repair pathway choice. Homologous recombination requires a sister chromatid, absent in G1, eliminating it and related options.",
+		AnswerExcluded: true,
+	}
+}
+
+func TestTraceValidateOK(t *testing.T) {
+	if err := validTrace().Validate("non-homologous end joining"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTraceValidateFailures(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Trace)
+	}{
+		{"empty id", func(tr *Trace) { tr.ID = "" }},
+		{"no question", func(tr *Trace) { tr.QuestionID = "" }},
+		{"bad mode", func(tr *Trace) { tr.Mode = "verbose" }},
+		{"empty reasoning", func(tr *Trace) { tr.Reasoning = " " }},
+		{"answer included", func(tr *Trace) { tr.AnswerExcluded = false }},
+		{"leaks answer", func(tr *Trace) {
+			tr.Reasoning = "Clearly the correct answer is non-homologous end joining."
+		}},
+	}
+	for _, tc := range cases {
+		tr := validTrace()
+		tc.mutate(tr)
+		if err := tr.Validate("non-homologous end joining"); err == nil {
+			t.Errorf("%s: validation passed", tc.name)
+		}
+	}
+}
+
+func TestTraceSchemaJSONShape(t *testing.T) {
+	// Golden structural test for Figure 3: the three reasoning modes and
+	// the answer-exclusion flag.
+	data, err := json.Marshal(validTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"trace_id", "question_id", "mode", "model", "reasoning", "answer_excluded"} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("trace schema missing %q", key)
+		}
+	}
+	if len(AllModes) != 3 {
+		t.Fatalf("AllModes = %v", AllModes)
+	}
+}
+
+func TestFilterByQuality(t *testing.T) {
+	qs := []*Question{validQuestion(), validQuestion(), validQuestion(), validQuestion()}
+	qs[0].Checks.QualityScore = 9
+	qs[1].Checks.QualityScore = 6.9 // below threshold
+	qs[2].Checks.QualityScore = 7   // exactly at threshold
+	qs[2].ID = "q-0002"
+	qs[3].Checks.QualityScore = 10
+	qs[3].Checks.Relevant = false // irrelevant
+	got := FilterByQuality(qs, 7)
+	if len(got) != 2 {
+		t.Fatalf("filtered to %d, want 2", len(got))
+	}
+}
+
+func TestFilterRejectsInvalid(t *testing.T) {
+	q := validQuestion()
+	q.Answer = -5
+	got := FilterByQuality([]*Question{q}, 0)
+	if len(got) != 0 {
+		t.Fatal("invalid question passed filter")
+	}
+}
+
+func TestQuestionsJSONLRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "qs.jsonl")
+	qs := []*Question{validQuestion(), validQuestion()}
+	qs[1].ID = "q-0002"
+	qs[1].Math = true
+	if err := SaveQuestions(path, qs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadQuestions(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 {
+		t.Fatalf("loaded %d", len(back))
+	}
+	if back[0].ID != "q-0001" || back[1].ID != "q-0002" {
+		t.Fatal("ids scrambled")
+	}
+	if !back[1].Math {
+		t.Fatal("math flag lost")
+	}
+	if back[0].Prov.ChunkID != "chunk-abc" {
+		t.Fatal("provenance lost")
+	}
+	if back[0].Checks.QualityScore != 8.5 {
+		t.Fatal("checks lost")
+	}
+}
+
+func TestTracesJSONLRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trs.jsonl")
+	trs := []*Trace{validTrace()}
+	if err := SaveTraces(path, trs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadTraces(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1 || back[0].Mode != ModeFocused || !back[0].AnswerExcluded {
+		t.Fatalf("round trip: %+v", back[0])
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := LoadQuestions(filepath.Join(t.TempDir(), "nope.jsonl")); err == nil {
+		t.Fatal("missing file loaded")
+	}
+}
+
+func TestLoadMalformedLine(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.jsonl")
+	content := "{\"question_id\":\"ok\"}\nnot json at all\n"
+	if err := writeFile(path, content); err != nil {
+		t.Fatal(err)
+	}
+	_, err := LoadQuestions(path)
+	if err == nil {
+		t.Fatal("malformed line accepted")
+	}
+	if !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("error lacks line number: %v", err)
+	}
+}
+
+func TestLoadSkipsBlankLines(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "blank.jsonl")
+	if err := writeFile(path, "\n{\"question_id\":\"a\"}\n\n{\"question_id\":\"b\"}\n"); err != nil {
+		t.Fatal(err)
+	}
+	qs, err := LoadQuestions(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 2 {
+		t.Fatalf("loaded %d", len(qs))
+	}
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}

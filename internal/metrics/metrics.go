@@ -1,0 +1,220 @@
+// Package metrics provides the lightweight instrumentation the pipeline
+// binaries report: counters, gauges, and latency histograms with
+// fixed-boundary buckets, all safe for concurrent use and cheap enough for
+// hot paths (atomic counters, lock-only-on-histogram).
+//
+// An HPC generation campaign lives or dies on this accounting — the
+// paper's pipeline tracks per-stage throughput across worker ranks; here
+// the same numbers come from a Registry that stages share.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n (n may be 0; negative n panics).
+func (c *Counter) Add(n int64) {
+	if n < 0 {
+		panic("metrics: negative Counter.Add")
+	}
+	c.v.Add(n)
+}
+
+// Inc increments by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a settable atomic value.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Value returns the stored value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram accumulates duration observations into fixed buckets.
+type Histogram struct {
+	mu      sync.Mutex
+	bounds  []time.Duration // ascending upper bounds; implicit +inf last
+	counts  []int64
+	sum     time.Duration
+	total   int64
+	maxSeen time.Duration
+}
+
+// DefaultBounds covers microseconds to minutes, the range of pipeline item
+// latencies (embedding a chunk to parsing a large document).
+var DefaultBounds = []time.Duration{
+	100 * time.Microsecond, time.Millisecond, 10 * time.Millisecond,
+	100 * time.Millisecond, time.Second, 10 * time.Second, time.Minute,
+}
+
+// NewHistogram returns a histogram with the given ascending bucket bounds
+// (nil selects DefaultBounds).
+func NewHistogram(bounds []time.Duration) *Histogram {
+	if bounds == nil {
+		bounds = DefaultBounds
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("metrics: histogram bounds not ascending")
+		}
+	}
+	return &Histogram{bounds: bounds, counts: make([]int64, len(bounds)+1)}
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := sort.Search(len(h.bounds), func(i int) bool { return d <= h.bounds[i] })
+	h.counts[i]++
+	h.sum += d
+	h.total++
+	if d > h.maxSeen {
+		h.maxSeen = d
+	}
+}
+
+// Time runs fn and observes its duration.
+func (h *Histogram) Time(fn func()) {
+	start := time.Now()
+	fn()
+	h.Observe(time.Since(start))
+}
+
+// Snapshot is a consistent point-in-time view of a histogram.
+type Snapshot struct {
+	Total int64
+	Mean  time.Duration
+	Max   time.Duration
+	// Buckets maps each bound (and +inf as 0) to its cumulative count.
+	Counts []int64
+	Bounds []time.Duration
+}
+
+// Snapshot returns the current state.
+func (h *Histogram) Snapshot() Snapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := Snapshot{Total: h.total, Max: h.maxSeen}
+	if h.total > 0 {
+		s.Mean = h.sum / time.Duration(h.total)
+	}
+	s.Counts = append([]int64(nil), h.counts...)
+	s.Bounds = append([]time.Duration(nil), h.bounds...)
+	return s
+}
+
+// Quantile returns an upper bound for the q-quantile (0 < q <= 1) based on
+// bucket boundaries; the max observed value for the top bucket.
+func (s Snapshot) Quantile(q float64) time.Duration {
+	if s.Total == 0 {
+		return 0
+	}
+	target := int64(q * float64(s.Total))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i, c := range s.Counts {
+		cum += c
+		if cum >= target {
+			if i < len(s.Bounds) {
+				return s.Bounds[i]
+			}
+			return s.Max
+		}
+	}
+	return s.Max
+}
+
+// Registry is a named collection of metrics shared by pipeline stages.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns (creating on first use) the named counter.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating on first use) the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (creating on first use) the named histogram with
+// default bounds.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = NewHistogram(nil)
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Report renders all metrics sorted by name.
+func (r *Registry) Report() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var lines []string
+	for name, c := range r.counters {
+		lines = append(lines, fmt.Sprintf("counter   %-32s %d", name, c.Value()))
+	}
+	for name, g := range r.gauges {
+		lines = append(lines, fmt.Sprintf("gauge     %-32s %d", name, g.Value()))
+	}
+	for name, h := range r.histograms {
+		s := h.Snapshot()
+		lines = append(lines, fmt.Sprintf("histogram %-32s n=%d mean=%s p95≈%s max=%s",
+			name, s.Total, s.Mean.Round(time.Microsecond),
+			s.Quantile(0.95).Round(time.Microsecond), s.Max.Round(time.Microsecond)))
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}

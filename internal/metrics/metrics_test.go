@@ -1,0 +1,171 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("value %d", c.Value())
+	}
+}
+
+func TestCounterNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	var c Counter
+	c.Add(-1)
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 16000 {
+		t.Fatalf("value %d", c.Value())
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(42)
+	g.Set(-7)
+	if g.Value() != -7 {
+		t.Fatalf("value %d", g.Value())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]time.Duration{time.Millisecond, time.Second})
+	h.Observe(100 * time.Microsecond) // bucket 0
+	h.Observe(time.Millisecond)       // bucket 0 (<=)
+	h.Observe(10 * time.Millisecond)  // bucket 1
+	h.Observe(2 * time.Second)        // overflow bucket
+	s := h.Snapshot()
+	if s.Total != 4 {
+		t.Fatalf("total %d", s.Total)
+	}
+	if s.Counts[0] != 2 || s.Counts[1] != 1 || s.Counts[2] != 1 {
+		t.Fatalf("counts %v", s.Counts)
+	}
+	if s.Max != 2*time.Second {
+		t.Fatalf("max %v", s.Max)
+	}
+}
+
+func TestHistogramBoundsValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewHistogram([]time.Duration{time.Second, time.Millisecond})
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram([]time.Duration{time.Millisecond, 10 * time.Millisecond, 100 * time.Millisecond})
+	for i := 0; i < 90; i++ {
+		h.Observe(500 * time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(50 * time.Millisecond)
+	}
+	s := h.Snapshot()
+	if q := s.Quantile(0.5); q != time.Millisecond {
+		t.Fatalf("p50 %v", q)
+	}
+	if q := s.Quantile(0.95); q != 100*time.Millisecond {
+		t.Fatalf("p95 %v", q)
+	}
+	var empty Snapshot
+	if empty.Quantile(0.5) != 0 {
+		t.Fatal("empty quantile nonzero")
+	}
+}
+
+func TestHistogramMean(t *testing.T) {
+	h := NewHistogram(nil)
+	h.Observe(10 * time.Millisecond)
+	h.Observe(30 * time.Millisecond)
+	if mean := h.Snapshot().Mean; mean != 20*time.Millisecond {
+		t.Fatalf("mean %v", mean)
+	}
+}
+
+func TestHistogramTime(t *testing.T) {
+	h := NewHistogram(nil)
+	h.Time(func() { time.Sleep(2 * time.Millisecond) })
+	s := h.Snapshot()
+	if s.Total != 1 || s.Max < time.Millisecond {
+		t.Fatalf("snapshot %+v", s)
+	}
+}
+
+func TestRegistryIdentity(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("a") != r.Counter("a") {
+		t.Fatal("counter identity")
+	}
+	if r.Gauge("g") != r.Gauge("g") {
+		t.Fatal("gauge identity")
+	}
+	if r.Histogram("h") != r.Histogram("h") {
+		t.Fatal("histogram identity")
+	}
+	if r.Counter("a") == r.Counter("b") {
+		t.Fatal("distinct names share counter")
+	}
+}
+
+func TestRegistryConcurrentAccess(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				r.Counter("shared").Inc()
+				r.Histogram("lat").Observe(time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Counter("shared").Value() != 4000 {
+		t.Fatalf("count %d", r.Counter("shared").Value())
+	}
+	if r.Histogram("lat").Snapshot().Total != 4000 {
+		t.Fatal("histogram lost observations")
+	}
+}
+
+func TestRegistryReport(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("items.parsed").Add(10)
+	r.Gauge("queue.depth").Set(3)
+	r.Histogram("parse.latency").Observe(time.Millisecond)
+	rep := r.Report()
+	for _, want := range []string{"items.parsed", "queue.depth", "parse.latency", "n=1"} {
+		if !strings.Contains(rep, want) {
+			t.Fatalf("report missing %q:\n%s", want, rep)
+		}
+	}
+}

@@ -1,0 +1,323 @@
+package pipeline
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Task is one named stage of a workflow DAG.
+type Task struct {
+	Name string
+	// Deps are names of tasks that must complete first.
+	Deps []string
+	// Outputs are artifact paths this task produces; on restart the task is
+	// skipped only if its completion marker and all outputs exist.
+	Outputs []string
+	// Run performs the work.
+	Run func(ctx context.Context) error
+}
+
+// StageMetrics records one task's execution accounting.
+type StageMetrics struct {
+	Name     string
+	Started  time.Time
+	Duration time.Duration
+	Skipped  bool
+	Err      error
+}
+
+// Engine executes a task DAG with bounded parallelism and marker-file
+// checkpointing (the Parsl restart model: completed stages are skipped when
+// their artifacts survive).
+type Engine struct {
+	checkpointDir string // empty disables checkpointing
+	tasks         map[string]*Task
+	order         []string // insertion order, for stable reporting
+
+	mu      sync.Mutex
+	metrics []StageMetrics
+}
+
+// NewEngine returns an engine; checkpointDir may be empty to disable
+// restart markers.
+func NewEngine(checkpointDir string) *Engine {
+	return &Engine{checkpointDir: checkpointDir, tasks: make(map[string]*Task)}
+}
+
+// Add registers a task. Duplicate names are an error.
+func (e *Engine) Add(t *Task) error {
+	if t.Name == "" {
+		return fmt.Errorf("pipeline: task with empty name")
+	}
+	if t.Run == nil {
+		return fmt.Errorf("pipeline: task %q has no Run", t.Name)
+	}
+	if _, dup := e.tasks[t.Name]; dup {
+		return fmt.Errorf("pipeline: duplicate task %q", t.Name)
+	}
+	e.tasks[t.Name] = t
+	e.order = append(e.order, t.Name)
+	return nil
+}
+
+// MustAdd is Add panicking on error, for static DAG construction.
+func (e *Engine) MustAdd(t *Task) {
+	if err := e.Add(t); err != nil {
+		panic(err)
+	}
+}
+
+// markerPath returns the completion marker for a task.
+func (e *Engine) markerPath(name string) string {
+	safe := strings.Map(func(r rune) rune {
+		if r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9' || r == '-' || r == '_' {
+			return r
+		}
+		return '_'
+	}, name)
+	return filepath.Join(e.checkpointDir, safe+".done")
+}
+
+// isComplete reports whether a task can be skipped on restart.
+func (e *Engine) isComplete(t *Task) bool {
+	if e.checkpointDir == "" {
+		return false
+	}
+	if _, err := os.Stat(e.markerPath(t.Name)); err != nil {
+		return false
+	}
+	for _, out := range t.Outputs {
+		if _, err := os.Stat(out); err != nil {
+			return false
+		}
+	}
+	return true
+}
+
+func (e *Engine) markComplete(t *Task) error {
+	if e.checkpointDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(e.checkpointDir, 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(e.markerPath(t.Name), []byte(time.Now().UTC().Format(time.RFC3339)+"\n"), 0o644)
+}
+
+// Reset removes all completion markers, forcing a full re-run.
+func (e *Engine) Reset() error {
+	if e.checkpointDir == "" {
+		return nil
+	}
+	for name := range e.tasks {
+		if err := os.Remove(e.markerPath(name)); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+	}
+	return nil
+}
+
+// Run executes the DAG with at most parallelism concurrent tasks
+// (<= 0 means unbounded). It validates dependencies and rejects cycles.
+// The first task error cancels dispatch of dependents; independent
+// in-flight tasks finish.
+func (e *Engine) Run(ctx context.Context, parallelism int) error {
+	// Validate deps.
+	for _, t := range e.tasks {
+		for _, d := range t.Deps {
+			if _, ok := e.tasks[d]; !ok {
+				return fmt.Errorf("pipeline: task %q depends on unknown %q", t.Name, d)
+			}
+		}
+	}
+	if cycle := e.findCycle(); cycle != "" {
+		return fmt.Errorf("pipeline: dependency cycle involving %q", cycle)
+	}
+
+	type result struct {
+		name string
+		err  error
+	}
+	done := make(map[string]bool, len(e.tasks))
+	running := make(map[string]bool)
+	results := make(chan result)
+	var firstErr error
+	sem := make(chan struct{}, maxInt(parallelism, len(e.tasks)))
+
+	ready := func() []string {
+		var out []string
+		for _, name := range e.order {
+			if done[name] || running[name] {
+				continue
+			}
+			ok := true
+			for _, d := range e.tasks[name].Deps {
+				if !done[d] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				out = append(out, name)
+			}
+		}
+		return out
+	}
+
+	launch := func(name string) {
+		running[name] = true
+		t := e.tasks[name]
+		go func() {
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			m := StageMetrics{Name: name, Started: time.Now()}
+			if e.isComplete(t) {
+				m.Skipped = true
+				e.record(m)
+				results <- result{name, nil}
+				return
+			}
+			err := runTask(ctx, t)
+			m.Duration = time.Since(m.Started)
+			m.Err = err
+			if err == nil {
+				err = e.markComplete(t)
+				m.Err = err
+			}
+			e.record(m)
+			results <- result{name, err}
+		}()
+	}
+
+	for _, name := range ready() {
+		launch(name)
+	}
+	for len(done) < len(e.tasks) {
+		if len(running) == 0 {
+			// No progress possible: either error or blocked dependents.
+			break
+		}
+		res := <-results
+		delete(running, res.name)
+		done[res.name] = true
+		if res.err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("pipeline: task %q: %w", res.name, res.err)
+		}
+		if firstErr == nil && ctx.Err() == nil {
+			for _, name := range ready() {
+				launch(name)
+			}
+		}
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if len(done) < len(e.tasks) {
+		return fmt.Errorf("pipeline: %d task(s) never became runnable", len(e.tasks)-len(done))
+	}
+	return nil
+}
+
+func runTask(ctx context.Context, t *Task) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return t.Run(ctx)
+}
+
+// findCycle returns the name of a task on a dependency cycle, or "".
+func (e *Engine) findCycle() string {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[string]int, len(e.tasks))
+	var visit func(string) string
+	visit = func(n string) string {
+		color[n] = gray
+		for _, d := range e.tasks[n].Deps {
+			switch color[d] {
+			case gray:
+				return d
+			case white:
+				if c := visit(d); c != "" {
+					return c
+				}
+			}
+		}
+		color[n] = black
+		return ""
+	}
+	names := make([]string, 0, len(e.tasks))
+	for n := range e.tasks {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if color[n] == white {
+			if c := visit(n); c != "" {
+				return c
+			}
+		}
+	}
+	return ""
+}
+
+func (e *Engine) record(m StageMetrics) {
+	e.mu.Lock()
+	e.metrics = append(e.metrics, m)
+	e.mu.Unlock()
+}
+
+// Metrics returns a copy of the per-stage execution records in completion
+// order.
+func (e *Engine) Metrics() []StageMetrics {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]StageMetrics, len(e.metrics))
+	copy(out, e.metrics)
+	return out
+}
+
+// Report renders a human-readable stage table (the workflow summary the
+// pipeline binaries print, echoing the paper's Figure 1 DAG).
+func (e *Engine) Report() string {
+	var b strings.Builder
+	b.WriteString("stage                          status      duration\n")
+	for _, m := range e.Metrics() {
+		status := "ok"
+		switch {
+		case m.Skipped:
+			status = "skipped"
+		case m.Err != nil:
+			status = "FAILED"
+		}
+		fmt.Fprintf(&b, "%-30s %-10s %10s\n", m.Name, status, m.Duration.Round(time.Millisecond))
+	}
+	return b.String()
+}
+
+func maxInt(a, b int) int {
+	if a <= 0 {
+		return b
+	}
+	if a > b {
+		return b
+	}
+	return a
+}

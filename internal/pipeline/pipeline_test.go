@@ -1,0 +1,360 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// --- Map / futures ---
+
+func TestMapOrderPreserved(t *testing.T) {
+	items := make([]int, 100)
+	for i := range items {
+		items[i] = i
+	}
+	out, err := Map(context.Background(), items, 8, func(_ context.Context, i int) (int, error) {
+		return i * i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestMapErrorIsolation(t *testing.T) {
+	items := []int{0, 1, 2, 3, 4, 5}
+	out, err := Map(context.Background(), items, 3, func(_ context.Context, i int) (int, error) {
+		if i%2 == 1 {
+			return 0, fmt.Errorf("odd %d", i)
+		}
+		return i * 10, nil
+	})
+	var merr *MapError
+	if !errors.As(err, &merr) {
+		t.Fatalf("error type %T", err)
+	}
+	if len(merr.Failures) != 3 {
+		t.Fatalf("%d failures", len(merr.Failures))
+	}
+	// Successful items are still present.
+	if out[0] != 0 || out[2] != 20 || out[4] != 40 {
+		t.Fatalf("successes lost: %v", out)
+	}
+}
+
+func TestMapPanicIsolation(t *testing.T) {
+	items := []int{1, 2, 3}
+	_, err := Map(context.Background(), items, 2, func(_ context.Context, i int) (int, error) {
+		if i == 2 {
+			panic("boom")
+		}
+		return i, nil
+	})
+	var merr *MapError
+	if !errors.As(err, &merr) {
+		t.Fatalf("panic not converted: %v", err)
+	}
+	if len(merr.Failures) != 1 || !strings.Contains(merr.Failures[1].Error(), "panic") {
+		t.Fatalf("failures: %v", merr.Failures)
+	}
+}
+
+func TestMapCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started int32
+	items := make([]int, 1000)
+	_, err := Map(ctx, items, 2, func(ctx context.Context, i int) (int, error) {
+		if atomic.AddInt32(&started, 1) == 4 {
+			cancel()
+		}
+		time.Sleep(time.Millisecond)
+		return i, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if atomic.LoadInt32(&started) > 100 {
+		t.Fatalf("cancellation did not stop dispatch: %d started", started)
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	out, err := Map(context.Background(), []int(nil), 4, func(_ context.Context, i int) (int, error) { return i, nil })
+	if err != nil || len(out) != 0 {
+		t.Fatalf("out=%v err=%v", out, err)
+	}
+}
+
+func TestForEach(t *testing.T) {
+	var sum int64
+	err := ForEach(context.Background(), []int{1, 2, 3, 4}, 2, func(_ context.Context, i int) error {
+		atomic.AddInt64(&sum, int64(i))
+		return nil
+	})
+	if err != nil || sum != 10 {
+		t.Fatalf("sum=%d err=%v", sum, err)
+	}
+}
+
+func TestFutureResolveOnce(t *testing.T) {
+	f := NewFuture[int]()
+	f.Resolve(1, nil)
+	f.Resolve(2, nil)
+	v, err := f.Get(context.Background())
+	if v != 1 || err != nil {
+		t.Fatalf("v=%d err=%v", v, err)
+	}
+}
+
+func TestFutureContextCancel(t *testing.T) {
+	f := NewFuture[int]()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := f.Get(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestGoPanicBecomesError(t *testing.T) {
+	f := Go(func() (int, error) { panic("kaboom") })
+	_, err := f.Get(context.Background())
+	if err == nil || !strings.Contains(err.Error(), "panic") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// --- Engine / DAG ---
+
+func TestEngineTopologicalOrder(t *testing.T) {
+	e := NewEngine("")
+	var mu sync.Mutex
+	var order []string
+	mk := func(name string, deps ...string) *Task {
+		return &Task{Name: name, Deps: deps, Run: func(context.Context) error {
+			mu.Lock()
+			order = append(order, name)
+			mu.Unlock()
+			return nil
+		}}
+	}
+	e.MustAdd(mk("parse"))
+	e.MustAdd(mk("chunk", "parse"))
+	e.MustAdd(mk("embed", "chunk"))
+	e.MustAdd(mk("generate", "chunk"))
+	e.MustAdd(mk("traces", "generate"))
+	if err := e.Run(context.Background(), 4); err != nil {
+		t.Fatal(err)
+	}
+	pos := map[string]int{}
+	for i, n := range order {
+		pos[n] = i
+	}
+	checks := [][2]string{{"parse", "chunk"}, {"chunk", "embed"}, {"chunk", "generate"}, {"generate", "traces"}}
+	for _, c := range checks {
+		if pos[c[0]] > pos[c[1]] {
+			t.Fatalf("%s ran after %s: %v", c[0], c[1], order)
+		}
+	}
+}
+
+func TestEngineParallelIndependentTasks(t *testing.T) {
+	e := NewEngine("")
+	var concurrent, peak int32
+	for i := 0; i < 4; i++ {
+		name := fmt.Sprintf("t%d", i)
+		e.MustAdd(&Task{Name: name, Run: func(context.Context) error {
+			c := atomic.AddInt32(&concurrent, 1)
+			for {
+				p := atomic.LoadInt32(&peak)
+				if c <= p || atomic.CompareAndSwapInt32(&peak, p, c) {
+					break
+				}
+			}
+			time.Sleep(20 * time.Millisecond)
+			atomic.AddInt32(&concurrent, -1)
+			return nil
+		}})
+	}
+	if err := e.Run(context.Background(), 4); err != nil {
+		t.Fatal(err)
+	}
+	if atomic.LoadInt32(&peak) < 2 {
+		t.Fatalf("independent tasks did not overlap (peak %d)", peak)
+	}
+}
+
+func TestEngineErrorStopsDependents(t *testing.T) {
+	e := NewEngine("")
+	ran := make(map[string]bool)
+	var mu sync.Mutex
+	e.MustAdd(&Task{Name: "a", Run: func(context.Context) error { return errors.New("fail") }})
+	e.MustAdd(&Task{Name: "b", Deps: []string{"a"}, Run: func(context.Context) error {
+		mu.Lock()
+		ran["b"] = true
+		mu.Unlock()
+		return nil
+	}})
+	err := e.Run(context.Background(), 2)
+	if err == nil || !strings.Contains(err.Error(), `task "a"`) {
+		t.Fatalf("err = %v", err)
+	}
+	if ran["b"] {
+		t.Fatal("dependent ran after failure")
+	}
+}
+
+func TestEngineUnknownDep(t *testing.T) {
+	e := NewEngine("")
+	e.MustAdd(&Task{Name: "a", Deps: []string{"ghost"}, Run: func(context.Context) error { return nil }})
+	if err := e.Run(context.Background(), 1); err == nil || !strings.Contains(err.Error(), "unknown") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestEngineCycleDetection(t *testing.T) {
+	e := NewEngine("")
+	e.MustAdd(&Task{Name: "a", Deps: []string{"b"}, Run: func(context.Context) error { return nil }})
+	e.MustAdd(&Task{Name: "b", Deps: []string{"a"}, Run: func(context.Context) error { return nil }})
+	if err := e.Run(context.Background(), 1); err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestEngineDuplicateTask(t *testing.T) {
+	e := NewEngine("")
+	e.MustAdd(&Task{Name: "a", Run: func(context.Context) error { return nil }})
+	if err := e.Add(&Task{Name: "a", Run: func(context.Context) error { return nil }}); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+}
+
+func TestEnginePanicInTask(t *testing.T) {
+	e := NewEngine("")
+	e.MustAdd(&Task{Name: "p", Run: func(context.Context) error { panic("task exploded") }})
+	err := e.Run(context.Background(), 1)
+	if err == nil || !strings.Contains(err.Error(), "panic") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestEngineCheckpointSkip(t *testing.T) {
+	dir := t.TempDir()
+	artifact := filepath.Join(dir, "out.txt")
+	runs := 0
+	mkEngine := func() *Engine {
+		e := NewEngine(filepath.Join(dir, "ckpt"))
+		e.MustAdd(&Task{
+			Name:    "produce",
+			Outputs: []string{artifact},
+			Run: func(context.Context) error {
+				runs++
+				return os.WriteFile(artifact, []byte("data"), 0o644)
+			},
+		})
+		return e
+	}
+	if err := mkEngine().Run(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := mkEngine().Run(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	if runs != 1 {
+		t.Fatalf("task ran %d times, want 1 (checkpoint skip)", runs)
+	}
+}
+
+func TestEngineCheckpointInvalidatedByMissingOutput(t *testing.T) {
+	dir := t.TempDir()
+	artifact := filepath.Join(dir, "out.txt")
+	runs := 0
+	mkEngine := func() *Engine {
+		e := NewEngine(filepath.Join(dir, "ckpt"))
+		e.MustAdd(&Task{
+			Name:    "produce",
+			Outputs: []string{artifact},
+			Run: func(context.Context) error {
+				runs++
+				return os.WriteFile(artifact, []byte("data"), 0o644)
+			},
+		})
+		return e
+	}
+	if err := mkEngine().Run(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	os.Remove(artifact) // artifact lost → must re-run
+	if err := mkEngine().Run(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	if runs != 2 {
+		t.Fatalf("task ran %d times, want 2 after artifact loss", runs)
+	}
+}
+
+func TestEngineReset(t *testing.T) {
+	dir := t.TempDir()
+	runs := 0
+	e := NewEngine(filepath.Join(dir, "ckpt"))
+	e.MustAdd(&Task{Name: "a", Run: func(context.Context) error { runs++; return nil }})
+	if err := e.Run(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	if runs != 2 {
+		t.Fatalf("runs = %d after Reset", runs)
+	}
+}
+
+func TestEngineMetricsAndReport(t *testing.T) {
+	e := NewEngine("")
+	e.MustAdd(&Task{Name: "ok", Run: func(context.Context) error { return nil }})
+	e.MustAdd(&Task{Name: "bad", Run: func(context.Context) error { return errors.New("x") }})
+	_ = e.Run(context.Background(), 2)
+	ms := e.Metrics()
+	if len(ms) != 2 {
+		t.Fatalf("%d metrics", len(ms))
+	}
+	report := e.Report()
+	if !strings.Contains(report, "ok") || !strings.Contains(report, "FAILED") {
+		t.Fatalf("report:\n%s", report)
+	}
+}
+
+func TestEngineContextCancel(t *testing.T) {
+	e := NewEngine("")
+	ctx, cancel := context.WithCancel(context.Background())
+	e.MustAdd(&Task{Name: "a", Run: func(context.Context) error { cancel(); return nil }})
+	e.MustAdd(&Task{Name: "b", Deps: []string{"a"}, Run: func(context.Context) error { return nil }})
+	err := e.Run(ctx, 1)
+	if err == nil {
+		t.Fatal("cancelled run succeeded")
+	}
+}
+
+func BenchmarkMapThroughput(b *testing.B) {
+	items := make([]int, 10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = Map(context.Background(), items, 0, func(_ context.Context, v int) (int, error) {
+			return v + 1, nil
+		})
+	}
+}

@@ -1,0 +1,78 @@
+// Package qc implements benchmark-level quality control beyond the
+// per-question judge: near-duplicate detection over question embeddings.
+//
+// The paper's pipeline generates one candidate per chunk; because the same
+// finding is reported across many papers (and our corpus mirrors that —
+// one knowledge-base fact can surface in many documents), the accepted set
+// contains stems that are identical or nearly so under different chunk
+// provenance. Deduplication keeps the first occurrence (preserving its
+// provenance) and drops later near-duplicates, the standard hygiene step
+// for generated benchmarks.
+package qc
+
+import (
+	"repro/internal/embed"
+	"repro/internal/mcq"
+	"repro/internal/vecstore"
+)
+
+// DedupResult reports what a dedup pass did.
+type DedupResult struct {
+	Kept    []*mcq.Question
+	Dropped []*mcq.Question
+	// DuplicateOf maps each dropped question id to the kept question id it
+	// duplicated.
+	DuplicateOf map[string]string
+}
+
+// Dedup removes near-duplicate questions. A question is a duplicate when
+// its stem embedding has cosine similarity ≥ threshold with an
+// earlier-kept question's stem (0.97 catches identical stems re-generated
+// from different chunks while keeping legitimately related questions about
+// the same entity). The pass is deterministic: input order decides which
+// copy survives.
+func Dedup(questions []*mcq.Question, enc *embed.Encoder, threshold float64) DedupResult {
+	if enc == nil {
+		enc = embed.NewDefault()
+	}
+	res := DedupResult{DuplicateOf: make(map[string]string)}
+	if len(questions) == 0 {
+		return res
+	}
+	index := vecstore.NewFlat(enc.Dim())
+	keptIDs := make([]string, 0, len(questions))
+	for _, q := range questions {
+		vec := enc.Encode(q.Question)
+		dup := ""
+		if index.Len() > 0 {
+			hits := index.Search(vec, 1)
+			if len(hits) == 1 && float64(hits[0].Score) >= threshold {
+				dup = hits[0].Key
+			}
+		}
+		if dup != "" {
+			res.Dropped = append(res.Dropped, q)
+			res.DuplicateOf[q.ID] = dup
+			continue
+		}
+		index.Add(vec, q.ID)
+		keptIDs = append(keptIDs, q.ID)
+		res.Kept = append(res.Kept, q)
+	}
+	return res
+}
+
+// ExactStemDuplicates counts questions sharing a verbatim stem with an
+// earlier question, the lower bound any dedup threshold must remove.
+func ExactStemDuplicates(questions []*mcq.Question) int {
+	seen := make(map[string]bool, len(questions))
+	dups := 0
+	for _, q := range questions {
+		if seen[q.Question] {
+			dups++
+			continue
+		}
+		seen[q.Question] = true
+	}
+	return dups
+}

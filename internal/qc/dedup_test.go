@@ -1,0 +1,116 @@
+package qc
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/mcq"
+)
+
+func q(id, stem string) *mcq.Question {
+	return &mcq.Question{ID: id, Question: stem,
+		Options: []string{"a", "b"}, Answer: 0}
+}
+
+func TestDedupExactDuplicates(t *testing.T) {
+	qs := []*mcq.Question{
+		q("q1", "Which pathway repairs double-strand breaks in G1 phase cells?"),
+		q("q2", "Which pathway repairs double-strand breaks in G1 phase cells?"),
+		q("q3", "What is the typical fractional dose for proton beam therapy?"),
+	}
+	res := Dedup(qs, nil, 0.97)
+	if len(res.Kept) != 2 || len(res.Dropped) != 1 {
+		t.Fatalf("kept %d dropped %d", len(res.Kept), len(res.Dropped))
+	}
+	if res.Kept[0].ID != "q1" {
+		t.Fatal("first occurrence not kept")
+	}
+	if res.DuplicateOf["q2"] != "q1" {
+		t.Fatalf("duplicate map %v", res.DuplicateOf)
+	}
+}
+
+func TestDedupKeepsDistinct(t *testing.T) {
+	qs := []*mcq.Question{
+		q("q1", "Which kinase phosphorylates H2AX after irradiation in mammalian cells?"),
+		q("q2", "What is the established fractional dose for stereotactic lung treatments?"),
+		q("q3", "Which assay quantifies clonogenic survival after exposure?"),
+	}
+	res := Dedup(qs, nil, 0.97)
+	if len(res.Kept) != 3 {
+		t.Fatalf("distinct questions dropped: kept %d", len(res.Kept))
+	}
+}
+
+func TestDedupThresholdLoose(t *testing.T) {
+	// At a loose threshold, paraphrases collapse; at a strict one they
+	// survive.
+	qs := []*mcq.Question{
+		q("q1", "Which of the following is activated by ATM following radiation exposure?"),
+		q("q2", "Which of the following is activated by phosphorylated ATM following radiation exposure?"),
+	}
+	strict := Dedup(qs, nil, 0.995)
+	if len(strict.Kept) != 2 {
+		t.Fatalf("strict threshold merged paraphrases: kept %d", len(strict.Kept))
+	}
+	loose := Dedup(qs, nil, 0.80)
+	if len(loose.Kept) != 1 {
+		t.Fatalf("loose threshold kept %d", len(loose.Kept))
+	}
+}
+
+func TestDedupDeterministic(t *testing.T) {
+	var qs []*mcq.Question
+	for i := 0; i < 30; i++ {
+		qs = append(qs, q(fmt.Sprintf("q%d", i),
+			fmt.Sprintf("Question about topic %d in radiation biology?", i%10)))
+	}
+	a := Dedup(qs, nil, 0.97)
+	b := Dedup(qs, nil, 0.97)
+	if len(a.Kept) != len(b.Kept) {
+		t.Fatal("non-deterministic")
+	}
+	for i := range a.Kept {
+		if a.Kept[i].ID != b.Kept[i].ID {
+			t.Fatal("kept order differs")
+		}
+	}
+	// 10 distinct stems.
+	if len(a.Kept) != 10 {
+		t.Fatalf("kept %d, want 10", len(a.Kept))
+	}
+}
+
+func TestDedupEmpty(t *testing.T) {
+	res := Dedup(nil, nil, 0.97)
+	if len(res.Kept) != 0 || len(res.Dropped) != 0 {
+		t.Fatal("empty input produced output")
+	}
+}
+
+func TestExactStemDuplicates(t *testing.T) {
+	qs := []*mcq.Question{
+		q("q1", "same stem"), q("q2", "same stem"), q("q3", "other"), q("q4", "same stem"),
+	}
+	if got := ExactStemDuplicates(qs); got != 2 {
+		t.Fatalf("exact duplicates %d, want 2", got)
+	}
+	if ExactStemDuplicates(nil) != 0 {
+		t.Fatal("nil input")
+	}
+}
+
+func TestDedupRemovesAllExactDuplicates(t *testing.T) {
+	var qs []*mcq.Question
+	for i := 0; i < 40; i++ {
+		qs = append(qs, q(fmt.Sprintf("q%d", i),
+			fmt.Sprintf("Shared question stem variant %d?", i%7)))
+	}
+	res := Dedup(qs, nil, 0.97)
+	if ExactStemDuplicates(res.Kept) != 0 {
+		t.Fatal("exact duplicates survive dedup")
+	}
+	if len(res.Kept)+len(res.Dropped) != len(qs) {
+		t.Fatal("dedup lost questions")
+	}
+}

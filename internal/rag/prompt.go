@@ -1,0 +1,89 @@
+package rag
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/mcq"
+	"repro/internal/tokenizer"
+)
+
+// Prompt is an assembled evaluation prompt plus accounting of which
+// retrieved items survived the model's context window.
+type Prompt struct {
+	Text string
+	// Included marks, per retrieved item in rank order, whether any part
+	// of the item fit in the window.
+	Included []bool
+	// Retained gives, per item, the fraction of its tokens that made it
+	// into the prompt (1 fully included, 0 dropped, fractional when the
+	// top item was truncated to fit). Utility scales by this — a model
+	// that saw half the relevant chunk gets half the signal. This is how
+	// small-window models (OLMo, TinyLlama at 2,048 tokens) lose part of
+	// their retrieval benefit mechanistically.
+	Retained []float64
+	Tokens   int
+}
+
+// promptOverheadTokens reserves budget for instructions, question, options,
+// and the answer directive.
+const instructionText = "You are answering a multiple-choice question in radiation and cancer biology. " +
+	"Use the provided context if helpful. Reply with 'Answer: <letter>' followed by a brief justification."
+
+// AssemblePrompt builds the evaluation prompt for a question with retrieved
+// context texts (rank order), respecting the model's context window in
+// approximate tokens. The question and options are always included; context
+// items are added greedily by rank until the budget is exhausted, each
+// truncated to fit only if it is the first item (so every model sees at
+// least some context when any was retrieved, as evaluation harnesses do).
+func AssemblePrompt(q *mcq.Question, context []string, window int) Prompt {
+	var b strings.Builder
+	b.WriteString(instructionText)
+	b.WriteString("\n\n")
+
+	var qb strings.Builder
+	qb.WriteString("Question: ")
+	qb.WriteString(q.Question)
+	qb.WriteString("\n")
+	for i, opt := range q.Options {
+		fmt.Fprintf(&qb, "%c) %s\n", rune('A'+i), opt)
+	}
+	qb.WriteString("Answer: ")
+
+	fixed := tokenizer.CountTokens(instructionText) + tokenizer.CountTokens(qb.String()) + 16
+	budget := window - fixed
+	included := make([]bool, len(context))
+	retained := make([]float64, len(context))
+
+	if len(context) > 0 && budget > 0 {
+		b.WriteString("Context:\n")
+		for i, item := range context {
+			itemTokens := tokenizer.CountTokens(item) + 4
+			if itemTokens <= budget {
+				fmt.Fprintf(&b, "[%d] %s\n", i+1, item)
+				budget -= itemTokens
+				included[i] = true
+				retained[i] = 1
+				continue
+			}
+			if i == 0 && budget > 32 {
+				// Truncate the top-ranked item to fit rather than dropping
+				// all context; the model sees (and benefits from) only the
+				// retained fraction.
+				cut := tokenizer.Truncate(item, budget-8)
+				fmt.Fprintf(&b, "[%d] %s\n", i+1, cut)
+				included[i] = true
+				if itemTokens > 0 {
+					retained[i] = float64(tokenizer.CountTokens(cut)) / float64(itemTokens)
+				}
+				budget = 0
+			}
+			// Lower-ranked items that do not fit are dropped (no partial
+			// inclusion) — rank order means they are the least valuable.
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString(qb.String())
+	text := b.String()
+	return Prompt{Text: text, Included: included, Retained: retained, Tokens: tokenizer.CountTokens(text)}
+}

@@ -1,0 +1,251 @@
+// Package rag implements the retrieval-augmented-generation layer: the
+// chunk vector store and the three per-mode reasoning-trace vector stores
+// of the paper's Figure 1, prompt assembly under each model's context
+// window, and the measured retrieval-utility oracle that feeds the
+// simulated students (DESIGN.md §4).
+package rag
+
+import (
+	"fmt"
+
+	"repro/internal/chunk"
+	"repro/internal/embed"
+	"repro/internal/mcq"
+	"repro/internal/vecstore"
+)
+
+// RetrievedChunk is one chunk hit with its similarity score.
+type RetrievedChunk struct {
+	Chunk chunk.Chunk
+	Score float32
+}
+
+// ChunkStore is the paper-derived semantic-chunk retrieval database
+// (PubMedBERT embeddings in FAISS, FP16 — here embed + vecstore).
+type ChunkStore struct {
+	enc   *embed.Encoder
+	index vecstore.Index
+	byKey map[string]chunk.Chunk
+}
+
+// BuildChunkStore embeds all chunks in parallel and indexes them. workers
+// <= 0 selects GOMAXPROCS.
+func BuildChunkStore(enc *embed.Encoder, chunks []chunk.Chunk, workers int) *ChunkStore {
+	if enc == nil {
+		enc = embed.NewDefault()
+	}
+	texts := make([]string, len(chunks))
+	for i, c := range chunks {
+		texts[i] = c.Text
+	}
+	vecs := embed.NewPool(enc, workers).EncodeAll(texts)
+	ix := vecstore.NewFlat(enc.Dim())
+	byKey := make(map[string]chunk.Chunk, len(chunks))
+	for i, c := range chunks {
+		ix.Add(vecs[i], c.ID)
+		byKey[c.ID] = c
+	}
+	return &ChunkStore{enc: enc, index: ix, byKey: byKey}
+}
+
+// WrapChunkStore builds a ChunkStore around an already-populated index
+// (e.g. one reloaded from disk) and the matching chunk records. The index
+// keys must be the chunk ids.
+func WrapChunkStore(enc *embed.Encoder, index vecstore.Index, chunks []chunk.Chunk) *ChunkStore {
+	if enc == nil {
+		enc = embed.NewDefault()
+	}
+	byKey := make(map[string]chunk.Chunk, len(chunks))
+	for _, c := range chunks {
+		byKey[c.ID] = c
+	}
+	return &ChunkStore{enc: enc, index: index, byKey: byKey}
+}
+
+// UseIVF swaps the exact index for a trained IVF index (recall/latency
+// trade-off used at full scale and swept by the ablation bench).
+func (s *ChunkStore) UseIVF(cfg vecstore.IVFConfig) {
+	if flat, ok := s.index.(*vecstore.Flat); ok {
+		s.index = flat.ToIVF(cfg)
+	}
+}
+
+// Len reports the number of stored chunks.
+func (s *ChunkStore) Len() int { return s.index.Len() }
+
+// MemoryBytes reports FP16 vector storage size (the paper quotes 747 MB at
+// full scale).
+func (s *ChunkStore) MemoryBytes() int64 {
+	type sized interface{ MemoryBytes() int64 }
+	if m, ok := s.index.(sized); ok {
+		return m.MemoryBytes()
+	}
+	return 0
+}
+
+// SaveIndex persists the underlying vector index (Flat layout). IVF-backed
+// stores are saved as their flat data and can be re-trained after load.
+func (s *ChunkStore) SaveIndex(path string) error {
+	switch ix := s.index.(type) {
+	case *vecstore.Flat:
+		return ix.Save(path)
+	default:
+		return fmt.Errorf("rag: SaveIndex supports Flat-backed stores only (have %T)", ix)
+	}
+}
+
+// Retrieve returns the top-k chunks for a query text.
+func (s *ChunkStore) Retrieve(query string, k int) []RetrievedChunk {
+	res := s.index.Search(s.enc.Encode(query), k)
+	out := make([]RetrievedChunk, 0, len(res))
+	for _, r := range res {
+		c, ok := s.byKey[r.Key]
+		if !ok {
+			continue
+		}
+		out = append(out, RetrievedChunk{Chunk: c, Score: r.Score})
+	}
+	return out
+}
+
+// Chunk looks a chunk up by id.
+func (s *ChunkStore) Chunk(id string) (chunk.Chunk, bool) {
+	c, ok := s.byKey[id]
+	return c, ok
+}
+
+// RetrievedTrace is one reasoning-trace hit.
+type RetrievedTrace struct {
+	Trace *mcq.Trace
+	// FactID is the ground-truth fact of the trace's source question,
+	// carried for utility measurement (never shown to students).
+	FactID string
+	Score  float32
+}
+
+// TraceStore is one of the paper's three per-mode reasoning-trace retrieval
+// databases.
+type TraceStore struct {
+	mode   mcq.ReasoningMode
+	enc    *embed.Encoder
+	index  vecstore.Index
+	byKey  map[string]*mcq.Trace
+	factOf map[string]string // trace id → fact id of its source question
+}
+
+// BuildTraceStore indexes all traces of one mode. questionFact maps
+// question id → fact id (ground truth for utility measurement); traces of
+// other modes are ignored.
+func BuildTraceStore(enc *embed.Encoder, mode mcq.ReasoningMode, traces []*mcq.Trace, questionFact map[string]string, workers int) *TraceStore {
+	if enc == nil {
+		enc = embed.NewDefault()
+	}
+	var mine []*mcq.Trace
+	for _, tr := range traces {
+		if tr.Mode == mode {
+			mine = append(mine, tr)
+		}
+	}
+	texts := make([]string, len(mine))
+	for i, tr := range mine {
+		texts[i] = tr.Reasoning
+	}
+	vecs := embed.NewPool(enc, workers).EncodeAll(texts)
+	ix := vecstore.NewFlat(enc.Dim())
+	byKey := make(map[string]*mcq.Trace, len(mine))
+	factOf := make(map[string]string, len(mine))
+	for i, tr := range mine {
+		ix.Add(vecs[i], tr.ID)
+		byKey[tr.ID] = tr
+		factOf[tr.ID] = questionFact[tr.QuestionID]
+	}
+	return &TraceStore{mode: mode, enc: enc, index: ix, byKey: byKey, factOf: factOf}
+}
+
+// Mode returns the store's reasoning mode.
+func (s *TraceStore) Mode() mcq.ReasoningMode { return s.mode }
+
+// Len reports the number of stored traces.
+func (s *TraceStore) Len() int { return s.index.Len() }
+
+// Retrieve returns the top-k traces for a query text.
+//
+// In the paper's protocol the trace database holds the teacher's reasoning
+// for the very questions under evaluation (leakage is prevented by
+// excluding the final answer from the trace text, not by hiding the
+// trace), so the synthetic benchmark passes excludeQuestionID == "".
+// A non-empty excludeQuestionID suppresses traces distilled from that
+// question — the stricter cross-question ablation (see the ablation
+// benches), and automatic for the Astro exam whose questions were never
+// distilled.
+func (s *TraceStore) Retrieve(query string, k int, excludeQuestionID string) []RetrievedTrace {
+	// Over-fetch to survive the self-exclusion filter.
+	res := s.index.Search(s.enc.Encode(query), k+2)
+	out := make([]RetrievedTrace, 0, k)
+	for _, r := range res {
+		tr, ok := s.byKey[r.Key]
+		if !ok || tr.QuestionID == excludeQuestionID {
+			continue
+		}
+		out = append(out, RetrievedTrace{Trace: tr, FactID: s.factOf[r.Key], Score: r.Score})
+		if len(out) == k {
+			break
+		}
+	}
+	return out
+}
+
+// SaveIndex persists the trace store's vector index (Flat layout).
+func (s *TraceStore) SaveIndex(path string) error {
+	switch ix := s.index.(type) {
+	case *vecstore.Flat:
+		return ix.Save(path)
+	default:
+		return fmt.Errorf("rag: SaveIndex supports Flat-backed stores only (have %T)", ix)
+	}
+}
+
+// WrapTraceStore rebuilds a TraceStore around a persisted index and the
+// matching trace records (index keys must be trace ids). questionFact is
+// the usual ground-truth map for utility measurement.
+func WrapTraceStore(enc *embed.Encoder, mode mcq.ReasoningMode, index vecstore.Index, traces []*mcq.Trace, questionFact map[string]string) *TraceStore {
+	if enc == nil {
+		enc = embed.NewDefault()
+	}
+	byKey := make(map[string]*mcq.Trace)
+	factOf := make(map[string]string)
+	for _, tr := range traces {
+		if tr.Mode != mode {
+			continue
+		}
+		byKey[tr.ID] = tr
+		factOf[tr.ID] = questionFact[tr.QuestionID]
+	}
+	return &TraceStore{mode: mode, enc: enc, index: index, byKey: byKey, factOf: factOf}
+}
+
+// TraceStores builds all three mode stores at once, as the pipeline does
+// after trace distillation.
+func TraceStores(enc *embed.Encoder, traces []*mcq.Trace, questionFact map[string]string, workers int) map[mcq.ReasoningMode]*TraceStore {
+	out := make(map[mcq.ReasoningMode]*TraceStore, len(mcq.AllModes))
+	for _, m := range mcq.AllModes {
+		out[m] = BuildTraceStore(enc, m, traces, questionFact, workers)
+	}
+	return out
+}
+
+// QuestionFactMap extracts the question→fact ground-truth mapping from a
+// benchmark.
+func QuestionFactMap(questions []*mcq.Question) map[string]string {
+	m := make(map[string]string, len(questions))
+	for _, q := range questions {
+		if q.Prov.FactID != "" {
+			m[q.ID] = q.Prov.FactID
+		}
+	}
+	return m
+}
+
+func (s *TraceStore) String() string {
+	return fmt.Sprintf("TraceStore(%s, %d traces)", s.mode, s.Len())
+}

@@ -1,0 +1,98 @@
+package spdf
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/corpus"
+	"repro/internal/rng"
+)
+
+// Robustness: the parser must never panic and must always return a
+// classified error (or success) no matter how the input is damaged — the
+// property that lets the parallel driver survive a million-file campaign.
+
+func TestParseNeverPanicsOnMutatedInput(t *testing.T) {
+	kb := corpus.Build(42, 15)
+	g := corpus.NewGenerator(kb, 7)
+	clean := Encode(g.GenerateDoc(corpus.FullPaper, 0))
+
+	f := func(seed uint64, nMutations uint8) bool {
+		r := rng.New(seed)
+		data := append([]byte(nil), clean...)
+		n := int(nMutations%32) + 1
+		for i := 0; i < n; i++ {
+			switch r.Intn(4) {
+			case 0: // flip a byte
+				data[r.Intn(len(data))] ^= byte(1 << r.Intn(8))
+			case 1: // truncate
+				if len(data) > 10 {
+					data = data[:r.Intn(len(data))]
+				}
+			case 2: // duplicate a slice
+				if len(data) > 20 {
+					a := r.Intn(len(data) - 10)
+					b := a + r.Intn(10)
+					data = append(data[:b], data[a:]...)
+				}
+			case 3: // zero a region
+				if len(data) > 4 {
+					start := r.Intn(len(data) - 2)
+					for j := start; j < start+2; j++ {
+						data[j] = 0
+					}
+				}
+			}
+			if len(data) == 0 {
+				data = []byte{0}
+			}
+		}
+		p, err := Parse(data)
+		if err != nil {
+			pe, ok := err.(*ParseError)
+			if !ok || pe.Class == ErrNone {
+				return false // unclassified error
+			}
+		}
+		// If parse claims success, the output must be self-consistent.
+		if err == nil && p.Meta.DocID == "" {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseAllNeverPanicsOnMixedGarbage(t *testing.T) {
+	kb := corpus.Build(42, 15)
+	g := corpus.NewGenerator(kb, 7)
+	r := rng.New(55)
+	var payloads [][]byte
+	var names []string
+	for i := 0; i < 40; i++ {
+		d := g.GenerateDoc(corpus.AbstractOnly, i)
+		data := Encode(d)
+		switch i % 4 {
+		case 1:
+			data = data[:len(data)/3]
+		case 2:
+			data = []byte("completely unrelated bytes \x00\x01\x02")
+		case 3:
+			data = Corrupt(data, ErrBadMeta, r)
+		}
+		payloads = append(payloads, data)
+		names = append(names, d.ID)
+	}
+	results, rep := ParseAll(payloads, names, 0)
+	if len(results) != 40 || rep.Total != 40 {
+		t.Fatalf("results %d report %d", len(results), rep.Total)
+	}
+	if rep.OK == 0 {
+		t.Fatal("even clean files failed")
+	}
+	if rep.OK+rep.Salvaged+rep.Failed != rep.Total {
+		t.Fatalf("report does not partition: %+v", rep)
+	}
+}

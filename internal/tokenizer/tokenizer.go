@@ -1,0 +1,224 @@
+// Package tokenizer provides word and sentence tokenization, vocabulary
+// management, and token-budget accounting.
+//
+// The paper's pipeline must respect the small context windows of its
+// evaluated models (2,048 tokens for OLMo-7B and TinyLlama up to 128K for
+// Gemma 3); semantic chunking and RAG prompt assembly both count tokens
+// through this package. Tokenization is whitespace/punctuation based with a
+// deterministic subword fallback so counts are stable across runs.
+package tokenizer
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Token is a single lexical unit with its normalized form.
+type Token struct {
+	Text string // original surface form
+	Norm string // lowercased normalized form used for hashing/matching
+}
+
+// Tokenize splits text into word tokens. Punctuation characters form their
+// own single-rune tokens; alphanumeric runs (including internal hyphens and
+// apostrophes, as in "non-small" or "p53's") stay together.
+func Tokenize(text string) []Token {
+	est := len(text) / 6
+	if est < 8 {
+		est = 8
+	}
+	tokens := make([]Token, 0, est)
+	var b strings.Builder
+	flush := func() {
+		if b.Len() > 0 {
+			t := b.String()
+			tokens = append(tokens, Token{Text: t, Norm: strings.ToLower(t)})
+			b.Reset()
+		}
+	}
+	runes := []rune(text)
+	for i, r := range runes {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r):
+			b.WriteRune(r)
+		case (r == '-' || r == '\'' || r == '.') && b.Len() > 0 && i+1 < len(runes) &&
+			(unicode.IsLetter(runes[i+1]) || unicode.IsDigit(runes[i+1])):
+			// Keep intra-word hyphens, apostrophes, and decimal points:
+			// "non-small", "p53's", "1.8".
+			b.WriteRune(r)
+		case unicode.IsSpace(r):
+			flush()
+		default:
+			flush()
+			tokens = append(tokens, Token{Text: string(r), Norm: string(r)})
+		}
+	}
+	flush()
+	return tokens
+}
+
+// Words returns just the normalized word forms (no punctuation tokens).
+func Words(text string) []string {
+	toks := Tokenize(text)
+	out := make([]string, 0, len(toks))
+	for _, t := range toks {
+		if len(t.Norm) > 0 && (unicode.IsLetter(rune(t.Norm[0])) || unicode.IsDigit(rune(t.Norm[0]))) {
+			out = append(out, t.Norm)
+		}
+	}
+	return out
+}
+
+// CountTokens approximates the LLM token count of text. Real BPE tokenizers
+// emit roughly 1.3 tokens per English word; we apply the same expansion so
+// context-budget math is comparable to the paper's setting.
+func CountTokens(text string) int {
+	n := len(Tokenize(text))
+	return n + n/3
+}
+
+// sentenceEnd reports whether the token at position i in toks terminates a
+// sentence. It guards against splitting at common scientific abbreviations
+// and initials.
+var abbreviations = map[string]bool{
+	"fig": true, "figs": true, "eq": true, "eqs": true, "ref": true,
+	"refs": true, "et": true, "al": true, "e.g": true, "i.e": true,
+	"vs": true, "dr": true, "prof": true, "no": true, "vol": true,
+	"approx": true, "ca": true, "cf": true, "resp": true,
+}
+
+// SplitSentences segments text into sentences. The segmenter is rule-based:
+// it splits on '.', '!', '?' followed by whitespace and an uppercase letter
+// or digit, except after known abbreviations or single-letter initials.
+func SplitSentences(text string) []string {
+	var sentences []string
+	runes := []rune(text)
+	start := 0
+	for i := 0; i < len(runes); i++ {
+		r := runes[i]
+		if r != '.' && r != '!' && r != '?' {
+			continue
+		}
+		// Must be followed by whitespace then uppercase/digit (or EOF).
+		j := i + 1
+		for j < len(runes) && runes[j] == r {
+			j++ // collapse "..." / "?!"
+		}
+		if j < len(runes) && !unicode.IsSpace(runes[j]) {
+			continue
+		}
+		k := j
+		for k < len(runes) && unicode.IsSpace(runes[k]) {
+			k++
+		}
+		if k < len(runes) && !unicode.IsUpper(runes[k]) && !unicode.IsDigit(runes[k]) {
+			continue
+		}
+		if r == '.' {
+			// Check the word preceding the period.
+			w := lastWord(runes[start:i])
+			if abbreviations[strings.ToLower(w)] || len(w) == 1 {
+				continue
+			}
+		}
+		s := strings.TrimSpace(string(runes[start:j]))
+		if s != "" {
+			sentences = append(sentences, s)
+		}
+		start = k
+		i = k - 1
+	}
+	if tail := strings.TrimSpace(string(runes[start:])); tail != "" {
+		sentences = append(sentences, tail)
+	}
+	return sentences
+}
+
+func lastWord(runes []rune) string {
+	end := len(runes)
+	for end > 0 && unicode.IsSpace(runes[end-1]) {
+		end--
+	}
+	start := end
+	for start > 0 && (unicode.IsLetter(runes[start-1]) || runes[start-1] == '.') {
+		start--
+	}
+	return string(runes[start:end])
+}
+
+// NGrams returns the character n-grams of a word padded with boundary
+// markers, the feature unit of the hashing embedder in internal/embed.
+func NGrams(word string, n int) []string {
+	padded := "^" + word + "$"
+	runes := []rune(padded)
+	if len(runes) < n {
+		return []string{string(runes)}
+	}
+	grams := make([]string, 0, len(runes)-n+1)
+	for i := 0; i+n <= len(runes); i++ {
+		grams = append(grams, string(runes[i:i+n]))
+	}
+	return grams
+}
+
+// Vocab is a bidirectional string↔id mapping with frequency counts. It is
+// not safe for concurrent mutation; build once, then share read-only.
+type Vocab struct {
+	ids   map[string]int
+	words []string
+	count []int
+}
+
+// NewVocab returns an empty vocabulary.
+func NewVocab() *Vocab {
+	return &Vocab{ids: make(map[string]int)}
+}
+
+// Add inserts word (or bumps its count) and returns its id.
+func (v *Vocab) Add(word string) int {
+	if id, ok := v.ids[word]; ok {
+		v.count[id]++
+		return id
+	}
+	id := len(v.words)
+	v.ids[word] = id
+	v.words = append(v.words, word)
+	v.count = append(v.count, 1)
+	return id
+}
+
+// ID returns the id of word and whether it is present.
+func (v *Vocab) ID(word string) (int, bool) {
+	id, ok := v.ids[word]
+	return id, ok
+}
+
+// Word returns the surface form for id.
+func (v *Vocab) Word(id int) string { return v.words[id] }
+
+// Count returns the observed frequency of id.
+func (v *Vocab) Count(id int) int { return v.count[id] }
+
+// Len returns the vocabulary size.
+func (v *Vocab) Len() int { return len(v.words) }
+
+// Truncate fits text within maxTokens (approximate LLM tokens), cutting at a
+// word boundary. It returns text unchanged when it already fits. RAG prompt
+// assembly uses this to respect each model's context window.
+func Truncate(text string, maxTokens int) string {
+	if CountTokens(text) <= maxTokens {
+		return text
+	}
+	// Binary search the longest word-prefix that fits.
+	words := strings.Fields(text)
+	lo, hi := 0, len(words)
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if CountTokens(strings.Join(words[:mid], " ")) <= maxTokens {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return strings.Join(words[:lo], " ")
+}

@@ -1,0 +1,182 @@
+package vecstore
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// Conformance suite: every Index implementation must satisfy the same
+// behavioural contract the retrieval layer relies on. Approximate indexes
+// (IVF, HNSW) are configured for exhaustive/high-recall operation here so
+// the contract checks are exact.
+
+type indexFactory struct {
+	name string
+	make func(dim int, vecs [][]float32, keys []string) Index
+}
+
+func factories() []indexFactory {
+	return []indexFactory{
+		{"Flat", func(dim int, vecs [][]float32, keys []string) Index {
+			ix := NewFlat(dim)
+			for i, v := range vecs {
+				ix.Add(v, keys[i])
+			}
+			return ix
+		}},
+		{"IVF-fullprobe", func(dim int, vecs [][]float32, keys []string) Index {
+			ix := NewIVF(IVFConfig{Dim: dim, NList: 8, NProbe: 8, Seed: 1})
+			for i, v := range vecs {
+				ix.Add(v, keys[i])
+			}
+			ix.Train()
+			return ix
+		}},
+		{"HNSW-wide", func(dim int, vecs [][]float32, keys []string) Index {
+			ix := NewHNSW(HNSWConfig{Dim: dim, EfSearch: 256, EfConstruction: 128, Seed: 1})
+			for i, v := range vecs {
+				ix.Add(v, keys[i])
+			}
+			return ix
+		}},
+		{"SQ8", func(dim int, vecs [][]float32, keys []string) Index {
+			ix := NewSQ8(dim)
+			for i, v := range vecs {
+				ix.Add(v, keys[i])
+			}
+			ix.Train()
+			return ix
+		}},
+	}
+}
+
+func conformanceData(n, dim int) ([][]float32, []string) {
+	r := rng.New(777)
+	vecs := randomUnit(r, n, dim)
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%04d", i)
+	}
+	return vecs, keys
+}
+
+func TestConformanceShape(t *testing.T) {
+	vecs, keys := conformanceData(200, 16)
+	for _, f := range factories() {
+		t.Run(f.name, func(t *testing.T) {
+			ix := f.make(16, vecs, keys)
+			if ix.Len() != 200 {
+				t.Fatalf("Len %d", ix.Len())
+			}
+			if ix.Dim() != 16 {
+				t.Fatalf("Dim %d", ix.Dim())
+			}
+		})
+	}
+}
+
+func TestConformanceResultsSortedAndKeyed(t *testing.T) {
+	vecs, keys := conformanceData(200, 16)
+	r := rng.New(778)
+	queries := randomUnit(r, 10, 16)
+	for _, f := range factories() {
+		t.Run(f.name, func(t *testing.T) {
+			ix := f.make(16, vecs, keys)
+			for _, q := range queries {
+				res := ix.Search(q, 7)
+				if len(res) != 7 {
+					t.Fatalf("%d results", len(res))
+				}
+				for i, rr := range res {
+					if i > 0 && rr.Score > res[i-1].Score {
+						t.Fatal("results not descending")
+					}
+					if rr.Key != keys[rr.ID] {
+						t.Fatalf("key mismatch at rank %d", i)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestConformanceSelfRetrieval(t *testing.T) {
+	vecs, keys := conformanceData(200, 16)
+	for _, f := range factories() {
+		t.Run(f.name, func(t *testing.T) {
+			ix := f.make(16, vecs, keys)
+			miss := 0
+			for i := 0; i < len(vecs); i += 9 {
+				res := ix.Search(vecs[i], 1)
+				if len(res) != 1 || res[0].ID != i {
+					miss++
+				}
+			}
+			// SQ8 quantization can flip a handful of near-ties; exact
+			// indexes must not miss at all.
+			limit := 0
+			if f.name == "SQ8" || f.name == "HNSW-wide" {
+				limit = 2
+			}
+			if miss > limit {
+				t.Fatalf("%d self-retrieval misses", miss)
+			}
+		})
+	}
+}
+
+func TestConformanceKZeroAndOversized(t *testing.T) {
+	vecs, keys := conformanceData(50, 8)
+	for _, f := range factories() {
+		t.Run(f.name, func(t *testing.T) {
+			ix := f.make(8, vecs, keys)
+			if res := ix.Search(vecs[0], 0); res != nil {
+				t.Fatal("k=0 returned results")
+			}
+			res := ix.Search(vecs[0], 500)
+			if len(res) == 0 || len(res) > 50 {
+				t.Fatalf("k>n returned %d results", len(res))
+			}
+		})
+	}
+}
+
+func TestConformanceDimMismatchPanics(t *testing.T) {
+	vecs, keys := conformanceData(50, 8)
+	for _, f := range factories() {
+		t.Run(f.name, func(t *testing.T) {
+			ix := f.make(8, vecs, keys)
+			defer func() {
+				if recover() == nil {
+					t.Fatal("no panic on query dim mismatch")
+				}
+			}()
+			ix.Search(make([]float32, 4), 1)
+		})
+	}
+}
+
+func TestConformanceBatchSearch(t *testing.T) {
+	vecs, keys := conformanceData(150, 12)
+	r := rng.New(779)
+	queries := randomUnit(r, 20, 12)
+	for _, f := range factories() {
+		t.Run(f.name, func(t *testing.T) {
+			ix := f.make(12, vecs, keys)
+			batch := BatchSearch(ix, queries, 3, 4)
+			for i, q := range queries {
+				seq := ix.Search(q, 3)
+				if len(batch[i]) != len(seq) {
+					t.Fatal("batch/sequential length mismatch")
+				}
+				for j := range seq {
+					if batch[i][j].ID != seq[j].ID {
+						t.Fatal("batch order differs from sequential")
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,304 @@
+package vecstore
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/f16"
+	"repro/internal/rng"
+)
+
+// HNSW is a hierarchical navigable small-world graph index (the FAISS
+// IndexHNSWFlat equivalent): greedy search descends random-level layers of
+// a proximity graph, giving sub-linear query time without training. Unlike
+// IVF it needs no k-means pass and supports pure incremental construction,
+// which suits the pipeline's streaming ingestion of trace embeddings.
+//
+// Vectors are stored FP16 like the other indexes. Construction is
+// deterministic given the seed.
+type HNSW struct {
+	dim            int
+	m              int // max neighbours per node per layer (level 0 uses 2M)
+	efConstruction int
+	efSearch       int
+	seed           uint64
+
+	vecs   [][]uint16
+	keys   []string
+	levels []int
+	// links[level][node] → neighbour ids. Level 0 holds every node.
+	links []map[int][]int
+	entry int // entry point (highest-level node)
+	maxLv int
+	rand  *rng.Source
+}
+
+// HNSWConfig parameterises graph construction and search.
+type HNSWConfig struct {
+	Dim            int
+	M              int // default 16
+	EfConstruction int // default 64
+	EfSearch       int // default 32
+	Seed           uint64
+}
+
+// NewHNSW returns an empty HNSW index.
+func NewHNSW(cfg HNSWConfig) *HNSW {
+	if cfg.Dim <= 0 {
+		panic("vecstore: non-positive dim")
+	}
+	if cfg.M <= 0 {
+		cfg.M = 16
+	}
+	if cfg.EfConstruction <= 0 {
+		cfg.EfConstruction = 64
+	}
+	if cfg.EfSearch <= 0 {
+		cfg.EfSearch = 32
+	}
+	return &HNSW{
+		dim:            cfg.Dim,
+		m:              cfg.M,
+		efConstruction: cfg.EfConstruction,
+		efSearch:       cfg.EfSearch,
+		seed:           cfg.Seed,
+		entry:          -1,
+		maxLv:          -1,
+		rand:           rng.New(cfg.Seed).Split("hnsw"),
+	}
+}
+
+// SetEfSearch adjusts the search beam width (recall knob).
+func (h *HNSW) SetEfSearch(ef int) {
+	if ef < 1 {
+		ef = 1
+	}
+	h.efSearch = ef
+}
+
+// Len implements Index.
+func (h *HNSW) Len() int { return len(h.vecs) }
+
+// Dim implements Index.
+func (h *HNSW) Dim() int { return h.dim }
+
+// Key returns the metadata key for id.
+func (h *HNSW) Key(id int) string { return h.keys[id] }
+
+// randomLevel draws a node's top layer from the standard geometric
+// distribution with normalisation 1/ln(M).
+func (h *HNSW) randomLevel() int {
+	u := h.rand.Float64()
+	for u == 0 {
+		u = h.rand.Float64()
+	}
+	return int(-math.Log(u) / math.Log(float64(h.m)))
+}
+
+func (h *HNSW) score(id int, q []float32) float32 {
+	return f16.Dot(h.vecs[id], q)
+}
+
+// Add implements Index, inserting the vector into the graph.
+func (h *HNSW) Add(vec []float32, key string) int {
+	if len(vec) != h.dim {
+		panic(fmt.Sprintf("vecstore: Add dim %d to HNSW of dim %d", len(vec), h.dim))
+	}
+	id := len(h.vecs)
+	h.vecs = append(h.vecs, f16.Encode(vec))
+	h.keys = append(h.keys, key)
+	level := h.randomLevel()
+	h.levels = append(h.levels, level)
+	for len(h.links) <= level {
+		h.links = append(h.links, make(map[int][]int))
+	}
+
+	if h.entry < 0 {
+		h.entry, h.maxLv = id, level
+		return id
+	}
+
+	// Greedy descent from the global entry to the insertion level.
+	cur := h.entry
+	for lv := h.maxLv; lv > level; lv-- {
+		cur = h.greedyClosest(vec, cur, lv)
+	}
+	// Insert at each level from min(level, maxLv) down to 0.
+	for lv := min(level, h.maxLv); lv >= 0; lv-- {
+		cands := h.searchLayer(vec, cur, h.efConstruction, lv)
+		neighbours := h.selectNeighbours(cands, h.maxLinks(lv))
+		h.links[lv][id] = neighbours
+		for _, n := range neighbours {
+			h.links[lv][n] = append(h.links[lv][n], id)
+			if cap := h.maxLinks(lv); len(h.links[lv][n]) > cap {
+				h.links[lv][n] = h.pruneNeighbours(n, lv, cap)
+			}
+		}
+		if len(cands) > 0 {
+			cur = cands[0].id
+		}
+	}
+	if level > h.maxLv {
+		h.entry, h.maxLv = id, level
+	}
+	return id
+}
+
+func (h *HNSW) maxLinks(level int) int {
+	if level == 0 {
+		return 2 * h.m
+	}
+	return h.m
+}
+
+type scored struct {
+	id    int
+	score float32
+}
+
+// greedyClosest walks level lv greedily towards the query.
+func (h *HNSW) greedyClosest(q []float32, start, lv int) int {
+	cur := start
+	curScore := h.score(cur, q)
+	for {
+		improved := false
+		for _, n := range h.links[lv][cur] {
+			if s := h.score(n, q); s > curScore {
+				cur, curScore = n, s
+				improved = true
+			}
+		}
+		if !improved {
+			return cur
+		}
+	}
+}
+
+// searchLayer is the beam search of the HNSW paper: returns up to ef
+// candidates on level lv sorted by descending score.
+func (h *HNSW) searchLayer(q []float32, start, ef, lv int) []scored {
+	visited := map[int]bool{start: true}
+	startS := scored{start, h.score(start, q)}
+	// Candidate max-queue and result min-set, both kept as sorted slices
+	// (ef is small; O(ef) insertion is fine and allocation-light).
+	cands := []scored{startS}
+	results := []scored{startS}
+	for len(cands) > 0 {
+		// Pop best candidate.
+		c := cands[0]
+		cands = cands[1:]
+		worst := results[len(results)-1]
+		if c.score < worst.score && len(results) >= ef {
+			break
+		}
+		for _, n := range h.links[lv][c.id] {
+			if visited[n] {
+				continue
+			}
+			visited[n] = true
+			s := scored{n, h.score(n, q)}
+			if len(results) < ef || s.score > results[len(results)-1].score {
+				cands = insertSorted(cands, s)
+				results = insertSorted(results, s)
+				if len(results) > ef {
+					results = results[:ef]
+				}
+			}
+		}
+	}
+	return results
+}
+
+// insertSorted inserts s into a descending-score slice.
+func insertSorted(xs []scored, s scored) []scored {
+	i := sort.Search(len(xs), func(i int) bool { return xs[i].score < s.score })
+	xs = append(xs, scored{})
+	copy(xs[i+1:], xs[i:])
+	xs[i] = s
+	return xs
+}
+
+// selectNeighbours keeps the top-n candidates (simple heuristic).
+func (h *HNSW) selectNeighbours(cands []scored, n int) []int {
+	if len(cands) > n {
+		cands = cands[:n]
+	}
+	out := make([]int, len(cands))
+	for i, c := range cands {
+		out[i] = c.id
+	}
+	return out
+}
+
+// pruneNeighbours re-selects node's best cap links on level lv.
+func (h *HNSW) pruneNeighbours(node, lv, cap int) []int {
+	vec := f16.Decode(h.vecs[node])
+	links := h.links[lv][node]
+	cands := make([]scored, 0, len(links))
+	for _, n := range links {
+		cands = append(cands, scored{n, h.score(n, vec)})
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].score > cands[j].score })
+	return h.selectNeighbours(cands, cap)
+}
+
+// Search implements Index.
+func (h *HNSW) Search(query []float32, k int) []Result {
+	if len(query) != h.dim {
+		panic("vecstore: Search dim mismatch")
+	}
+	if k <= 0 || h.entry < 0 {
+		return nil
+	}
+	cur := h.entry
+	for lv := h.maxLv; lv > 0; lv-- {
+		cur = h.greedyClosest(query, cur, lv)
+	}
+	ef := h.efSearch
+	if ef < k {
+		ef = k
+	}
+	cands := h.searchLayer(query, cur, ef, 0)
+	if len(cands) > k {
+		cands = cands[:k]
+	}
+	out := make([]Result, len(cands))
+	for i, c := range cands {
+		out[i] = Result{ID: c.id, Score: c.score, Key: h.keys[c.id]}
+	}
+	return out
+}
+
+// Recall measures HNSW recall against an exact scan of the same data.
+func (h *HNSW) Recall(queries [][]float32, k int) float64 {
+	if len(queries) == 0 {
+		return 0
+	}
+	flat := NewFlat(h.dim)
+	for id, v := range h.vecs {
+		flat.Add(f16.Decode(v), h.keys[id])
+	}
+	var hits, total int
+	for _, q := range queries {
+		exact := flat.Search(q, k)
+		got := map[int]bool{}
+		for _, r := range h.Search(q, k) {
+			got[r.ID] = true
+		}
+		for _, r := range exact {
+			total++
+			if got[r.ID] {
+				hits++
+			}
+		}
+	}
+	return float64(hits) / float64(total)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,225 @@
+package vecstore
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func buildHNSW(t testing.TB, n, dim int, cfg HNSWConfig) (*HNSW, [][]float32) {
+	t.Helper()
+	cfg.Dim = dim
+	r := rng.New(101)
+	vecs := randomUnit(r, n, dim)
+	h := NewHNSW(cfg)
+	for i, v := range vecs {
+		if id := h.Add(v, ""); id != i {
+			t.Fatalf("id %d, want %d", id, i)
+		}
+	}
+	return h, vecs
+}
+
+func TestHNSWSelfRetrieval(t *testing.T) {
+	h, vecs := buildHNSW(t, 500, 32, HNSWConfig{Seed: 1})
+	hits := 0
+	for i := 0; i < len(vecs); i += 7 {
+		res := h.Search(vecs[i], 1)
+		if len(res) == 1 && res[0].ID == i {
+			hits++
+		}
+	}
+	total := (len(vecs) + 6) / 7
+	if float64(hits)/float64(total) < 0.95 {
+		t.Fatalf("self-retrieval %d/%d", hits, total)
+	}
+}
+
+func TestHNSWRecallHigh(t *testing.T) {
+	h, _ := buildHNSW(t, 800, 32, HNSWConfig{Seed: 2, EfSearch: 64})
+	r := rng.New(103)
+	queries := randomUnit(r, 40, 32)
+	if rec := h.Recall(queries, 5); rec < 0.85 {
+		t.Fatalf("recall@5 = %.3f", rec)
+	}
+}
+
+func TestHNSWRecallImprovesWithEf(t *testing.T) {
+	h, _ := buildHNSW(t, 800, 24, HNSWConfig{Seed: 3})
+	r := rng.New(107)
+	queries := randomUnit(r, 30, 24)
+	h.SetEfSearch(4)
+	low := h.Recall(queries, 5)
+	h.SetEfSearch(128)
+	high := h.Recall(queries, 5)
+	if high < low {
+		t.Fatalf("recall fell with wider beam: %.3f -> %.3f", low, high)
+	}
+	if high < 0.9 {
+		t.Fatalf("ef=128 recall %.3f", high)
+	}
+}
+
+func TestHNSWDeterministic(t *testing.T) {
+	a, _ := buildHNSW(t, 300, 16, HNSWConfig{Seed: 5})
+	b, _ := buildHNSW(t, 300, 16, HNSWConfig{Seed: 5})
+	r := rng.New(109)
+	q := randomUnit(r, 1, 16)[0]
+	ra, rb := a.Search(q, 5), b.Search(q, 5)
+	if len(ra) != len(rb) {
+		t.Fatal("result lengths differ")
+	}
+	for i := range ra {
+		if ra[i].ID != rb[i].ID {
+			t.Fatal("construction not deterministic")
+		}
+	}
+}
+
+func TestHNSWEmptyAndSingle(t *testing.T) {
+	h := NewHNSW(HNSWConfig{Dim: 8, Seed: 1})
+	if res := h.Search(make([]float32, 8), 3); res != nil {
+		t.Fatal("empty index returned results")
+	}
+	v := []float32{1, 0, 0, 0, 0, 0, 0, 0}
+	h.Add(v, "only")
+	res := h.Search(v, 3)
+	if len(res) != 1 || res[0].Key != "only" {
+		t.Fatalf("single-node search: %v", res)
+	}
+}
+
+func TestHNSWKeys(t *testing.T) {
+	h, vecs := buildHNSW(t, 50, 16, HNSWConfig{Seed: 7})
+	_ = vecs
+	if h.Key(10) != "" {
+		t.Fatal("unexpected key")
+	}
+	if h.Len() != 50 || h.Dim() != 16 {
+		t.Fatal("shape accessors")
+	}
+}
+
+func TestHNSWDimMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewHNSW(HNSWConfig{Dim: 8}).Add(make([]float32, 4), "")
+}
+
+// --- SQ8 ---
+
+func buildSQ8(t testing.TB, n, dim int) (*SQ8, [][]float32) {
+	t.Helper()
+	r := rng.New(201)
+	vecs := randomUnit(r, n, dim)
+	ix := NewSQ8(dim)
+	for _, v := range vecs {
+		ix.Add(v, "")
+	}
+	ix.Train()
+	return ix, vecs
+}
+
+func TestSQ8SelfRetrieval(t *testing.T) {
+	ix, vecs := buildSQ8(t, 400, 32)
+	hits := 0
+	for i := 0; i < len(vecs); i += 7 {
+		res := ix.Search(vecs[i], 1)
+		if len(res) == 1 && res[0].ID == i {
+			hits++
+		}
+	}
+	total := (len(vecs) + 6) / 7
+	if float64(hits)/float64(total) < 0.9 {
+		t.Fatalf("self-retrieval %d/%d", hits, total)
+	}
+}
+
+func TestSQ8RecallVsExact(t *testing.T) {
+	ix, vecs := buildSQ8(t, 500, 32)
+	r := rng.New(203)
+	queries := randomUnit(r, 30, 32)
+	if rec := ix.Recall(vecs, queries, 5); rec < 0.8 {
+		t.Fatalf("SQ8 recall@5 = %.3f", rec)
+	}
+}
+
+func TestSQ8MemoryQuarterOfFP16(t *testing.T) {
+	ix, _ := buildSQ8(t, 100, 64)
+	fp16 := int64(100 * 64 * 2)
+	if ix.MemoryBytes() >= fp16 {
+		t.Fatalf("SQ8 %d bytes not below FP16 %d", ix.MemoryBytes(), fp16)
+	}
+}
+
+func TestSQ8Lifecycle(t *testing.T) {
+	ix := NewSQ8(8)
+	ix.Add(make([]float32, 8), "a")
+	if ix.Trained() {
+		t.Fatal("trained before Train")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Search before Train did not panic")
+			}
+		}()
+		ix.Search(make([]float32, 8), 1)
+	}()
+	ix.Train()
+	if !ix.Trained() || ix.Len() != 1 {
+		t.Fatal("train bookkeeping")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Add after Train did not panic")
+			}
+		}()
+		ix.Add(make([]float32, 8), "b")
+	}()
+}
+
+func TestSQ8TrainEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewSQ8(4).Train()
+}
+
+func TestSQ8ConstantDimension(t *testing.T) {
+	// A dimension with zero range must not divide by zero.
+	ix := NewSQ8(2)
+	ix.Add([]float32{1, 0.5}, "a")
+	ix.Add([]float32{1, -0.5}, "b")
+	ix.Train()
+	res := ix.Search([]float32{1, 1}, 2)
+	if len(res) != 2 || res[0].Key != "a" {
+		t.Fatalf("results %v", res)
+	}
+}
+
+func BenchmarkHNSWSearch10k(b *testing.B) {
+	h, _ := buildHNSW(b, 10000, 128, HNSWConfig{Seed: 1})
+	r := rng.New(1)
+	q := randomUnit(r, 1, 128)[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = h.Search(q, 5)
+	}
+}
+
+func BenchmarkSQ8Search10k(b *testing.B) {
+	ix, _ := buildSQ8(b, 10000, 128)
+	r := rng.New(1)
+	q := randomUnit(r, 1, 128)[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ix.Search(q, 5)
+	}
+}

@@ -1,0 +1,146 @@
+package vecstore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Binary persistence for Flat indexes (the chunk and trace stores are saved
+// once by the generation pipeline and loaded by every evaluation run). The
+// format is a little-endian stream:
+//
+//	magic "VSF1" | dim u32 | count u64 |
+//	repeat count: keyLen u32 | key bytes | dim × u16 vector
+//
+// IVF indexes are persisted as their underlying Flat data plus quantizer
+// parameters and rebuilt (retrained deterministically) at load; training is
+// cheap relative to embedding and keeps the format simple and versionable.
+
+var magic = [4]byte{'V', 'S', 'F', '1'}
+
+// ErrBadFormat is returned when a persisted index fails validation.
+var ErrBadFormat = errors.New("vecstore: bad index file format")
+
+// Save writes the index to path atomically (write temp, rename).
+func (ix *Flat) Save(path string) (err error) {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err != nil {
+			os.Remove(tmp)
+		}
+	}()
+	w := bufio.NewWriterSize(f, 1<<20)
+	if err = writeFlat(w, ix); err != nil {
+		f.Close()
+		return err
+	}
+	if err = w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err = f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+func writeFlat(w io.Writer, ix *Flat) error {
+	if _, err := w.Write(magic[:]); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint32(ix.dim)); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint64(len(ix.vecs))); err != nil {
+		return err
+	}
+	for i, v := range ix.vecs {
+		key := []byte(ix.keys[i])
+		if err := binary.Write(w, binary.LittleEndian, uint32(len(key))); err != nil {
+			return err
+		}
+		if _, err := w.Write(key); err != nil {
+			return err
+		}
+		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadFlat reads an index previously written by Save.
+func LoadFlat(path string) (*Flat, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return readFlat(bufio.NewReaderSize(f, 1<<20))
+}
+
+func readFlat(r io.Reader) (*Flat, error) {
+	var m [4]byte
+	if _, err := io.ReadFull(r, m[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	if m != magic {
+		return nil, fmt.Errorf("%w: magic %q", ErrBadFormat, m)
+	}
+	var dim uint32
+	if err := binary.Read(r, binary.LittleEndian, &dim); err != nil {
+		return nil, fmt.Errorf("%w: dim: %v", ErrBadFormat, err)
+	}
+	if dim == 0 || dim > 1<<16 {
+		return nil, fmt.Errorf("%w: implausible dim %d", ErrBadFormat, dim)
+	}
+	var count uint64
+	if err := binary.Read(r, binary.LittleEndian, &count); err != nil {
+		return nil, fmt.Errorf("%w: count: %v", ErrBadFormat, err)
+	}
+	ix := NewFlat(int(dim))
+	ix.vecs = make([][]uint16, 0, count)
+	ix.keys = make([]string, 0, count)
+	for i := uint64(0); i < count; i++ {
+		var klen uint32
+		if err := binary.Read(r, binary.LittleEndian, &klen); err != nil {
+			return nil, fmt.Errorf("%w: key len at %d: %v", ErrBadFormat, i, err)
+		}
+		if klen > 1<<20 {
+			return nil, fmt.Errorf("%w: implausible key length %d", ErrBadFormat, klen)
+		}
+		key := make([]byte, klen)
+		if _, err := io.ReadFull(r, key); err != nil {
+			return nil, fmt.Errorf("%w: key at %d: %v", ErrBadFormat, i, err)
+		}
+		vec := make([]uint16, dim)
+		if err := binary.Read(r, binary.LittleEndian, vec); err != nil {
+			return nil, fmt.Errorf("%w: vector at %d: %v", ErrBadFormat, i, err)
+		}
+		ix.vecs = append(ix.vecs, vec)
+		ix.keys = append(ix.keys, string(key))
+	}
+	return ix, nil
+}
+
+// ToIVF converts a Flat index into a trained IVF index with the given
+// configuration (Dim is taken from the source index).
+func (ix *Flat) ToIVF(cfg IVFConfig) *IVF {
+	cfg.Dim = ix.dim
+	ivf := NewIVF(cfg)
+	for id, h := range ix.vecs {
+		// Transfer FP16 payloads without re-encoding.
+		ivf.vecs = append(ivf.vecs, h)
+		ivf.keys = append(ivf.keys, ix.keys[id])
+	}
+	ivf.Train()
+	return ivf
+}

@@ -1,0 +1,183 @@
+package vecstore
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/f16"
+)
+
+// IVF is an inverted-file index (FAISS IndexIVFFlat equivalent): vectors are
+// partitioned into NList cells by a spherical k-means quantizer; a query
+// scans only the NProbe nearest cells. Recall/latency trade-off is tested in
+// ivf_test.go and swept by the ablation benchmarks.
+type IVF struct {
+	dim    int
+	nprobe int
+	km     *KMeans
+	// Per-cell postings.
+	cells [][]int // vector ids per cell
+	vecs  [][]uint16
+	keys  []string
+	// Pending vectors added before Train; flushed at Train time.
+	trained bool
+}
+
+// IVFConfig parameterises index construction.
+type IVFConfig struct {
+	Dim    int
+	NList  int    // number of cells; 0 → sqrt(n) at Train time
+	NProbe int    // cells scanned per query; 0 → max(1, NList/16)
+	Seed   uint64 // quantizer training seed
+}
+
+// NewIVF returns an untrained IVF index. Vectors may be added before
+// training; Train must be called before Search.
+func NewIVF(cfg IVFConfig) *IVF {
+	if cfg.Dim <= 0 {
+		panic("vecstore: non-positive dim")
+	}
+	return &IVF{
+		dim:    cfg.Dim,
+		nprobe: cfg.NProbe,
+		km:     &KMeans{K: cfg.NList, Seed: cfg.Seed},
+	}
+}
+
+// Add implements Index. Vectors added after training are routed to their
+// cell immediately; before training they are only buffered.
+func (ix *IVF) Add(vec []float32, key string) int {
+	if len(vec) != ix.dim {
+		panic(fmt.Sprintf("vecstore: Add dim %d to IVF of dim %d", len(vec), ix.dim))
+	}
+	id := len(ix.vecs)
+	ix.vecs = append(ix.vecs, f16.Encode(vec))
+	ix.keys = append(ix.keys, key)
+	if ix.trained {
+		c := ix.km.Nearest(vec)
+		ix.cells[c] = append(ix.cells[c], id)
+	}
+	return id
+}
+
+// Train fits the coarse quantizer on all buffered vectors and assigns them
+// to cells. It panics if the index is empty.
+func (ix *IVF) Train() {
+	if len(ix.vecs) == 0 {
+		panic("vecstore: Train on empty IVF")
+	}
+	if ix.km.K <= 0 {
+		ix.km.K = int(math.Sqrt(float64(len(ix.vecs))))
+		if ix.km.K < 1 {
+			ix.km.K = 1
+		}
+	}
+	if ix.km.K > len(ix.vecs) {
+		ix.km.K = len(ix.vecs)
+	}
+	if ix.nprobe <= 0 {
+		ix.nprobe = ix.km.K / 16
+		if ix.nprobe < 1 {
+			ix.nprobe = 1
+		}
+	}
+	full := make([][]float32, len(ix.vecs))
+	for i, h := range ix.vecs {
+		full[i] = f16.Decode(h)
+	}
+	ix.km.Train(full)
+	ix.cells = make([][]int, ix.km.K)
+	for id, v := range full {
+		c := ix.km.Nearest(v)
+		ix.cells[c] = append(ix.cells[c], id)
+	}
+	ix.trained = true
+}
+
+// Trained reports whether the quantizer has been fitted.
+func (ix *IVF) Trained() bool { return ix.trained }
+
+// SetNProbe adjusts the number of cells scanned per query (recall knob).
+func (ix *IVF) SetNProbe(n int) {
+	if n < 1 {
+		n = 1
+	}
+	if ix.trained && n > ix.km.K {
+		n = ix.km.K
+	}
+	ix.nprobe = n
+}
+
+// NProbe returns the current probe count.
+func (ix *IVF) NProbe() int { return ix.nprobe }
+
+// NList returns the number of cells (0 before training when auto-sized).
+func (ix *IVF) NList() int { return ix.km.K }
+
+// Len implements Index.
+func (ix *IVF) Len() int { return len(ix.vecs) }
+
+// Dim implements Index.
+func (ix *IVF) Dim() int { return ix.dim }
+
+// Key returns the metadata key for id.
+func (ix *IVF) Key(id int) string { return ix.keys[id] }
+
+// Search implements Index by probing the nprobe nearest cells.
+func (ix *IVF) Search(query []float32, k int) []Result {
+	if !ix.trained {
+		panic("vecstore: Search on untrained IVF")
+	}
+	if len(query) != ix.dim {
+		panic("vecstore: Search dim mismatch")
+	}
+	if k <= 0 {
+		return nil
+	}
+	probes := ix.km.NearestN(query, ix.nprobe)
+	h := newTopK(k)
+	for _, c := range probes {
+		for _, id := range ix.cells[c] {
+			h.push(id, f16.Dot(ix.vecs[id], query))
+		}
+	}
+	return h.results(ix.keys)
+}
+
+// MemoryBytes reports approximate vector storage size.
+func (ix *IVF) MemoryBytes() int64 {
+	return int64(len(ix.vecs)) * int64(f16.BytesPerVector(ix.dim))
+}
+
+// Recall measures the fraction of exact top-k neighbours (per a Flat scan of
+// the same data) that the IVF search returns, averaged over the queries.
+// Used by tests and the ablation bench to quantify the recall/latency
+// trade-off.
+func (ix *IVF) Recall(queries [][]float32, k int) float64 {
+	if len(queries) == 0 {
+		return 0
+	}
+	flat := NewFlat(ix.dim)
+	for id, h := range ix.vecs {
+		flat.Add(f16.Decode(h), ix.keys[id])
+	}
+	var hits, total int
+	for _, q := range queries {
+		exact := flat.Search(q, k)
+		approx := ix.Search(q, k)
+		got := make(map[int]bool, len(approx))
+		for _, r := range approx {
+			got[r.ID] = true
+		}
+		for _, r := range exact {
+			total++
+			if got[r.ID] {
+				hits++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(hits) / float64(total)
+}

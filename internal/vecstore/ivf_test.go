@@ -1,0 +1,260 @@
+package vecstore
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func writeFile(path string, data []byte) error { return os.WriteFile(path, data, 0o644) }
+func readFile(path string) ([]byte, error)     { return os.ReadFile(path) }
+
+func buildIVF(t testing.TB, n, dim, nlist, nprobe int) (*IVF, [][]float32) {
+	t.Helper()
+	r := rng.New(11)
+	vecs := randomUnit(r, n, dim)
+	ix := NewIVF(IVFConfig{Dim: dim, NList: nlist, NProbe: nprobe, Seed: 1})
+	for _, v := range vecs {
+		ix.Add(v, "")
+	}
+	ix.Train()
+	return ix, vecs
+}
+
+func TestIVFSelfRetrievalHighRecall(t *testing.T) {
+	ix, vecs := buildIVF(t, 500, 32, 16, 4)
+	hits := 0
+	for i := 0; i < len(vecs); i += 7 {
+		res := ix.Search(vecs[i], 1)
+		if len(res) == 1 && res[0].ID == i {
+			hits++
+		}
+	}
+	total := (len(vecs) + 6) / 7
+	if float64(hits)/float64(total) < 0.9 {
+		t.Fatalf("self-retrieval recall %d/%d too low", hits, total)
+	}
+}
+
+func TestIVFRecallIncreasesWithNProbe(t *testing.T) {
+	ix, _ := buildIVF(t, 800, 32, 20, 1)
+	r := rng.New(13)
+	queries := randomUnit(r, 30, 32)
+	ix.SetNProbe(1)
+	r1 := ix.Recall(queries, 5)
+	ix.SetNProbe(20)
+	rAll := ix.Recall(queries, 5)
+	if rAll < 0.999 {
+		t.Fatalf("nprobe=nlist recall %v, want ~1", rAll)
+	}
+	if r1 > rAll {
+		t.Fatalf("recall decreased with more probes: %v > %v", r1, rAll)
+	}
+}
+
+func TestIVFFullProbeMatchesFlat(t *testing.T) {
+	ix, vecs := buildIVF(t, 300, 24, 10, 10)
+	flat := NewFlat(24)
+	for _, v := range vecs {
+		flat.Add(v, "")
+	}
+	r := rng.New(17)
+	for trial := 0; trial < 10; trial++ {
+		q := randomUnit(r, 1, 24)[0]
+		a := ix.Search(q, 5)
+		b := flat.Search(q, 5)
+		for i := range b {
+			if a[i].ID != b[i].ID {
+				t.Fatalf("trial %d rank %d: IVF %d vs Flat %d", trial, i, a[i].ID, b[i].ID)
+			}
+		}
+	}
+}
+
+func TestIVFAutoNListAndNProbe(t *testing.T) {
+	r := rng.New(19)
+	ix := NewIVF(IVFConfig{Dim: 16, Seed: 2})
+	for _, v := range randomUnit(r, 400, 16) {
+		ix.Add(v, "")
+	}
+	ix.Train()
+	if ix.NList() != 20 { // sqrt(400)
+		t.Fatalf("auto NList = %d, want 20", ix.NList())
+	}
+	if ix.NProbe() < 1 {
+		t.Fatalf("auto NProbe = %d", ix.NProbe())
+	}
+}
+
+func TestIVFAddAfterTrain(t *testing.T) {
+	ix, _ := buildIVF(t, 200, 16, 8, 8)
+	r := rng.New(23)
+	v := randomUnit(r, 1, 16)[0]
+	id := ix.Add(v, "late")
+	res := ix.Search(v, 1)
+	if res[0].ID != id || res[0].Key != "late" {
+		t.Fatalf("late-added vector not retrievable: %+v", res[0])
+	}
+}
+
+func TestIVFSearchUntrainedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	ix := NewIVF(IVFConfig{Dim: 8})
+	ix.Add(make([]float32, 8), "")
+	ix.Search(make([]float32, 8), 1)
+}
+
+func TestIVFTrainEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewIVF(IVFConfig{Dim: 8}).Train()
+}
+
+func TestIVFDeterministicTraining(t *testing.T) {
+	a, _ := buildIVF(t, 300, 16, 10, 3)
+	b, _ := buildIVF(t, 300, 16, 10, 3)
+	r := rng.New(29)
+	q := randomUnit(r, 1, 16)[0]
+	ra := a.Search(q, 5)
+	rb := b.Search(q, 5)
+	for i := range ra {
+		if ra[i].ID != rb[i].ID {
+			t.Fatal("IVF training not deterministic")
+		}
+	}
+}
+
+func TestFlatToIVF(t *testing.T) {
+	r := rng.New(31)
+	flat := NewFlat(16)
+	vecs := randomUnit(r, 250, 16)
+	for i, v := range vecs {
+		flat.Add(v, "k"+string(rune('a'+i%26)))
+	}
+	ivf := flat.ToIVF(IVFConfig{NList: 8, NProbe: 8, Seed: 3})
+	if ivf.Len() != flat.Len() {
+		t.Fatalf("ToIVF lost vectors: %d vs %d", ivf.Len(), flat.Len())
+	}
+	q := randomUnit(r, 1, 16)[0]
+	a := flat.Search(q, 3)
+	b := ivf.Search(q, 3)
+	for i := range a {
+		if a[i].ID != b[i].ID || a[i].Key != b[i].Key {
+			t.Fatalf("ToIVF full-probe mismatch at %d", i)
+		}
+	}
+}
+
+func TestKMeansClusterSeparation(t *testing.T) {
+	// Two well-separated blobs must end in distinct clusters.
+	r := rng.New(37)
+	const dim = 8
+	var vecs [][]float32
+	for i := 0; i < 100; i++ {
+		v := make([]float32, dim)
+		v[0] = 1 + float32(r.Normal(0, 0.05))
+		vecs = append(vecs, unit(v))
+	}
+	for i := 0; i < 100; i++ {
+		v := make([]float32, dim)
+		v[1] = 1 + float32(r.Normal(0, 0.05))
+		vecs = append(vecs, unit(v))
+	}
+	km := &KMeans{K: 2, Seed: 5}
+	km.Train(vecs)
+	c0 := km.Nearest(vecs[0])
+	for i := 1; i < 100; i++ {
+		if km.Nearest(vecs[i]) != c0 {
+			t.Fatal("blob A split across clusters")
+		}
+	}
+	c1 := km.Nearest(vecs[100])
+	if c1 == c0 {
+		t.Fatal("blobs merged")
+	}
+	for i := 101; i < 200; i++ {
+		if km.Nearest(vecs[i]) != c1 {
+			t.Fatal("blob B split across clusters")
+		}
+	}
+}
+
+func unit(v []float32) []float32 {
+	var n float32
+	for _, x := range v {
+		n += x * x
+	}
+	if n > 0 {
+		inv := 1 / sqrt32(n)
+		for i := range v {
+			v[i] *= inv
+		}
+	}
+	return v
+}
+
+func sqrt32(x float32) float32 {
+	// Newton iterations suffice for test usage.
+	if x <= 0 {
+		return 0
+	}
+	z := x
+	for i := 0; i < 20; i++ {
+		z = (z + x/z) / 2
+	}
+	return z
+}
+
+func TestKMeansFewerVectorsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	km := &KMeans{K: 5, Seed: 1}
+	km.Train([][]float32{{1, 0}})
+}
+
+func TestKMeansNearestN(t *testing.T) {
+	km := &KMeans{K: 3, Seed: 1}
+	km.Centroids = [][]float32{{1, 0}, {0, 1}, {-1, 0}}
+	got := km.NearestN([]float32{0.9, 0.1}, 2)
+	if len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("NearestN = %v", got)
+	}
+	all := km.NearestN([]float32{1, 0}, 10)
+	if len(all) != 3 {
+		t.Fatalf("NearestN clamp failed: %v", all)
+	}
+}
+
+func BenchmarkIVFSearch10k(b *testing.B) {
+	ix, _ := buildIVF(b, 10000, 128, 100, 8)
+	r := rng.New(1)
+	q := randomUnit(r, 1, 128)[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ix.Search(q, 5)
+	}
+}
+
+func BenchmarkIVFTrain(b *testing.B) {
+	r := rng.New(1)
+	vecs := randomUnit(r, 3000, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix := NewIVF(IVFConfig{Dim: 64, NList: 50, Seed: 1})
+		for _, v := range vecs {
+			ix.Add(v, "")
+		}
+		ix.Train()
+	}
+}

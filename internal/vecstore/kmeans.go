@@ -1,0 +1,195 @@
+package vecstore
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/f16"
+	"repro/internal/rng"
+)
+
+// KMeans clusters unit vectors by spherical k-means (cosine objective),
+// the coarse quantizer training used by IVF indexes. Initialisation is
+// k-means++ from a seeded PRNG, so training is deterministic.
+type KMeans struct {
+	K         int // number of centroids
+	MaxIter   int // iteration cap (default 15)
+	Seed      uint64
+	Centroids [][]float32
+}
+
+// Train fits centroids to the given vectors. Vectors are assumed (but not
+// required) to be unit-norm; centroids are re-normalised each round. Train
+// panics if there are fewer vectors than centroids.
+func (km *KMeans) Train(vecs [][]float32) {
+	if len(vecs) < km.K {
+		panic("vecstore: fewer vectors than centroids")
+	}
+	if km.MaxIter <= 0 {
+		km.MaxIter = 15
+	}
+	dim := len(vecs[0])
+	r := rng.New(km.Seed)
+
+	// k-means++ seeding on cosine distance (1 - dot for unit vectors).
+	centroids := make([][]float32, 0, km.K)
+	first := r.Intn(len(vecs))
+	centroids = append(centroids, cloneVec(vecs[first]))
+	dist := make([]float64, len(vecs))
+	for i := range dist {
+		dist[i] = 1 - float64(f16.DotF32(vecs[i], centroids[0]))
+		if dist[i] < 0 {
+			dist[i] = 0
+		}
+	}
+	for len(centroids) < km.K {
+		var total float64
+		for _, d := range dist {
+			total += d
+		}
+		var pick int
+		if total <= 0 {
+			pick = r.Intn(len(vecs))
+		} else {
+			x := r.Float64() * total
+			for i, d := range dist {
+				x -= d
+				if x < 0 {
+					pick = i
+					break
+				}
+			}
+		}
+		c := cloneVec(vecs[pick])
+		centroids = append(centroids, c)
+		for i := range dist {
+			d := 1 - float64(f16.DotF32(vecs[i], c))
+			if d < 0 {
+				d = 0
+			}
+			if d < dist[i] {
+				dist[i] = d
+			}
+		}
+	}
+
+	assign := make([]int, len(vecs))
+	workers := runtime.GOMAXPROCS(0)
+	for iter := 0; iter < km.MaxIter; iter++ {
+		// Assignment step, parallel over vectors.
+		changed := assignAll(vecs, centroids, assign, workers)
+		// Update step.
+		sums := make([][]float32, km.K)
+		counts := make([]int, km.K)
+		for c := range sums {
+			sums[c] = make([]float32, dim)
+		}
+		for i, c := range assign {
+			counts[c]++
+			v := vecs[i]
+			s := sums[c]
+			for j := range s {
+				s[j] += v[j]
+			}
+		}
+		for c := range centroids {
+			if counts[c] == 0 {
+				// Re-seed empty cluster from a random vector.
+				copy(centroids[c], vecs[r.Intn(len(vecs))])
+				continue
+			}
+			copy(centroids[c], sums[c])
+			f16.Normalize(centroids[c])
+		}
+		if changed == 0 && iter > 0 {
+			break
+		}
+	}
+	km.Centroids = centroids
+}
+
+// assignAll assigns each vector to its nearest centroid by inner product and
+// returns the number of changed assignments.
+func assignAll(vecs, centroids [][]float32, assign []int, workers int) int {
+	if workers <= 0 {
+		workers = 1
+	}
+	var changed int64
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	const block = 256
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var localChanged int64
+			for {
+				mu.Lock()
+				start := next
+				next += block
+				mu.Unlock()
+				if start >= len(vecs) {
+					break
+				}
+				end := start + block
+				if end > len(vecs) {
+					end = len(vecs)
+				}
+				for i := start; i < end; i++ {
+					best, bestScore := 0, f16.DotF32(vecs[i], centroids[0])
+					for c := 1; c < len(centroids); c++ {
+						if s := f16.DotF32(vecs[i], centroids[c]); s > bestScore {
+							best, bestScore = c, s
+						}
+					}
+					if assign[i] != best {
+						assign[i] = best
+						localChanged++
+					}
+				}
+			}
+			mu.Lock()
+			changed += localChanged
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return int(changed)
+}
+
+// Nearest returns the index of the centroid with the largest inner product
+// against v.
+func (km *KMeans) Nearest(v []float32) int {
+	best, bestScore := 0, f16.DotF32(v, km.Centroids[0])
+	for c := 1; c < len(km.Centroids); c++ {
+		if s := f16.DotF32(v, km.Centroids[c]); s > bestScore {
+			best, bestScore = c, s
+		}
+	}
+	return best
+}
+
+// NearestN returns the indexes of the n centroids with the largest inner
+// products against v, in descending order.
+func (km *KMeans) NearestN(v []float32, n int) []int {
+	if n > len(km.Centroids) {
+		n = len(km.Centroids)
+	}
+	h := newTopK(n)
+	for c, cent := range km.Centroids {
+		h.push(c, f16.DotF32(cent, v))
+	}
+	res := h.results(make([]string, len(km.Centroids)))
+	out := make([]int, len(res))
+	for i, r := range res {
+		out[i] = r.ID
+	}
+	return out
+}
+
+func cloneVec(v []float32) []float32 {
+	c := make([]float32, len(v))
+	copy(c, v)
+	return c
+}

@@ -1,0 +1,208 @@
+// Package vecstore is the vector-database substrate standing in for FAISS.
+//
+// The paper stores 173,318 PubMedBERT chunk embeddings as FP16 in FAISS and
+// three additional stores of reasoning-trace embeddings. This package
+// provides the same capabilities in pure Go:
+//
+//   - Flat: exact inner-product / cosine search (FAISS IndexFlatIP),
+//   - IVF: inverted-file index with a k-means coarse quantizer and nprobe
+//     search (FAISS IndexIVFFlat), trading recall for throughput,
+//   - FP16 vector storage (internal/f16), halving memory as in the paper's
+//     747 MB store,
+//   - attached per-vector metadata payloads (ids, provenance),
+//   - binary persistence, and parallel batch search.
+//
+// All indexes are safe for concurrent Search after construction; Add is not
+// concurrent with Search.
+package vecstore
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/f16"
+)
+
+// Result is one search hit.
+type Result struct {
+	ID    int     // position of the vector in insertion order
+	Score float32 // inner product with the query (cosine for unit vectors)
+	Key   string  // the metadata key attached at Add time
+}
+
+// Index is the common interface of Flat and IVF indexes.
+type Index interface {
+	// Add appends a vector with an associated metadata key. The vector is
+	// copied into FP16 storage. Returns the assigned id.
+	Add(vec []float32, key string) int
+	// Search returns the top-k vectors by inner product with the query,
+	// in descending score order.
+	Search(query []float32, k int) []Result
+	// Len reports the number of stored vectors.
+	Len() int
+	// Dim reports the vector dimensionality.
+	Dim() int
+}
+
+// Flat is an exact exhaustive-scan index.
+type Flat struct {
+	dim  int
+	vecs [][]uint16
+	keys []string
+}
+
+// NewFlat returns an empty exact index of the given dimensionality.
+func NewFlat(dim int) *Flat {
+	if dim <= 0 {
+		panic("vecstore: non-positive dim")
+	}
+	return &Flat{dim: dim}
+}
+
+// Add implements Index.
+func (ix *Flat) Add(vec []float32, key string) int {
+	if len(vec) != ix.dim {
+		panic(fmt.Sprintf("vecstore: Add dim %d to index of dim %d", len(vec), ix.dim))
+	}
+	ix.vecs = append(ix.vecs, f16.Encode(vec))
+	ix.keys = append(ix.keys, key)
+	return len(ix.vecs) - 1
+}
+
+// Len implements Index.
+func (ix *Flat) Len() int { return len(ix.vecs) }
+
+// Dim implements Index.
+func (ix *Flat) Dim() int { return ix.dim }
+
+// Key returns the metadata key for id.
+func (ix *Flat) Key(id int) string { return ix.keys[id] }
+
+// Vector decodes and returns the stored vector for id.
+func (ix *Flat) Vector(id int) []float32 { return f16.Decode(ix.vecs[id]) }
+
+// Search implements Index with an exact scan.
+func (ix *Flat) Search(query []float32, k int) []Result {
+	if len(query) != ix.dim {
+		panic("vecstore: Search dim mismatch")
+	}
+	if k <= 0 || len(ix.vecs) == 0 {
+		return nil
+	}
+	h := newTopK(k)
+	for id, v := range ix.vecs {
+		h.push(id, f16.Dot(v, query))
+	}
+	return h.results(ix.keys)
+}
+
+// MemoryBytes reports the approximate size of vector storage, for
+// dataset-statistics reporting (the paper quotes 747 MB FP16).
+func (ix *Flat) MemoryBytes() int64 {
+	return int64(len(ix.vecs)) * int64(f16.BytesPerVector(ix.dim))
+}
+
+// topK is a bounded min-heap of (id, score) keeping the k largest scores.
+type topK struct {
+	k      int
+	ids    []int
+	scores []float32
+}
+
+func newTopK(k int) *topK {
+	return &topK{k: k, ids: make([]int, 0, k+1), scores: make([]float32, 0, k+1)}
+}
+
+func (h *topK) push(id int, score float32) {
+	if len(h.ids) < h.k {
+		h.ids = append(h.ids, id)
+		h.scores = append(h.scores, score)
+		h.up(len(h.ids) - 1)
+		return
+	}
+	if score <= h.scores[0] {
+		return
+	}
+	h.ids[0], h.scores[0] = id, score
+	h.down(0)
+}
+
+func (h *topK) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.scores[p] <= h.scores[i] {
+			break
+		}
+		h.scores[p], h.scores[i] = h.scores[i], h.scores[p]
+		h.ids[p], h.ids[i] = h.ids[i], h.ids[p]
+		i = p
+	}
+}
+
+func (h *topK) down(i int) {
+	n := len(h.ids)
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && h.scores[l] < h.scores[small] {
+			small = l
+		}
+		if r < n && h.scores[r] < h.scores[small] {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		h.scores[small], h.scores[i] = h.scores[i], h.scores[small]
+		h.ids[small], h.ids[i] = h.ids[i], h.ids[small]
+		i = small
+	}
+}
+
+// results drains the heap into descending-score order and attaches keys.
+func (h *topK) results(keys []string) []Result {
+	out := make([]Result, len(h.ids))
+	for i := range out {
+		out[i] = Result{ID: h.ids[i], Score: h.scores[i], Key: keys[h.ids[i]]}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// BatchSearch runs many queries against an index in parallel, preserving
+// query order. workers <= 0 selects GOMAXPROCS. This is the retrieval fan-out
+// used by the evaluation harness (16,680 questions × 5 conditions).
+func BatchSearch(ix Index, queries [][]float32, k, workers int) [][]Result {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	out := make([][]Result, len(queries))
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= len(queries) {
+					return
+				}
+				out[i] = ix.Search(queries[i], k)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
