@@ -1,0 +1,28 @@
+# Repro build/verify entry points. `make verify` is the tier-1 gate
+# (format, build, vet, tests); `make bench` runs the vecstore kernel
+# benchmarks that track the contiguous-scan speedup.
+
+GO ?= go
+
+.PHONY: verify bench bench-all fmt
+
+verify:
+	@unformatted="$$(gofmt -l .)"; \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+	$(GO) build ./...
+	$(GO) vet ./...
+	$(GO) test ./...
+
+# Kernel benchmarks: ns/vector for the contiguous blocked scan vs the
+# frozen jagged baseline, plus the multi-query batch kernel.
+bench:
+	$(GO) test ./internal/vecstore -run '^$$' -bench . -benchmem
+
+# Full paper-artifact bench suite (Tables 2-4, Figures 4-6, ablations).
+bench-all:
+	$(GO) test . -run '^$$' -bench . -benchmem
+
+fmt:
+	gofmt -w .

@@ -53,42 +53,53 @@ type retrieved struct {
 	traces []rag.RetrievedTrace
 }
 
-// retrieveAll performs the per-question retrieval for a condition, in
-// parallel, preserving question order.
+// retrieveAll performs the retrieval for a condition across all questions
+// at once, preserving question order. The whole question set goes through
+// the store's batch path (embedding fan-out + the vecstore multi-query
+// scan kernel), which amortises each decoded code tile across the entire
+// 16,680-question sweep instead of re-decoding per question.
 func (s *Setup) retrieveAll(cond llmsim.Condition) ([]retrieved, error) {
-	return pipeline.Map(context.Background(), s.Questions, s.Workers,
-		func(_ context.Context, q *mcq.Question) (retrieved, error) {
-			switch cond {
-			case llmsim.CondBaseline:
-				return retrieved{}, nil
-			case llmsim.CondChunks:
-				rc := s.Chunks.Retrieve(q.Question, s.k())
-				texts := make([]string, len(rc))
-				for i, c := range rc {
-					texts[i] = c.Chunk.Text
-				}
-				return retrieved{texts: texts, chunks: rc}, nil
-			default:
-				mode, err := condMode(cond)
-				if err != nil {
-					return retrieved{}, err
-				}
-				store, ok := s.Traces[mode]
-				if !ok {
-					return retrieved{}, fmt.Errorf("eval: no trace store for mode %s", mode)
-				}
-				exclude := ""
-				if s.SelfExcludeTraces {
-					exclude = q.ID
-				}
-				rt := store.Retrieve(q.Question, s.k(), exclude)
-				texts := make([]string, len(rt))
-				for i, tr := range rt {
-					texts[i] = tr.Trace.Reasoning
-				}
-				return retrieved{texts: texts, traces: rt}, nil
+	out := make([]retrieved, len(s.Questions))
+	if cond == llmsim.CondBaseline {
+		return out, nil
+	}
+	queries := make([]string, len(s.Questions))
+	for i, q := range s.Questions {
+		queries[i] = q.Question
+	}
+	if cond == llmsim.CondChunks {
+		for i, rc := range s.Chunks.RetrieveBatch(queries, s.k()) {
+			texts := make([]string, len(rc))
+			for j, c := range rc {
+				texts[j] = c.Chunk.Text
 			}
-		})
+			out[i] = retrieved{texts: texts, chunks: rc}
+		}
+		return out, nil
+	}
+	mode, err := condMode(cond)
+	if err != nil {
+		return nil, err
+	}
+	store, ok := s.Traces[mode]
+	if !ok {
+		return nil, fmt.Errorf("eval: no trace store for mode %s", mode)
+	}
+	var excludes []string
+	if s.SelfExcludeTraces {
+		excludes = make([]string, len(s.Questions))
+		for i, q := range s.Questions {
+			excludes[i] = q.ID
+		}
+	}
+	for i, rt := range store.RetrieveBatch(queries, s.k(), excludes) {
+		texts := make([]string, len(rt))
+		for j, tr := range rt {
+			texts[j] = tr.Trace.Reasoning
+		}
+		out[i] = retrieved{texts: texts, traces: rt}
+	}
+	return out, nil
 }
 
 func condMode(c llmsim.Condition) (mcq.ReasoningMode, error) {

@@ -55,9 +55,25 @@ func FromFloat32(f float32) uint16 {
 	}
 }
 
+// lut16to32 is the exhaustive binary16→float32 conversion table (256 KiB,
+// L2-resident). lut16to32[h] == toFloat32Compute(h) bit-for-bit for every h,
+// so table decode is exact; it turns the branchy widening conversion on the
+// vector-scan hot path into a single load. Built once at package load.
+var lut16to32 [1 << 16]float32
+
+func init() {
+	for i := range lut16to32 {
+		lut16to32[i] = toFloat32Compute(uint16(i))
+	}
+}
+
 // ToFloat32 converts a binary16 value to float32 exactly (every half value
 // is representable in single precision).
-func ToFloat32(h uint16) float32 {
+func ToFloat32(h uint16) float32 { return lut16to32[h] }
+
+// toFloat32Compute is the definitional bit-manipulation conversion used to
+// build the lookup table (and to document the semantics).
+func toFloat32Compute(h uint16) float32 {
 	sign := uint32(h&0x8000) << 16
 	exp := uint32(h >> 10 & 0x1F)
 	man := uint32(h & 0x3FF)
@@ -92,6 +108,16 @@ func Encode(v []float32) []uint16 {
 		out[i] = FromFloat32(f)
 	}
 	return out
+}
+
+// AppendEncoded appends the binary16 encoding of v to dst and returns the
+// extended slice. It is the allocation-free building block for contiguous
+// code storage in internal/vecstore (one []uint16 holding many rows).
+func AppendEncoded(dst []uint16, v []float32) []uint16 {
+	for _, f := range v {
+		dst = append(dst, FromFloat32(f))
+	}
+	return dst
 }
 
 // Decode converts a half slice into a freshly allocated float32 slice.

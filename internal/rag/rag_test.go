@@ -328,3 +328,67 @@ func BenchmarkBuildChunkStore(b *testing.B) {
 		_ = BuildChunkStore(nil, fx.chunks, 0)
 	}
 }
+
+func TestChunkRetrieveBatchMatchesRetrieve(t *testing.T) {
+	fx := buildFixture(t, 5)
+	store := BuildChunkStore(nil, fx.chunks, 0)
+	queries := make([]string, 0, 12)
+	for i := 0; i < len(fx.questions) && len(queries) < 12; i++ {
+		queries = append(queries, fx.questions[i].Question)
+	}
+	batch := store.RetrieveBatch(queries, 4)
+	if len(batch) != len(queries) {
+		t.Fatalf("batch returned %d groups, want %d", len(batch), len(queries))
+	}
+	for i, q := range queries {
+		seq := store.Retrieve(q, 4)
+		if len(batch[i]) != len(seq) {
+			t.Fatalf("query %d: %d vs %d results", i, len(batch[i]), len(seq))
+		}
+		for j := range seq {
+			if batch[i][j].Chunk.ID != seq[j].Chunk.ID || batch[i][j].Score != seq[j].Score {
+				t.Fatalf("query %d rank %d: batch %q/%v vs seq %q/%v", i, j,
+					batch[i][j].Chunk.ID, batch[i][j].Score, seq[j].Chunk.ID, seq[j].Score)
+			}
+		}
+	}
+}
+
+func TestTraceRetrieveBatchMatchesRetrieve(t *testing.T) {
+	fx := buildFixture(t, 5)
+	qf := QuestionFactMap(fx.questions)
+	store := BuildTraceStore(nil, mcq.ModeFocused, fx.traces, qf, 0)
+	n := len(fx.questions)
+	if n > 10 {
+		n = 10
+	}
+	queries := make([]string, n)
+	excludes := make([]string, n)
+	for i := 0; i < n; i++ {
+		queries[i] = fx.questions[i].Question
+		excludes[i] = fx.questions[i].ID
+	}
+	// With and without per-query self-exclusion.
+	for _, withExcludes := range []bool{false, true} {
+		ex := []string(nil)
+		if withExcludes {
+			ex = excludes
+		}
+		batch := store.RetrieveBatch(queries, 3, ex)
+		for i := range queries {
+			exclude := ""
+			if withExcludes {
+				exclude = excludes[i]
+			}
+			seq := store.Retrieve(queries[i], 3, exclude)
+			if len(batch[i]) != len(seq) {
+				t.Fatalf("query %d: %d vs %d results", i, len(batch[i]), len(seq))
+			}
+			for j := range seq {
+				if batch[i][j].Trace.ID != seq[j].Trace.ID || batch[i][j].Score != seq[j].Score {
+					t.Fatalf("query %d rank %d mismatch", i, j)
+				}
+			}
+		}
+	}
+}

@@ -96,7 +96,25 @@ func (s *ChunkStore) SaveIndex(path string) error {
 
 // Retrieve returns the top-k chunks for a query text.
 func (s *ChunkStore) Retrieve(query string, k int) []RetrievedChunk {
-	res := s.index.Search(s.enc.Encode(query), k)
+	return s.collect(s.index.Search(s.enc.Encode(query), k))
+}
+
+// RetrieveBatch answers many query texts at once: queries are embedded in
+// parallel and searched through the index's multi-query scan kernel
+// (vecstore.BatchSearch delegates to SearchBatch when the index has one),
+// which amortises code decoding across the whole batch. Results are in
+// query order and identical to per-query Retrieve calls.
+func (s *ChunkStore) RetrieveBatch(queries []string, k int) [][]RetrievedChunk {
+	vecs := embed.NewPool(s.enc, 0).EncodeAll(queries)
+	res := vecstore.BatchSearch(s.index, vecs, k, 0)
+	out := make([][]RetrievedChunk, len(queries))
+	for i, rs := range res {
+		out[i] = s.collect(rs)
+	}
+	return out
+}
+
+func (s *ChunkStore) collect(res []vecstore.Result) []RetrievedChunk {
 	out := make([]RetrievedChunk, 0, len(res))
 	for _, r := range res {
 		c, ok := s.byKey[r.Key]
@@ -181,6 +199,29 @@ func (s *TraceStore) Len() int { return s.index.Len() }
 func (s *TraceStore) Retrieve(query string, k int, excludeQuestionID string) []RetrievedTrace {
 	// Over-fetch to survive the self-exclusion filter.
 	res := s.index.Search(s.enc.Encode(query), k+2)
+	return s.collect(res, k, excludeQuestionID)
+}
+
+// RetrieveBatch answers many query texts at once through the index's
+// multi-query scan kernel (see ChunkStore.RetrieveBatch). excludeQuestionIDs
+// is either nil (no exclusion) or one entry per query, applying the same
+// self-exclusion rule as Retrieve. Results are in query order and identical
+// to per-query Retrieve calls.
+func (s *TraceStore) RetrieveBatch(queries []string, k int, excludeQuestionIDs []string) [][]RetrievedTrace {
+	vecs := embed.NewPool(s.enc, 0).EncodeAll(queries)
+	res := vecstore.BatchSearch(s.index, vecs, k+2, 0)
+	out := make([][]RetrievedTrace, len(queries))
+	for i, rs := range res {
+		exclude := ""
+		if excludeQuestionIDs != nil {
+			exclude = excludeQuestionIDs[i]
+		}
+		out[i] = s.collect(rs, k, exclude)
+	}
+	return out
+}
+
+func (s *TraceStore) collect(res []vecstore.Result, k int, excludeQuestionID string) []RetrievedTrace {
 	out := make([]RetrievedTrace, 0, k)
 	for _, r := range res {
 		tr, ok := s.byKey[r.Key]

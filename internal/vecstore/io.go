@@ -10,22 +10,33 @@ import (
 )
 
 // Binary persistence for Flat indexes (the chunk and trace stores are saved
-// once by the generation pipeline and loaded by every evaluation run). The
-// format is a little-endian stream:
+// once by the generation pipeline and loaded by every evaluation run).
 //
-//	magic "VSF1" | dim u32 | count u64 |
-//	repeat count: keyLen u32 | key bytes | dim × u16 vector
+// Version 2 ("VSF2") mirrors the in-memory contiguous layout — keys up
+// front, then one flat little-endian u16 code block — so loading is a
+// streaming read straight into the scan-ready representation:
+//
+//	magic "VSF2" | dim u32 | count u64 |
+//	repeat count: keyLen u32 | key bytes |
+//	count × dim × u16 codes (one contiguous block)
+//
+// Version 1 ("VSF1", the jagged per-record format: keyLen u32 | key | dim ×
+// u16 vector, repeated) is still accepted on load for old files.
 //
 // IVF indexes are persisted as their underlying Flat data plus quantizer
 // parameters and rebuilt (retrained deterministically) at load; training is
 // cheap relative to embedding and keeps the format simple and versionable.
 
-var magic = [4]byte{'V', 'S', 'F', '1'}
+var (
+	magicV1 = [4]byte{'V', 'S', 'F', '1'}
+	magicV2 = [4]byte{'V', 'S', 'F', '2'}
+)
 
 // ErrBadFormat is returned when a persisted index fails validation.
 var ErrBadFormat = errors.New("vecstore: bad index file format")
 
-// Save writes the index to path atomically (write temp, rename).
+// Save writes the index to path atomically (write temp, rename) in the
+// current (VSF2, contiguous) format.
 func (ix *Flat) Save(path string) (err error) {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
@@ -53,31 +64,70 @@ func (ix *Flat) Save(path string) (err error) {
 }
 
 func writeFlat(w io.Writer, ix *Flat) error {
-	if _, err := w.Write(magic[:]); err != nil {
+	if _, err := w.Write(magicV2[:]); err != nil {
 		return err
 	}
 	if err := binary.Write(w, binary.LittleEndian, uint32(ix.dim)); err != nil {
 		return err
 	}
-	if err := binary.Write(w, binary.LittleEndian, uint64(len(ix.vecs))); err != nil {
+	if err := binary.Write(w, binary.LittleEndian, uint64(len(ix.keys))); err != nil {
 		return err
 	}
-	for i, v := range ix.vecs {
-		key := []byte(ix.keys[i])
-		if err := binary.Write(w, binary.LittleEndian, uint32(len(key))); err != nil {
+	for _, k := range ix.keys {
+		if err := binary.Write(w, binary.LittleEndian, uint32(len(k))); err != nil {
 			return err
 		}
-		if _, err := w.Write(key); err != nil {
+		if _, err := io.WriteString(w, k); err != nil {
 			return err
 		}
-		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+	}
+	return writeCodes(w, ix.codes)
+}
+
+// writeCodes streams the contiguous code block as little-endian u16 through
+// a fixed scratch buffer (binary.Write on a huge []uint16 would allocate a
+// same-sized temporary).
+func writeCodes(w io.Writer, codes []uint16) error {
+	const chunk = 32 << 10 // codes per write
+	buf := make([]byte, 2*chunk)
+	for len(codes) > 0 {
+		n := len(codes)
+		if n > chunk {
+			n = chunk
+		}
+		for i, c := range codes[:n] {
+			binary.LittleEndian.PutUint16(buf[2*i:], c)
+		}
+		if _, err := w.Write(buf[:2*n]); err != nil {
 			return err
 		}
+		codes = codes[n:]
 	}
 	return nil
 }
 
-// LoadFlat reads an index previously written by Save.
+// readCodes fills dst with little-endian u16 codes from r.
+func readCodes(r io.Reader, dst []uint16) error {
+	const chunk = 32 << 10
+	buf := make([]byte, 2*chunk)
+	for len(dst) > 0 {
+		n := len(dst)
+		if n > chunk {
+			n = chunk
+		}
+		if _, err := io.ReadFull(r, buf[:2*n]); err != nil {
+			return err
+		}
+		for i := range dst[:n] {
+			dst[i] = binary.LittleEndian.Uint16(buf[2*i:])
+		}
+		dst = dst[n:]
+	}
+	return nil
+}
+
+// LoadFlat reads an index previously written by Save, accepting both the
+// current contiguous VSF2 format and the legacy jagged VSF1 format.
 func LoadFlat(path string) (*Flat, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -92,7 +142,12 @@ func readFlat(r io.Reader) (*Flat, error) {
 	if _, err := io.ReadFull(r, m[:]); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
 	}
-	if m != magic {
+	legacy := false
+	switch m {
+	case magicV2:
+	case magicV1:
+		legacy = true
+	default:
 		return nil, fmt.Errorf("%w: magic %q", ErrBadFormat, m)
 	}
 	var dim uint32
@@ -106,41 +161,71 @@ func readFlat(r io.Reader) (*Flat, error) {
 	if err := binary.Read(r, binary.LittleEndian, &count); err != nil {
 		return nil, fmt.Errorf("%w: count: %v", ErrBadFormat, err)
 	}
+	if count > (1<<31)/uint64(dim) {
+		return nil, fmt.Errorf("%w: implausible count %d", ErrBadFormat, count)
+	}
 	ix := NewFlat(int(dim))
-	ix.vecs = make([][]uint16, 0, count)
+	if legacy {
+		return readFlatV1(r, ix, count)
+	}
 	ix.keys = make([]string, 0, count)
 	for i := uint64(0); i < count; i++ {
-		var klen uint32
-		if err := binary.Read(r, binary.LittleEndian, &klen); err != nil {
-			return nil, fmt.Errorf("%w: key len at %d: %v", ErrBadFormat, i, err)
+		key, err := readKey(r, i)
+		if err != nil {
+			return nil, err
 		}
-		if klen > 1<<20 {
-			return nil, fmt.Errorf("%w: implausible key length %d", ErrBadFormat, klen)
-		}
-		key := make([]byte, klen)
-		if _, err := io.ReadFull(r, key); err != nil {
-			return nil, fmt.Errorf("%w: key at %d: %v", ErrBadFormat, i, err)
-		}
-		vec := make([]uint16, dim)
-		if err := binary.Read(r, binary.LittleEndian, vec); err != nil {
-			return nil, fmt.Errorf("%w: vector at %d: %v", ErrBadFormat, i, err)
-		}
-		ix.vecs = append(ix.vecs, vec)
-		ix.keys = append(ix.keys, string(key))
+		ix.keys = append(ix.keys, key)
+	}
+	ix.codes = make([]uint16, count*uint64(dim))
+	if err := readCodes(r, ix.codes); err != nil {
+		return nil, fmt.Errorf("%w: code block: %v", ErrBadFormat, err)
 	}
 	return ix, nil
 }
 
+// readFlatV1 consumes the legacy jagged stream, packing the per-record
+// vectors into the contiguous block.
+func readFlatV1(r io.Reader, ix *Flat, count uint64) (*Flat, error) {
+	dim := uint64(ix.dim)
+	ix.keys = make([]string, 0, count)
+	ix.codes = make([]uint16, 0, count*dim)
+	for i := uint64(0); i < count; i++ {
+		key, err := readKey(r, i)
+		if err != nil {
+			return nil, err
+		}
+		ix.codes = ix.codes[:uint64(len(ix.codes))+dim]
+		if err := readCodes(r, ix.codes[uint64(len(ix.codes))-dim:]); err != nil {
+			return nil, fmt.Errorf("%w: vector at %d: %v", ErrBadFormat, i, err)
+		}
+		ix.keys = append(ix.keys, key)
+	}
+	return ix, nil
+}
+
+func readKey(r io.Reader, i uint64) (string, error) {
+	var klen uint32
+	if err := binary.Read(r, binary.LittleEndian, &klen); err != nil {
+		return "", fmt.Errorf("%w: key len at %d: %v", ErrBadFormat, i, err)
+	}
+	if klen > 1<<20 {
+		return "", fmt.Errorf("%w: implausible key length %d", ErrBadFormat, klen)
+	}
+	key := make([]byte, klen)
+	if _, err := io.ReadFull(r, key); err != nil {
+		return "", fmt.Errorf("%w: key at %d: %v", ErrBadFormat, i, err)
+	}
+	return string(key), nil
+}
+
 // ToIVF converts a Flat index into a trained IVF index with the given
-// configuration (Dim is taken from the source index).
+// configuration (Dim is taken from the source index). The FP16 payloads are
+// transferred without re-encoding.
 func (ix *Flat) ToIVF(cfg IVFConfig) *IVF {
 	cfg.Dim = ix.dim
 	ivf := NewIVF(cfg)
-	for id, h := range ix.vecs {
-		// Transfer FP16 payloads without re-encoding.
-		ivf.vecs = append(ivf.vecs, h)
-		ivf.keys = append(ivf.keys, ix.keys[id])
-	}
+	ivf.staged = append(ivf.staged, ix.codes...)
+	ivf.keys = append(ivf.keys, ix.keys...)
 	ivf.Train()
 	return ivf
 }

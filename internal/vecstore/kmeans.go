@@ -3,6 +3,7 @@ package vecstore
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/f16"
 	"repro/internal/rng"
@@ -109,14 +110,14 @@ func (km *KMeans) Train(vecs [][]float32) {
 }
 
 // assignAll assigns each vector to its nearest centroid by inner product and
-// returns the number of changed assignments.
+// returns the number of changed assignments. Work is handed out in blocks
+// through an atomic cursor (no mutex on the hot path).
 func assignAll(vecs, centroids [][]float32, assign []int, workers int) int {
 	if workers <= 0 {
 		workers = 1
 	}
-	var changed int64
-	var next int
-	var mu sync.Mutex
+	var changed atomic.Int64
+	var next atomic.Int64
 	var wg sync.WaitGroup
 	const block = 256
 	for w := 0; w < workers; w++ {
@@ -125,10 +126,7 @@ func assignAll(vecs, centroids [][]float32, assign []int, workers int) int {
 			defer wg.Done()
 			var localChanged int64
 			for {
-				mu.Lock()
-				start := next
-				next += block
-				mu.Unlock()
+				start := int(next.Add(block)) - block
 				if start >= len(vecs) {
 					break
 				}
@@ -149,13 +147,11 @@ func assignAll(vecs, centroids [][]float32, assign []int, workers int) int {
 					}
 				}
 			}
-			mu.Lock()
-			changed += localChanged
-			mu.Unlock()
+			changed.Add(localChanged)
 		}()
 	}
 	wg.Wait()
-	return int(changed)
+	return int(changed.Load())
 }
 
 // Nearest returns the index of the centroid with the largest inner product

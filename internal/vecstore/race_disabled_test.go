@@ -1,0 +1,5 @@
+//go:build !race
+
+package vecstore
+
+const raceEnabled = false

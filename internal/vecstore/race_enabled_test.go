@@ -1,0 +1,8 @@
+//go:build race
+
+package vecstore
+
+// raceEnabled reports whether the race detector is active; sync.Pool is
+// deliberately lossy under -race, so zero-allocation assertions that rely
+// on pool hits are skipped there.
+const raceEnabled = true

@@ -1,0 +1,323 @@
+package vecstore
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/f16"
+)
+
+// This file implements the blocked scan kernel shared by the contiguous
+// indexes (Flat, IVF cells, SQ8). The layout discipline is FAISS's: codes
+// live in one flat array with row i at codes[i*dim:(i+1)*dim], so a scan is
+// a pure forward stream with no pointer chasing. The kernel decodes a tile
+// of scanTileRows rows into a pooled FP32 scratch buffer once, then runs
+// the 4-way-unrolled float32 dot product over each row of the tile. Large
+// blocks are split into GOMAXPROCS segments searched concurrently with
+// per-segment top-k heaps merged at the end, so a single query saturates
+// the machine. A multi-query variant amortises each decoded tile across a
+// whole batch of queries (the GEMM-shaped win used by SearchBatch).
+//
+// Exactness: decoding a row and calling f16.DotF32 performs bit-identical
+// arithmetic to the legacy per-element-widening f16.Dot (binary16→float32
+// is exact and the accumulation trees match), and the top-k heap orders by
+// the total order (score desc, id asc), so segment merging is associative
+// and the kernel reproduces the reference scalar scan bit-for-bit. The
+// parity tests in parity_test.go enforce this.
+
+const (
+	// scanTileRows is the number of rows decoded into the FP32 scratch
+	// tile per kernel step. 64 rows × 384 dims × 4 B ≈ 96 KiB — sized to
+	// stay L2-resident while amortising the decode loop.
+	scanTileRows = 64
+	// segmentMinRows is the minimum per-segment work that justifies
+	// spawning a parallel scan goroutine for a single query.
+	segmentMinRows = 4096
+)
+
+// codeBlock is a contiguous block of encoded rows that can decode row
+// ranges into FP32. The Slice method returns the same concrete type so the
+// generic kernels stay fully monomorphised (no interface dispatch or
+// boxing in the hot loop).
+type codeBlock[B any] interface {
+	Rows() int
+	RowDim() int
+	// DecodeTile decodes rows [r0,r1) into dst[0:(r1-r0)*dim].
+	DecodeTile(dst []float32, r0, r1 int)
+	// Dot scores one decoded row against a query. Each block type pins the
+	// accumulation order its pre-rewrite scan used, so kernel scores stay
+	// bit-identical to the seed implementation (FP16 rows: the 4-way
+	// unrolled tree of f16.Dot; SQ8 rows: the single-accumulator loop).
+	Dot(row, q []float32) float32
+	// Slice returns the sub-block of rows [r0,r1).
+	Slice(r0, r1 int) B
+}
+
+// halfBlock is a contiguous FP16 code block (Flat storage, IVF cells).
+type halfBlock struct {
+	codes []uint16
+	dim   int
+}
+
+func (b halfBlock) Rows() int   { return len(b.codes) / b.dim }
+func (b halfBlock) RowDim() int { return b.dim }
+
+func (b halfBlock) DecodeTile(dst []float32, r0, r1 int) {
+	f16.DecodeInto(dst[:(r1-r0)*b.dim], b.codes[r0*b.dim:r1*b.dim])
+}
+
+func (b halfBlock) Dot(row, q []float32) float32 { return f16.DotF32(row, q) }
+
+func (b halfBlock) Slice(r0, r1 int) halfBlock {
+	return halfBlock{codes: b.codes[r0*b.dim : r1*b.dim], dim: b.dim}
+}
+
+// sq8Block is a contiguous int8 code block with per-dimension affine
+// reconstruction (SQ8 storage).
+type sq8Block struct {
+	codes     []int8
+	lo, scale []float32
+	dim       int
+}
+
+func (b sq8Block) Rows() int   { return len(b.codes) / b.dim }
+func (b sq8Block) RowDim() int { return b.dim }
+
+func (b sq8Block) DecodeTile(dst []float32, r0, r1 int) {
+	k := 0
+	for r := r0; r < r1; r++ {
+		row := b.codes[r*b.dim : (r+1)*b.dim]
+		for d, c := range row {
+			dst[k] = b.lo[d] + (float32(int(c)+128)+0.5)*b.scale[d]
+			k++
+		}
+	}
+}
+
+// Dot uses a single accumulator: the seed's SQ8 scan summed
+// reconstructed-value products sequentially, and preserving that exact
+// rounding order keeps quantized scores bit-identical across the rewrite.
+func (b sq8Block) Dot(row, q []float32) float32 {
+	var s float32
+	for d, r := range row {
+		s += r * q[d]
+	}
+	return s
+}
+
+func (b sq8Block) Slice(r0, r1 int) sq8Block {
+	return sq8Block{codes: b.codes[r0*b.dim : r1*b.dim], lo: b.lo, scale: b.scale, dim: b.dim}
+}
+
+// tilePool recycles FP32 scratch tiles across searches (zero steady-state
+// allocation in the scan itself).
+var tilePool = sync.Pool{New: func() any { return new([]float32) }}
+
+func getTile(n int) *[]float32 {
+	p := tilePool.Get().(*[]float32)
+	if cap(*p) < n {
+		*p = make([]float32, n)
+	}
+	*p = (*p)[:n]
+	return p
+}
+
+func putTile(p *[]float32) { tilePool.Put(p) }
+
+// topKPool recycles the bounded heaps used per query and per segment.
+var topKPool = sync.Pool{New: func() any { return new(topK) }}
+
+func getTopK(k int) *topK {
+	h := topKPool.Get().(*topK)
+	h.k = k
+	if cap(h.ids) <= k {
+		h.ids = make([]int, 0, k+1)
+		h.scores = make([]float32, 0, k+1)
+	} else {
+		h.ids = h.ids[:0]
+		h.scores = h.scores[:0]
+	}
+	return h
+}
+
+func putTopK(h *topK) { topKPool.Put(h) }
+
+// scanTopK streams one code block through the tile kernel, pushing every
+// row's inner product with q into h. Row r is reported as id ids[r] when
+// ids is non-nil (IVF cell postings), base+r otherwise.
+func scanTopK[B codeBlock[B]](b B, q []float32, h *topK, ids []int, base int) {
+	rows, dim := b.Rows(), b.RowDim()
+	if rows == 0 {
+		return
+	}
+	tp := getTile(scanTileRows * dim)
+	tile := *tp
+	for r0 := 0; r0 < rows; r0 += scanTileRows {
+		r1 := r0 + scanTileRows
+		if r1 > rows {
+			r1 = rows
+		}
+		b.DecodeTile(tile, r0, r1)
+		off := 0
+		for r := r0; r < r1; r++ {
+			s := b.Dot(tile[off:off+dim], q)
+			if ids != nil {
+				h.push(ids[r], s)
+			} else {
+				h.push(base+r, s)
+			}
+			off += dim
+		}
+	}
+	putTile(tp)
+}
+
+// scanBatchTopK is the multi-query kernel: each decoded tile is reused for
+// every query in the batch, so decode cost is amortised 1/len(queries).
+// hs[i] receives the results for queries[i].
+func scanBatchTopK[B codeBlock[B]](b B, queries [][]float32, hs []*topK, ids []int, base int) {
+	rows, dim := b.Rows(), b.RowDim()
+	if rows == 0 || len(queries) == 0 {
+		return
+	}
+	tp := getTile(scanTileRows * dim)
+	tile := *tp
+	for r0 := 0; r0 < rows; r0 += scanTileRows {
+		r1 := r0 + scanTileRows
+		if r1 > rows {
+			r1 = rows
+		}
+		b.DecodeTile(tile, r0, r1)
+		for qi, q := range queries {
+			h := hs[qi]
+			off := 0
+			for r := r0; r < r1; r++ {
+				s := b.Dot(tile[off:off+dim], q)
+				if ids != nil {
+					h.push(ids[r], s)
+				} else {
+					h.push(base+r, s)
+				}
+				off += dim
+			}
+		}
+	}
+	putTile(tp)
+}
+
+// scanSegments picks the number of parallel segments for a scan whose total
+// work is rows×queries row-dot-products.
+func scanSegments(rows, queries int) int {
+	w := runtime.GOMAXPROCS(0)
+	if queries < 1 {
+		queries = 1
+	}
+	if limit := rows * queries / segmentMinRows; w > limit {
+		w = limit
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// searchBlock runs the top-k scan over one block, splitting it into
+// parallel segments when the block is large enough, and appends the
+// descending-ordered results to dst.
+func searchBlock[B codeBlock[B]](b B, q []float32, k int, keys []string, dst []Result) []Result {
+	rows := b.Rows()
+	workers := scanSegments(rows, 1)
+	if workers <= 1 {
+		h := getTopK(k)
+		scanTopK(b, q, h, nil, 0)
+		dst = h.appendResults(dst, keys)
+		putTopK(h)
+		return dst
+	}
+	seg := segmentSize(rows, workers)
+	heaps := make([]*topK, 0, workers)
+	var wg sync.WaitGroup
+	for r0 := 0; r0 < rows; r0 += seg {
+		r1 := r0 + seg
+		if r1 > rows {
+			r1 = rows
+		}
+		h := getTopK(k)
+		heaps = append(heaps, h)
+		wg.Add(1)
+		go func(sub B, base int, h *topK) {
+			defer wg.Done()
+			scanTopK(sub, q, h, nil, base)
+		}(b.Slice(r0, r1), r0, h)
+	}
+	wg.Wait()
+	return mergeHeaps(heaps, keys, dst)
+}
+
+// searchBlockBatch is the segment-parallel multi-query driver behind
+// SearchBatch: every worker owns a row segment and one heap per query, and
+// each tile it decodes is scored against the whole batch.
+func searchBlockBatch[B codeBlock[B]](b B, queries [][]float32, k int, keys []string) [][]Result {
+	out := make([][]Result, len(queries))
+	rows := b.Rows()
+	if rows == 0 || k <= 0 {
+		return out
+	}
+	workers := scanSegments(rows, len(queries))
+	seg := segmentSize(rows, workers)
+	nseg := (rows + seg - 1) / seg
+	heaps := make([][]*topK, 0, nseg)
+	var wg sync.WaitGroup
+	for r0 := 0; r0 < rows; r0 += seg {
+		r1 := r0 + seg
+		if r1 > rows {
+			r1 = rows
+		}
+		hs := make([]*topK, len(queries))
+		for i := range hs {
+			hs[i] = getTopK(k)
+		}
+		heaps = append(heaps, hs)
+		wg.Add(1)
+		go func(sub B, base int, hs []*topK) {
+			defer wg.Done()
+			scanBatchTopK(sub, queries, hs, nil, base)
+		}(b.Slice(r0, r1), r0, hs)
+	}
+	wg.Wait()
+	for qi := range queries {
+		perSeg := make([]*topK, len(heaps))
+		for si := range heaps {
+			perSeg[si] = heaps[si][qi]
+		}
+		out[qi] = mergeHeaps(perSeg, keys, nil)
+	}
+	return out
+}
+
+// segmentSize rounds rows/workers up to a whole number of tiles so decode
+// tiles never straddle segment boundaries.
+func segmentSize(rows, workers int) int {
+	seg := (rows + workers - 1) / workers
+	seg = (seg + scanTileRows - 1) / scanTileRows * scanTileRows
+	if seg < scanTileRows {
+		seg = scanTileRows
+	}
+	return seg
+}
+
+// mergeHeaps folds per-segment heaps into heaps[0] and appends the final
+// descending results to dst. Because the heap order is the total order
+// (score desc, id asc), the merge is exact regardless of segment split.
+func mergeHeaps(heaps []*topK, keys []string, dst []Result) []Result {
+	final := heaps[0]
+	for _, h := range heaps[1:] {
+		for i, id := range h.ids {
+			final.push(id, h.scores[i])
+		}
+		putTopK(h)
+	}
+	dst = final.appendResults(dst, keys)
+	putTopK(final)
+	return dst
+}

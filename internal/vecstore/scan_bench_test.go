@@ -1,0 +1,208 @@
+package vecstore
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/f16"
+	"repro/internal/rng"
+)
+
+func mathFloat32frombits(b uint32) float32 { return math.Float32frombits(b) }
+
+// Kernel benchmarks for the BENCH trajectory. All report ns/vector (time
+// per stored vector scanned, the layout-independent figure of merit) and
+// allocations. benchN/benchDim match the acceptance config of the
+// contiguous-layout rewrite: dim=384 (the PubMedBERT stand-in), n=100k
+// (within 2× of the paper's 173k-chunk store).
+
+const (
+	benchDim = 384
+	benchN   = 100_000
+)
+
+func buildBenchFlat(b *testing.B, n, dim int) (*Flat, [][]float32) {
+	b.Helper()
+	r := rng.New(1)
+	ix := NewFlat(dim)
+	for _, v := range randomUnit(r, n, dim) {
+		ix.Add(v, "")
+	}
+	queries := randomUnit(r, 64, dim)
+	return ix, queries
+}
+
+// jaggedFlat emulates the pre-rewrite storage and scan: one heap-allocated
+// []uint16 per vector, scored with the seed's branchy per-element widening
+// conversion (frozen here so later f16 improvements — e.g. the lookup-table
+// decode — don't silently inflate the baseline). Retained so the contiguous
+// kernel's speedup stays measurable against its true baseline.
+type jaggedFlat struct {
+	dim  int
+	vecs [][]uint16
+	keys []string
+}
+
+// seedToFloat32 is the seed's bit-manipulation binary16→float32 conversion
+// (identical output to f16.ToFloat32, pre-lookup-table cost profile).
+func seedToFloat32(h uint16) float32 {
+	sign := uint32(h&0x8000) << 16
+	exp := uint32(h >> 10 & 0x1F)
+	man := uint32(h & 0x3FF)
+	switch exp {
+	case 0:
+		if man == 0 {
+			return mathFloat32frombits(sign)
+		}
+		e := uint32(127 - 15 + 1)
+		for man&0x400 == 0 {
+			man <<= 1
+			e--
+		}
+		man &= 0x3FF
+		return mathFloat32frombits(sign | e<<23 | man<<13)
+	case 0x1F:
+		if man == 0 {
+			return mathFloat32frombits(sign | 0x7F800000)
+		}
+		return mathFloat32frombits(sign | 0x7FC00000 | man<<13)
+	default:
+		return mathFloat32frombits(sign | (exp+127-15)<<23 | man<<13)
+	}
+}
+
+func seedDot(h []uint16, q []float32) float32 {
+	var s0, s1, s2, s3 float32
+	i := 0
+	for ; i+4 <= len(h); i += 4 {
+		s0 += seedToFloat32(h[i]) * q[i]
+		s1 += seedToFloat32(h[i+1]) * q[i+1]
+		s2 += seedToFloat32(h[i+2]) * q[i+2]
+		s3 += seedToFloat32(h[i+3]) * q[i+3]
+	}
+	for ; i < len(h); i++ {
+		s0 += seedToFloat32(h[i]) * q[i]
+	}
+	return s0 + s1 + s2 + s3
+}
+
+func (ix *jaggedFlat) search(query []float32, k int) []Result {
+	h := newTopK(k)
+	for id, v := range ix.vecs {
+		h.push(id, seedDot(v, query))
+	}
+	return h.results(ix.keys)
+}
+
+func BenchmarkFlatSearch(b *testing.B) {
+	ix, queries := buildBenchFlat(b, benchN, benchDim)
+	var dst []Result
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = ix.SearchInto(queries[i%len(queries)], 10, dst)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(benchN), "ns/vector")
+}
+
+// BenchmarkFlatSearchJagged is the pre-rewrite baseline (jagged [][]uint16
+// storage, per-vector f16.Dot): compare with BenchmarkFlatSearch for the
+// contiguous-kernel speedup.
+func BenchmarkFlatSearchJagged(b *testing.B) {
+	r := rng.New(1)
+	ix := &jaggedFlat{dim: benchDim}
+	for _, v := range randomUnit(r, benchN, benchDim) {
+		ix.vecs = append(ix.vecs, f16.Encode(v))
+		ix.keys = append(ix.keys, "")
+	}
+	queries := randomUnit(r, 64, benchDim)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ix.search(queries[i%len(queries)], 10)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(benchN), "ns/vector")
+}
+
+// BenchmarkFlatSearchSerial pins the single-threaded kernel (tile decode +
+// blocked dot, no segment parallelism) by staying under the parallel
+// threshold; ns/vector here isolates the layout win from the parallel win.
+func BenchmarkFlatSearchSerial(b *testing.B) {
+	n := segmentMinRows
+	ix, queries := buildBenchFlat(b, n, benchDim)
+	var dst []Result
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = ix.SearchInto(queries[i%len(queries)], 10, dst)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(n), "ns/vector")
+}
+
+func BenchmarkFlatSearchBatch(b *testing.B) {
+	ix, queries := buildBenchFlat(b, benchN, benchDim)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ix.SearchBatch(queries, 10)
+	}
+	b.ReportMetric(
+		float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(benchN)/float64(len(queries)),
+		"ns/vector")
+}
+
+// BenchmarkFlatBatchFanout is the query-level fan-out BatchSearch used
+// before the multi-query kernel existed; compare with
+// BenchmarkFlatSearchBatch for the tile-amortisation win.
+func BenchmarkFlatBatchFanout(b *testing.B) {
+	ix, queries := buildBenchFlat(b, benchN, benchDim)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := make([][]Result, len(queries))
+		parallelFor(len(queries), 0, func(qi int) {
+			out[qi] = ix.SearchInto(queries[qi], 10, nil)
+		})
+	}
+	b.ReportMetric(
+		float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(benchN)/float64(len(queries)),
+		"ns/vector")
+}
+
+func BenchmarkIVFSearch(b *testing.B) {
+	r := rng.New(1)
+	ix := NewIVF(IVFConfig{Dim: benchDim, NList: 256, NProbe: 8, Seed: 1})
+	const n = 20_000 // IVF training at 100k dominates bench setup; 20k cells scan identically
+	for _, v := range randomUnit(r, n, benchDim) {
+		ix.Add(v, "")
+	}
+	ix.Train()
+	queries := randomUnit(r, 64, benchDim)
+	scanned := float64(n) * float64(ix.NProbe()) / float64(ix.NList())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ix.Search(queries[i%len(queries)], 10)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/scanned, "ns/vector")
+}
+
+func BenchmarkIVFSearchBatch(b *testing.B) {
+	r := rng.New(1)
+	ix := NewIVF(IVFConfig{Dim: benchDim, NList: 256, NProbe: 8, Seed: 1})
+	const n = 20_000
+	for _, v := range randomUnit(r, n, benchDim) {
+		ix.Add(v, "")
+	}
+	ix.Train()
+	queries := randomUnit(r, 64, benchDim)
+	scanned := float64(n) * float64(ix.NProbe()) / float64(ix.NList())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ix.SearchBatch(queries, 10)
+	}
+	b.ReportMetric(
+		float64(b.Elapsed().Nanoseconds())/float64(b.N)/scanned/float64(len(queries)),
+		"ns/vector")
+}

@@ -10,12 +10,16 @@ import (
 // SQ8 is a scalar-quantized exact index (FAISS IndexScalarQuantizer with
 // QT_8bit): each dimension is linearly mapped to an int8 code using
 // per-dimension min/max learned from the data, quartering memory relative
-// to FP16 at a small recall cost. Train must be called after the final Add
-// and before Search (codes are derived from the training statistics).
+// to FP16 at a small recall cost. Codes live in one contiguous []int8
+// block (row i at codes[i*dim:(i+1)*dim]) and searches run through the
+// same blocked scan kernel as Flat, reconstructing a tile of rows into
+// FP32 scratch before the dot products. Train must be called after the
+// final Add and before Search (codes are derived from the training
+// statistics).
 type SQ8 struct {
 	dim     int
-	raw     [][]uint16 // FP16 staging until Train
-	codes   [][]int8
+	staged  []uint16 // contiguous FP16 staging until Train
+	codes   []int8   // contiguous codes after Train
 	keys    []string
 	lo, hi  []float32 // per-dimension quantization range
 	scale   []float32 // (hi-lo)/255
@@ -38,14 +42,16 @@ func (ix *SQ8) Add(vec []float32, key string) int {
 	if ix.trained {
 		panic("vecstore: SQ8 Add after Train")
 	}
-	ix.raw = append(ix.raw, f16.Encode(vec))
+	ix.staged = f16.AppendEncoded(ix.staged, vec)
 	ix.keys = append(ix.keys, key)
-	return len(ix.raw) - 1
+	return len(ix.keys) - 1
 }
 
-// Train learns per-dimension ranges and quantizes all staged vectors.
+// Train learns per-dimension ranges and quantizes all staged vectors into
+// the contiguous code block.
 func (ix *SQ8) Train() {
-	if len(ix.raw) == 0 {
+	n := len(ix.keys)
+	if n == 0 {
 		panic("vecstore: Train on empty SQ8")
 	}
 	ix.lo = make([]float32, ix.dim)
@@ -54,9 +60,10 @@ func (ix *SQ8) Train() {
 		ix.lo[d] = float32(math.Inf(1))
 		ix.hi[d] = float32(math.Inf(-1))
 	}
-	for _, h := range ix.raw {
-		for d := 0; d < ix.dim; d++ {
-			v := f16.ToFloat32(h[d])
+	for i := 0; i < n; i++ {
+		row := ix.staged[i*ix.dim : (i+1)*ix.dim]
+		for d, h := range row {
+			v := f16.ToFloat32(h)
 			if v < ix.lo[d] {
 				ix.lo[d] = v
 			}
@@ -73,11 +80,12 @@ func (ix *SQ8) Train() {
 		}
 		ix.scale[d] = r / 255
 	}
-	ix.codes = make([][]int8, len(ix.raw))
-	for i, h := range ix.raw {
-		code := make([]int8, ix.dim)
-		for d := 0; d < ix.dim; d++ {
-			v := f16.ToFloat32(h[d])
+	ix.codes = make([]int8, n*ix.dim)
+	for i := 0; i < n; i++ {
+		row := ix.staged[i*ix.dim : (i+1)*ix.dim]
+		out := ix.codes[i*ix.dim : (i+1)*ix.dim]
+		for d, h := range row {
+			v := f16.ToFloat32(h)
 			q := (v - ix.lo[d]) / ix.scale[d]
 			if q < 0 {
 				q = 0
@@ -85,29 +93,23 @@ func (ix *SQ8) Train() {
 			if q > 255 {
 				q = 255
 			}
-			code[d] = int8(int(q+0.5) - 128)
+			out[d] = int8(int(q+0.5) - 128)
 		}
-		ix.codes[i] = code
 	}
-	ix.raw = nil
+	ix.staged = nil
 	ix.trained = true
 }
 
 // Trained reports whether codes have been built.
 func (ix *SQ8) Trained() bool { return ix.trained }
 
-// decode reconstructs dimension d of a code.
-func (ix *SQ8) decode(code []int8, d int) float32 {
-	return ix.lo[d] + (float32(int(code[d])+128)+0.5)*ix.scale[d]
+// block wraps the contiguous codes for the scan kernel.
+func (ix *SQ8) block() sq8Block {
+	return sq8Block{codes: ix.codes, lo: ix.lo, scale: ix.scale, dim: ix.dim}
 }
 
 // Len implements Index.
-func (ix *SQ8) Len() int {
-	if ix.trained {
-		return len(ix.codes)
-	}
-	return len(ix.raw)
-}
+func (ix *SQ8) Len() int { return len(ix.keys) }
 
 // Dim implements Index.
 func (ix *SQ8) Dim() int { return ix.dim }
@@ -115,7 +117,7 @@ func (ix *SQ8) Dim() int { return ix.dim }
 // Key returns the metadata key for id.
 func (ix *SQ8) Key(id int) string { return ix.keys[id] }
 
-// Search implements Index with an exact scan over quantized codes.
+// Search implements Index with an exact blocked scan over quantized codes.
 func (ix *SQ8) Search(query []float32, k int) []Result {
 	if !ix.trained {
 		panic("vecstore: SQ8 Search before Train")
@@ -123,14 +125,50 @@ func (ix *SQ8) Search(query []float32, k int) []Result {
 	if len(query) != ix.dim {
 		panic("vecstore: Search dim mismatch")
 	}
-	if k <= 0 || len(ix.codes) == 0 {
+	if k <= 0 || len(ix.keys) == 0 {
+		return nil
+	}
+	return searchBlock(ix.block(), query, k, ix.keys, nil)
+}
+
+// SearchBatch implements BatchSearcher with the tile-amortised multi-query
+// kernel (each reconstructed tile is scored against the whole batch).
+func (ix *SQ8) SearchBatch(queries [][]float32, k int) [][]Result {
+	if !ix.trained {
+		panic("vecstore: SQ8 Search before Train")
+	}
+	for _, q := range queries {
+		if len(q) != ix.dim {
+			panic("vecstore: Search dim mismatch")
+		}
+	}
+	if k <= 0 || len(ix.keys) == 0 {
+		return make([][]Result, len(queries))
+	}
+	return searchBlockBatch(ix.block(), queries, k, ix.keys)
+}
+
+// searchReference is the retained reference scalar scan — the seed's exact
+// loop: reconstruct each dimension and accumulate the products into a
+// single sum, one row at a time. The blocked kernel preserves this
+// accumulation order (sq8Block.Dot) so scores match bit-for-bit (see
+// parity_test.go).
+func (ix *SQ8) searchReference(query []float32, k int) []Result {
+	if !ix.trained {
+		panic("vecstore: SQ8 Search before Train")
+	}
+	if len(query) != ix.dim {
+		panic("vecstore: Search dim mismatch")
+	}
+	if k <= 0 || len(ix.keys) == 0 {
 		return nil
 	}
 	h := newTopK(k)
-	for id, code := range ix.codes {
+	for id := 0; id < len(ix.keys); id++ {
+		code := ix.codes[id*ix.dim : (id+1)*ix.dim]
 		var s float32
-		for d := 0; d < ix.dim; d++ {
-			s += ix.decode(code, d) * query[d]
+		for d, c := range code {
+			s += (ix.lo[d] + (float32(int(c)+128)+0.5)*ix.scale[d]) * query[d]
 		}
 		h.push(id, s)
 	}
@@ -142,12 +180,8 @@ func (ix *SQ8) MemoryBytes() int64 {
 	return int64(ix.Len())*int64(ix.dim) + int64(8*ix.dim)
 }
 
-// Recall measures SQ8 recall against an exact FP16 scan of the same data.
-// Callable only before the staged FP16 copies are dropped? No — codes are
-// decoded, so it works after Train by reconstructing from codes; the
-// reference is the decoded data itself scanned exactly, so this measures
-// ranking fidelity of the quantized scores against full-precision scores
-// of the *original* vectors when originals are provided.
+// Recall measures SQ8 ranking fidelity against an exact FP16 scan of the
+// original full-precision vectors, when those are provided.
 func (ix *SQ8) Recall(originals [][]float32, queries [][]float32, k int) float64 {
 	if len(queries) == 0 || len(originals) != ix.Len() {
 		return 0

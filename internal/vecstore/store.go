@@ -7,10 +7,35 @@
 //   - Flat: exact inner-product / cosine search (FAISS IndexFlatIP),
 //   - IVF: inverted-file index with a k-means coarse quantizer and nprobe
 //     search (FAISS IndexIVFFlat), trading recall for throughput,
-//   - FP16 vector storage (internal/f16), halving memory as in the paper's
-//     747 MB store,
+//   - HNSW: graph-based approximate search (FAISS IndexHNSWFlat),
+//   - SQ8: 8-bit scalar quantization (FAISS IndexScalarQuantizer),
 //   - attached per-vector metadata payloads (ids, provenance),
-//   - binary persistence, and parallel batch search.
+//   - binary persistence, and parallel single- and multi-query batch search.
+//
+// # Storage layout and scan kernel
+//
+// All code-based indexes use FAISS's contiguous-block layout: one flat
+// array holds every row, with row i at codes[i*dim:(i+1)*dim] (Flat and
+// SQ8 globally; IVF as one contiguous block per inverted list). There are
+// no per-vector slice headers and no pointer dereferences on the scan
+// path. Searches run through a blocked kernel (scan.go): a tile of
+// scanTileRows (64) rows is decoded into a pooled FP32 scratch buffer
+// once, then scored with the 4-way-unrolled float32 dot product. Blocks
+// with at least segmentMinRows (4096) rows of work per core are split into
+// GOMAXPROCS segments scanned concurrently with per-segment top-k heaps
+// merged exactly at the end — a single query saturates the machine, not
+// just the query-level fan-out of BatchSearch.
+//
+// SearchBatch is the multi-query kernel: each decoded tile is reused
+// across the whole query batch, amortising decode bandwidth the way a
+// GEMM amortises operand loads. BatchSearch delegates to it whenever the
+// index implements BatchSearcher.
+//
+// Scores are bit-for-bit identical to the reference scalar scan (decode
+// one row, one dot product at a time): binary16→float32 decoding is exact,
+// the accumulation trees match, and top-k selection uses the total order
+// (score descending, id ascending), making segment merges associative.
+// parity_test.go pins this down.
 //
 // All indexes are safe for concurrent Search after construction; Add is not
 // concurrent with Search.
@@ -18,9 +43,7 @@ package vecstore
 
 import (
 	"fmt"
-	"runtime"
 	"sort"
-	"sync"
 
 	"repro/internal/f16"
 )
@@ -32,7 +55,7 @@ type Result struct {
 	Key   string  // the metadata key attached at Add time
 }
 
-// Index is the common interface of Flat and IVF indexes.
+// Index is the common interface of the package's indexes.
 type Index interface {
 	// Add appends a vector with an associated metadata key. The vector is
 	// copied into FP16 storage. Returns the assigned id.
@@ -46,11 +69,23 @@ type Index interface {
 	Dim() int
 }
 
-// Flat is an exact exhaustive-scan index.
+// BatchSearcher is implemented by indexes with a native multi-query scan
+// kernel that amortises code decoding across a whole batch of queries
+// (Flat, IVF, SQ8). BatchSearch delegates to it when available.
+type BatchSearcher interface {
+	Index
+	// SearchBatch answers all queries at once, returning per-query results
+	// in query order. Each result slice is identical to what Search would
+	// return for that query.
+	SearchBatch(queries [][]float32, k int) [][]Result
+}
+
+// Flat is an exact exhaustive-scan index over one contiguous FP16 code
+// block.
 type Flat struct {
-	dim  int
-	vecs [][]uint16
-	keys []string
+	dim   int
+	codes []uint16 // row i at codes[i*dim:(i+1)*dim]
+	keys  []string
 }
 
 // NewFlat returns an empty exact index of the given dimensionality.
@@ -66,13 +101,13 @@ func (ix *Flat) Add(vec []float32, key string) int {
 	if len(vec) != ix.dim {
 		panic(fmt.Sprintf("vecstore: Add dim %d to index of dim %d", len(vec), ix.dim))
 	}
-	ix.vecs = append(ix.vecs, f16.Encode(vec))
+	ix.codes = f16.AppendEncoded(ix.codes, vec)
 	ix.keys = append(ix.keys, key)
-	return len(ix.vecs) - 1
+	return len(ix.keys) - 1
 }
 
 // Len implements Index.
-func (ix *Flat) Len() int { return len(ix.vecs) }
+func (ix *Flat) Len() int { return len(ix.keys) }
 
 // Dim implements Index.
 func (ix *Flat) Dim() int { return ix.dim }
@@ -80,20 +115,68 @@ func (ix *Flat) Dim() int { return ix.dim }
 // Key returns the metadata key for id.
 func (ix *Flat) Key(id int) string { return ix.keys[id] }
 
-// Vector decodes and returns the stored vector for id.
-func (ix *Flat) Vector(id int) []float32 { return f16.Decode(ix.vecs[id]) }
+// row returns the FP16 codes of row id.
+func (ix *Flat) row(id int) []uint16 { return ix.codes[id*ix.dim : (id+1)*ix.dim] }
 
-// Search implements Index with an exact scan.
+// Vector decodes and returns the stored vector for id. Hot readers should
+// prefer VectorInto, which reuses a caller-supplied buffer.
+func (ix *Flat) Vector(id int) []float32 {
+	out := make([]float32, ix.dim)
+	ix.VectorInto(out, id)
+	return out
+}
+
+// VectorInto decodes the stored vector for id into dst, whose length must
+// equal Dim. It performs no allocation.
+func (ix *Flat) VectorInto(dst []float32, id int) {
+	f16.DecodeInto(dst, ix.row(id))
+}
+
+// Search implements Index with an exact blocked scan (segment-parallel for
+// large indexes).
 func (ix *Flat) Search(query []float32, k int) []Result {
+	return ix.SearchInto(query, k, nil)
+}
+
+// SearchInto is Search appending into dst[:0], letting steady-state callers
+// reuse one result buffer across queries for a zero-allocation search path.
+func (ix *Flat) SearchInto(query []float32, k int, dst []Result) []Result {
 	if len(query) != ix.dim {
 		panic("vecstore: Search dim mismatch")
 	}
-	if k <= 0 || len(ix.vecs) == 0 {
+	if k <= 0 || len(ix.keys) == 0 {
+		return dst[:0]
+	}
+	return searchBlock(halfBlock{codes: ix.codes, dim: ix.dim}, query, k, ix.keys, dst[:0])
+}
+
+// SearchBatch implements BatchSearcher with the tile-amortised multi-query
+// kernel.
+func (ix *Flat) SearchBatch(queries [][]float32, k int) [][]Result {
+	for _, q := range queries {
+		if len(q) != ix.dim {
+			panic("vecstore: Search dim mismatch")
+		}
+	}
+	if k <= 0 || len(ix.keys) == 0 {
+		return make([][]Result, len(queries))
+	}
+	return searchBlockBatch(halfBlock{codes: ix.codes, dim: ix.dim}, queries, k, ix.keys)
+}
+
+// searchReference is the retained reference scalar scan: one row decoded
+// and scored at a time, no tiling, no pooling, no parallelism. The blocked
+// kernel must reproduce it bit-for-bit (see parity_test.go).
+func (ix *Flat) searchReference(query []float32, k int) []Result {
+	if len(query) != ix.dim {
+		panic("vecstore: Search dim mismatch")
+	}
+	if k <= 0 || len(ix.keys) == 0 {
 		return nil
 	}
 	h := newTopK(k)
-	for id, v := range ix.vecs {
-		h.push(id, f16.Dot(v, query))
+	for id := 0; id < len(ix.keys); id++ {
+		h.push(id, f16.Dot(ix.row(id), query))
 	}
 	return h.results(ix.keys)
 }
@@ -101,10 +184,14 @@ func (ix *Flat) Search(query []float32, k int) []Result {
 // MemoryBytes reports the approximate size of vector storage, for
 // dataset-statistics reporting (the paper quotes 747 MB FP16).
 func (ix *Flat) MemoryBytes() int64 {
-	return int64(len(ix.vecs)) * int64(f16.BytesPerVector(ix.dim))
+	return int64(len(ix.keys)) * int64(f16.BytesPerVector(ix.dim))
 }
 
-// topK is a bounded min-heap of (id, score) keeping the k largest scores.
+// topK is a bounded heap of (id, score) keeping the k best entries under
+// the total order "score descending, then id ascending". The root is the
+// worst retained entry. Using a total order (rather than score alone)
+// makes the selection a pure function of the pushed set, so per-segment
+// heaps merge into exactly the sequential result.
 type topK struct {
 	k      int
 	ids    []int
@@ -115,6 +202,14 @@ func newTopK(k int) *topK {
 	return &topK{k: k, ids: make([]int, 0, k+1), scores: make([]float32, 0, k+1)}
 }
 
+// worse reports whether entry (s1,id1) ranks strictly below (s2,id2).
+func worse(s1 float32, id1 int, s2 float32, id2 int) bool {
+	if s1 != s2 {
+		return s1 < s2
+	}
+	return id1 > id2
+}
+
 func (h *topK) push(id int, score float32) {
 	if len(h.ids) < h.k {
 		h.ids = append(h.ids, id)
@@ -122,7 +217,7 @@ func (h *topK) push(id int, score float32) {
 		h.up(len(h.ids) - 1)
 		return
 	}
-	if score <= h.scores[0] {
+	if !worse(h.scores[0], h.ids[0], score, id) {
 		return
 	}
 	h.ids[0], h.scores[0] = id, score
@@ -132,7 +227,7 @@ func (h *topK) push(id int, score float32) {
 func (h *topK) up(i int) {
 	for i > 0 {
 		p := (i - 1) / 2
-		if h.scores[p] <= h.scores[i] {
+		if !worse(h.scores[i], h.ids[i], h.scores[p], h.ids[p]) {
 			break
 		}
 		h.scores[p], h.scores[i] = h.scores[i], h.scores[p]
@@ -146,10 +241,10 @@ func (h *topK) down(i int) {
 	for {
 		l, r := 2*i+1, 2*i+2
 		small := i
-		if l < n && h.scores[l] < h.scores[small] {
+		if l < n && worse(h.scores[l], h.ids[l], h.scores[small], h.ids[small]) {
 			small = l
 		}
-		if r < n && h.scores[r] < h.scores[small] {
+		if r < n && worse(h.scores[r], h.ids[r], h.scores[small], h.ids[small]) {
 			small = r
 		}
 		if small == i {
@@ -161,48 +256,55 @@ func (h *topK) down(i int) {
 	}
 }
 
-// results drains the heap into descending-score order and attaches keys.
+// results drains the heap into descending order and attaches keys.
 func (h *topK) results(keys []string) []Result {
-	out := make([]Result, len(h.ids))
-	for i := range out {
-		out[i] = Result{ID: h.ids[i], Score: h.scores[i], Key: keys[h.ids[i]]}
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Score != out[j].Score {
-			return out[i].Score > out[j].Score
-		}
-		return out[i].ID < out[j].ID
-	})
-	return out
+	return h.appendResults(make([]Result, 0, len(h.ids)), keys)
 }
 
-// BatchSearch runs many queries against an index in parallel, preserving
-// query order. workers <= 0 selects GOMAXPROCS. This is the retrieval fan-out
-// used by the evaluation harness (16,680 questions × 5 conditions).
+// appendResults appends the heap's entries to dst in descending order.
+func (h *topK) appendResults(dst []Result, keys []string) []Result {
+	start := len(dst)
+	for i, id := range h.ids {
+		dst = append(dst, Result{ID: id, Score: h.scores[i], Key: keys[id]})
+	}
+	sortResults(dst[start:])
+	return dst
+}
+
+// sortResults orders results by score descending, id ascending. Small
+// slices (the usual top-k) use an allocation-free insertion sort.
+func sortResults(rs []Result) {
+	if len(rs) <= 64 {
+		for i := 1; i < len(rs); i++ {
+			x := rs[i]
+			j := i
+			for j > 0 && worse(rs[j-1].Score, rs[j-1].ID, x.Score, x.ID) {
+				rs[j] = rs[j-1]
+				j--
+			}
+			rs[j] = x
+		}
+		return
+	}
+	sort.Slice(rs, func(i, j int) bool {
+		return worse(rs[j].Score, rs[j].ID, rs[i].Score, rs[i].ID)
+	})
+}
+
+// BatchSearch runs many queries against an index, preserving query order.
+// Indexes with a native multi-query kernel (BatchSearcher) answer the
+// whole batch through it, amortising tile decoding across queries; other
+// indexes fall back to a query-level fan-out over an atomic work counter.
+// workers <= 0 selects GOMAXPROCS (the fan-out path only; the kernel
+// manages its own parallelism). This is the retrieval fan-out used by the
+// evaluation harness (16,680 questions × 5 conditions).
 func BatchSearch(ix Index, queries [][]float32, k, workers int) [][]Result {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	if bs, ok := ix.(BatchSearcher); ok && len(queries) > 0 {
+		return bs.SearchBatch(queries, k)
 	}
 	out := make([][]Result, len(queries))
-	var next int
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				mu.Lock()
-				i := next
-				next++
-				mu.Unlock()
-				if i >= len(queries) {
-					return
-				}
-				out[i] = ix.Search(queries[i], k)
-			}
-		}()
-	}
-	wg.Wait()
+	parallelFor(len(queries), workers, func(i int) {
+		out[i] = ix.Search(queries[i], k)
+	})
 	return out
 }
