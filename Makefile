@@ -1,10 +1,11 @@
 # Repro build/verify entry points. `make verify` is the tier-1 gate
-# (format, build, vet, tests); `make bench` runs the vecstore kernel
-# benchmarks that track the contiguous-scan speedup.
+# (format, build, vet, docs checks, tests); `make bench` runs the
+# vecstore kernel benchmarks that track the contiguous-scan and PQ-LUT
+# speedups.
 
 GO ?= go
 
-.PHONY: verify bench bench-all fmt
+.PHONY: verify bench bench-all docs fmt
 
 verify:
 	@unformatted="$$(gofmt -l .)"; \
@@ -12,11 +13,29 @@ verify:
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
 	fi
 	$(GO) build ./...
-	$(GO) vet ./...
+	$(MAKE) docs
 	$(GO) test ./...
 
-# Kernel benchmarks: ns/vector for the contiguous blocked scan vs the
-# frozen jagged baseline, plus the multi-query batch kernel.
+# Documentation gate: vet plus a package-comment check — every internal
+# package must open with a `// Package <name> ...` comment somewhere in
+# its files so `go doc` output stays useful (most keep it in doc.go).
+docs:
+	$(GO) vet ./...
+	@missing=""; \
+	for d in internal/*/; do \
+		pkg="$$(basename $$d)"; \
+		if ! grep -qls "^// Package $$pkg" $$d*.go; then \
+			missing="$$missing $$pkg"; \
+		fi; \
+	done; \
+	if [ -n "$$missing" ]; then \
+		echo "missing package comment in:$$missing"; exit 1; \
+	fi
+	@echo "docs checks passed"
+
+# Kernel benchmarks: ns/vector and bytes/vector for the contiguous
+# blocked scan vs the frozen jagged baseline, the SQ8/PQ quantized scans,
+# and the multi-query batch kernels.
 bench:
 	$(GO) test ./internal/vecstore -run '^$$' -bench . -benchmem
 

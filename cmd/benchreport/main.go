@@ -105,6 +105,7 @@ func run(w io.Writer, scale float64, seed uint64, section string) error {
 		}
 		fmt.Fprintln(w, "## Table 2: synthetic benchmark accuracy")
 		fmt.Fprintln(w)
+		fmt.Fprintln(w, eval.RenderRetrievalStats(a.SyntheticSetup()))
 		fmt.Fprintln(w, eval.RenderTable2(m))
 		fmt.Fprintln(w, "```")
 		fmt.Fprintln(w, eval.RenderFigure(m, "Figure 4: % improvement of best RT retrieval (synthetic)"))

@@ -67,6 +67,7 @@ func run(bench string, scale float64, seed uint64, k, workers int, csvPath, arti
 		setup := a.SyntheticSetup()
 		setup.K = k
 		setup.SelfExcludeTraces = selfExclude
+		fmt.Println(eval.RenderRetrievalStats(setup))
 		m, err := eval.Run(setup, llmsim.Profiles(), llmsim.AllConditions)
 		if err != nil {
 			return err

@@ -1,0 +1,15 @@
+// Package eval is the evaluation harness of the reproduction: it runs every
+// (model × condition) cell of the paper's Tables 2-4, grading with the LLM
+// judge, measuring retrieval utility mechanistically, and rendering the
+// tables and percent-improvement figures (Figures 4-6).
+//
+// A Setup bundles one benchmark's questions with its retrieval stores;
+// Run sweeps the (model, condition) matrix, batching all retrieval
+// through the stores' multi-query path so each vecstore code tile (or PQ
+// LUT) is amortised across the whole question set. Rendering helpers
+// produce the paper's tables (RenderTable1/2, RenderAstroTable), the
+// percent-improvement figures (RenderFigure), per-topic breakdowns
+// (RenderTopicBreakdown), CSV export (RenderCSV), and the
+// retrieval-store configuration table (RenderRetrievalStats) that makes
+// index recall/memory trade-offs visible alongside accuracy.
+package eval

@@ -1,7 +1,3 @@
-// Package eval is the evaluation harness of the reproduction: it runs every
-// (model × condition) cell of the paper's Tables 2-4, grading with the LLM
-// judge, measuring retrieval utility mechanistically, and rendering the
-// tables and percent-improvement figures (Figures 4-6).
 package eval
 
 import (

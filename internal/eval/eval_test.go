@@ -249,6 +249,22 @@ func TestRenderTable1(t *testing.T) {
 	}
 }
 
+func TestRenderRetrievalStats(t *testing.T) {
+	a := artifacts(t)
+	s := a.SyntheticSetup()
+	out := eval.RenderRetrievalStats(s)
+	for _, want := range []string{"| chunks |", "Flat(FP16)", "Bytes/vec"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("retrieval stats missing %q:\n%s", want, out)
+		}
+	}
+	for _, mode := range mcq.AllModes {
+		if !strings.Contains(out, "traces/"+string(mode)) {
+			t.Fatalf("retrieval stats missing trace store %q:\n%s", mode, out)
+		}
+	}
+}
+
 func TestRenderTable2AndFigures(t *testing.T) {
 	a := artifacts(t)
 	m, err := eval.Run(a.SyntheticSetup(),

@@ -6,7 +6,9 @@ import (
 	"strings"
 
 	"repro/internal/llmsim"
+	"repro/internal/mcq"
 	"repro/internal/stats"
+	"repro/internal/vecstore"
 )
 
 // Rendering of the paper's tables and figures. Tables are markdown; the
@@ -273,6 +275,32 @@ func RenderTopicBreakdown(row *Row, conds []llmsim.Condition, minN int) string {
 			fmt.Fprintf(&b, " %.3f |", tc.Accuracy())
 		}
 		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// RenderRetrievalStats prints the retrieval-store configuration table for
+// a setup: which index family backs each store and what it costs per
+// vector. Together with the accuracy tables this is where the
+// recall/memory trade-off of swapping Flat for IVF/SQ8/PQ/IVF-PQ (via
+// ChunkStore.UseIVF/UsePQ/UseIVFPQ) becomes visible in an eval report.
+func RenderRetrievalStats(s *Setup) string {
+	var b strings.Builder
+	b.WriteString("Retrieval stores\n\n")
+	b.WriteString("| Store | Index | Vectors | Dim | Bytes/vec | Total MB |\n")
+	b.WriteString("|---|---|---|---|---|---|\n")
+	writeRow := func(name string, st vecstore.IndexStats) {
+		fmt.Fprintf(&b, "| %s | %s | %s | %d | %.1f | %.2f |\n",
+			name, st.Kind, formatInt(st.Vectors), st.Dim,
+			st.BytesPerVector(), float64(st.Bytes)/(1<<20))
+	}
+	if s.Chunks != nil {
+		writeRow("chunks", s.Chunks.IndexStats())
+	}
+	for _, mode := range mcq.AllModes {
+		if ts, ok := s.Traces[mode]; ok {
+			writeRow("traces/"+string(mode), ts.IndexStats())
+		}
 	}
 	return b.String()
 }

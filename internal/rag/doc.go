@@ -1,0 +1,15 @@
+// Package rag implements the retrieval-augmented-generation layer: the
+// chunk vector store and the three per-mode reasoning-trace vector stores
+// of the paper's Figure 1, prompt assembly under each model's context
+// window, and the measured retrieval-utility oracle that feeds the
+// simulated students (DESIGN.md §4).
+//
+// ChunkStore and TraceStore wrap a vecstore index (Flat by default) with
+// the domain records behind each key. Both expose the same scaling knobs:
+// UseIVF, UsePQ and UseIVFPQ swap the exact index for an approximate or
+// quantized one (recall vs memory vs QPS — see docs/ARCHITECTURE.md),
+// RetrieveBatch answers whole question sets through the index's
+// multi-query scan kernel, SaveIndex/vecstore.Load persist the store's
+// vectors (VSF2 for Flat, VSF3 for PQ), and IndexStats feeds the eval
+// report's retrieval-configuration table.
+package rag

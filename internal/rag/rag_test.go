@@ -105,6 +105,72 @@ func TestChunkStoreIVFSwap(t *testing.T) {
 	}
 }
 
+func TestChunkStorePQSwap(t *testing.T) {
+	fx := buildFixture(t, 4)
+	store := BuildChunkStore(nil, fx.chunks, 0)
+	n := store.Len()
+	store.UsePQ(vecstore.PQConfig{M: embed.DefaultDim / 4, Seed: 1})
+	if store.Len() != n {
+		t.Fatal("PQ swap lost vectors")
+	}
+	if kind := store.IndexStats().Kind; !strings.HasPrefix(kind, "PQ(") {
+		t.Fatalf("IndexStats kind %q after PQ swap", kind)
+	}
+	// Quantized self-retrieval: the chunk's own text should still come
+	// back on top for nearly all probes.
+	hits := 0
+	for i := 0; i < len(fx.chunks); i += 5 {
+		res := store.Retrieve(fx.chunks[i].Text, 1)
+		if len(res) == 1 && res[0].Chunk.ID == fx.chunks[i].ID {
+			hits++
+		}
+	}
+	total := (len(fx.chunks) + 4) / 5
+	if float64(hits) < 0.8*float64(total) {
+		t.Fatalf("self-retrieval after PQ swap %d/%d", hits, total)
+	}
+}
+
+func TestChunkStoreIVFPQSwap(t *testing.T) {
+	fx := buildFixture(t, 4)
+	store := BuildChunkStore(nil, fx.chunks, 0)
+	n := store.Len()
+	store.UseIVFPQ(vecstore.IVFPQConfig{NList: 8, NProbe: 8, M: embed.DefaultDim / 4, Seed: 1})
+	if store.Len() != n {
+		t.Fatal("IVF-PQ swap lost vectors")
+	}
+	res := store.Retrieve(fx.chunks[0].Text, 1)
+	if len(res) != 1 || res[0].Chunk.ID != fx.chunks[0].ID {
+		t.Fatal("retrieval broken after IVF-PQ swap")
+	}
+}
+
+func TestChunkStorePQSaveReload(t *testing.T) {
+	fx := buildFixture(t, 3)
+	store := BuildChunkStore(nil, fx.chunks, 0)
+	store.UsePQ(vecstore.PQConfig{M: embed.DefaultDim / 4, Seed: 1})
+	path := t.TempDir() + "/chunks.vsf3"
+	if err := store.SaveIndex(path); err != nil {
+		t.Fatal(err)
+	}
+	ix, err := vecstore.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reloaded := WrapChunkStore(nil, ix, fx.chunks)
+	q := fx.chunks[0].Text
+	want := store.Retrieve(q, 3)
+	got := reloaded.Retrieve(q, 3)
+	if len(got) != len(want) {
+		t.Fatalf("%d results after reload, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Chunk.ID != want[i].Chunk.ID || got[i].Score != want[i].Score {
+			t.Fatalf("rank %d differs after reload", i)
+		}
+	}
+}
+
 func TestChunkStoreMemoryBytes(t *testing.T) {
 	fx := buildFixture(t, 2)
 	store := BuildChunkStore(nil, fx.chunks, 0)

@@ -1,8 +1,3 @@
-// Package rag implements the retrieval-augmented-generation layer: the
-// chunk vector store and the three per-mode reasoning-trace vector stores
-// of the paper's Figure 1, prompt assembly under each model's context
-// window, and the measured retrieval-utility oracle that feeds the
-// simulated students (DESIGN.md §4).
 package rag
 
 import (
@@ -70,6 +65,30 @@ func (s *ChunkStore) UseIVF(cfg vecstore.IVFConfig) {
 	}
 }
 
+// UsePQ swaps the exact index for a trained product-quantized index: M
+// bytes per vector instead of 2 per dimension, scanned through the
+// LUT-based asymmetric-distance kernel (recall/memory trade-off for
+// serving million-chunk corpora from RAM).
+func (s *ChunkStore) UsePQ(cfg vecstore.PQConfig) {
+	if flat, ok := s.index.(*vecstore.Flat); ok {
+		s.index = flat.ToPQ(cfg)
+	}
+}
+
+// UseIVFPQ swaps the exact index for a trained IVF-PQ index, compounding
+// the coarse-probe latency win with PQ's memory win.
+func (s *ChunkStore) UseIVFPQ(cfg vecstore.IVFPQConfig) {
+	if flat, ok := s.index.(*vecstore.Flat); ok {
+		s.index = flat.ToIVFPQ(cfg)
+	}
+}
+
+// IndexStats reports the underlying index's storage profile (kind,
+// bytes/vector), surfaced by the eval report's retrieval-config table.
+func (s *ChunkStore) IndexStats() vecstore.IndexStats {
+	return vecstore.StatsOf(s.index)
+}
+
 // Len reports the number of stored chunks.
 func (s *ChunkStore) Len() int { return s.index.Len() }
 
@@ -83,14 +102,17 @@ func (s *ChunkStore) MemoryBytes() int64 {
 	return 0
 }
 
-// SaveIndex persists the underlying vector index (Flat layout). IVF-backed
-// stores are saved as their flat data and can be re-trained after load.
+// SaveIndex persists the underlying vector index (VSF2 for Flat-backed
+// stores, VSF3 for PQ-backed ones). IVF-backed stores are saved as their
+// flat data and can be re-trained after load.
 func (s *ChunkStore) SaveIndex(path string) error {
 	switch ix := s.index.(type) {
 	case *vecstore.Flat:
 		return ix.Save(path)
+	case *vecstore.PQ:
+		return ix.Save(path)
 	default:
-		return fmt.Errorf("rag: SaveIndex supports Flat-backed stores only (have %T)", ix)
+		return fmt.Errorf("rag: SaveIndex supports Flat- or PQ-backed stores only (have %T)", ix)
 	}
 }
 
@@ -236,13 +258,45 @@ func (s *TraceStore) collect(res []vecstore.Result, k int, excludeQuestionID str
 	return out
 }
 
-// SaveIndex persists the trace store's vector index (Flat layout).
+// UseIVF swaps the exact index for a trained IVF index (see
+// ChunkStore.UseIVF).
+func (s *TraceStore) UseIVF(cfg vecstore.IVFConfig) {
+	if flat, ok := s.index.(*vecstore.Flat); ok {
+		s.index = flat.ToIVF(cfg)
+	}
+}
+
+// UsePQ swaps the exact index for a trained product-quantized index (see
+// ChunkStore.UsePQ).
+func (s *TraceStore) UsePQ(cfg vecstore.PQConfig) {
+	if flat, ok := s.index.(*vecstore.Flat); ok {
+		s.index = flat.ToPQ(cfg)
+	}
+}
+
+// UseIVFPQ swaps the exact index for a trained IVF-PQ index (see
+// ChunkStore.UseIVFPQ).
+func (s *TraceStore) UseIVFPQ(cfg vecstore.IVFPQConfig) {
+	if flat, ok := s.index.(*vecstore.Flat); ok {
+		s.index = flat.ToIVFPQ(cfg)
+	}
+}
+
+// IndexStats reports the underlying index's storage profile.
+func (s *TraceStore) IndexStats() vecstore.IndexStats {
+	return vecstore.StatsOf(s.index)
+}
+
+// SaveIndex persists the trace store's vector index (VSF2 for Flat, VSF3
+// for PQ).
 func (s *TraceStore) SaveIndex(path string) error {
 	switch ix := s.index.(type) {
 	case *vecstore.Flat:
 		return ix.Save(path)
+	case *vecstore.PQ:
+		return ix.Save(path)
 	default:
-		return fmt.Errorf("rag: SaveIndex supports Flat-backed stores only (have %T)", ix)
+		return fmt.Errorf("rag: SaveIndex supports Flat- or PQ-backed stores only (have %T)", ix)
 	}
 }
 
@@ -287,6 +341,7 @@ func QuestionFactMap(questions []*mcq.Question) map[string]string {
 	return m
 }
 
+// String implements fmt.Stringer for pipeline logging.
 func (s *TraceStore) String() string {
 	return fmt.Sprintf("TraceStore(%s, %d traces)", s.mode, s.Len())
 }

@@ -49,6 +49,24 @@ func factories() []indexFactory {
 			ix.Train()
 			return ix
 		}},
+		{"PQ", func(dim int, vecs [][]float32, keys []string) Index {
+			// Fine subspaces (≤4 dims each) keep quantization near-lossless
+			// so the exact-contract checks hold.
+			ix := NewPQ(PQConfig{Dim: dim, M: (dim + 3) / 4, Seed: 1})
+			for i, v := range vecs {
+				ix.Add(v, keys[i])
+			}
+			ix.Train()
+			return ix
+		}},
+		{"IVFPQ-fullprobe", func(dim int, vecs [][]float32, keys []string) Index {
+			ix := NewIVFPQ(IVFPQConfig{Dim: dim, NList: 8, NProbe: 8, M: (dim + 3) / 4, Seed: 1})
+			for i, v := range vecs {
+				ix.Add(v, keys[i])
+			}
+			ix.Train()
+			return ix
+		}},
 	}
 }
 
@@ -114,10 +132,11 @@ func TestConformanceSelfRetrieval(t *testing.T) {
 					miss++
 				}
 			}
-			// SQ8 quantization can flip a handful of near-ties; exact
-			// indexes must not miss at all.
+			// Quantized indexes (SQ8, PQ) can flip a handful of near-ties
+			// and HNSW is approximate; exact indexes must not miss at all.
 			limit := 0
-			if f.name == "SQ8" || f.name == "HNSW-wide" {
+			switch f.name {
+			case "SQ8", "HNSW-wide", "PQ", "IVFPQ-fullprobe":
 				limit = 2
 			}
 			if miss > limit {

@@ -1,0 +1,56 @@
+// Package vecstore is the vector-database substrate standing in for FAISS.
+//
+// The paper stores 173,318 PubMedBERT chunk embeddings as FP16 in FAISS and
+// three additional stores of reasoning-trace embeddings. This package
+// provides the same capabilities in pure Go:
+//
+//   - Flat: exact inner-product / cosine search (FAISS IndexFlatIP),
+//   - IVF: inverted-file index with a k-means coarse quantizer and nprobe
+//     search (FAISS IndexIVFFlat), trading recall for throughput,
+//   - HNSW: graph-based approximate search (FAISS IndexHNSWFlat),
+//   - SQ8: 8-bit scalar quantization (FAISS IndexScalarQuantizer),
+//   - PQ: product quantization with LUT-based asymmetric distance (FAISS
+//     IndexPQ) — M bytes per vector instead of 2 per dimension,
+//   - IVFPQ: the coarse probe composed with PQ cells (FAISS IndexIVFPQ),
+//   - attached per-vector metadata payloads (ids, provenance),
+//   - binary persistence, and parallel single- and multi-query batch search.
+//
+// docs/ARCHITECTURE.md describes the index zoo and when to pick which
+// index; docs/VSF_FORMAT.md is the byte-level persistence specification.
+//
+// # Storage layout and scan kernel
+//
+// All code-based indexes use FAISS's contiguous-block layout: one flat
+// array holds every row, with row i at codes[i*stride:(i+1)*stride] (Flat,
+// SQ8 and PQ globally; IVF and IVFPQ as one contiguous block per inverted
+// list). There are no per-vector slice headers and no pointer dereferences
+// on the scan path. FP16 and int8 searches run through a blocked kernel
+// (scan.go): a tile of scanTileRows (64) rows is decoded into a pooled
+// FP32 scratch buffer once, then scored with the 4-way-unrolled float32
+// dot product. Blocks with at least segmentMinRows (4096) rows of work per
+// core are split into GOMAXPROCS segments scanned concurrently with
+// per-segment top-k heaps merged exactly at the end — a single query
+// saturates the machine, not just the query-level fan-out of BatchSearch.
+//
+// PQ searches skip tile decoding entirely: a per-query M×256 look-up
+// table of sub-query·centroid dot products is built once, after which
+// scoring a row is one table lookup and add per subspace (asymmetric
+// distance computation). The LUT kernels share the segment-parallel
+// plumbing and pooled scratch of the decode kernels.
+//
+// SearchBatch is the multi-query kernel: each decoded tile (or, for PQ,
+// each per-query LUT and cache-resident code segment) is reused across the
+// whole query batch, amortising decode bandwidth the way a GEMM amortises
+// operand loads. BatchSearch delegates to it whenever the index implements
+// BatchSearcher.
+//
+// Scores are bit-for-bit identical to the reference scalar scans (decode
+// one row, one dot product at a time; for PQ, one LUT row-sum at a time):
+// binary16→float32 decoding is exact, the accumulation trees match, and
+// top-k selection uses the total order (score descending, id ascending),
+// making segment merges associative. parity_test.go and pq_test.go pin
+// this down.
+//
+// All indexes are safe for concurrent Search after construction; Add is not
+// concurrent with Search.
+package vecstore

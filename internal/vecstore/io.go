@@ -6,30 +6,27 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"os"
 )
 
-// Binary persistence for Flat indexes (the chunk and trace stores are saved
-// once by the generation pipeline and loaded by every evaluation run).
+// Binary persistence for vector indexes (the chunk and trace stores are
+// saved once by the generation pipeline and loaded by every evaluation
+// run). Three on-disk versions exist — VSF1 (legacy jagged FP16), VSF2
+// (contiguous FP16, the current Flat format), and VSF3 (PQ: codebooks +
+// contiguous M-byte code block). The byte-level specification and the
+// read/write compatibility matrix live in docs/VSF_FORMAT.md; Load
+// dispatches on the magic, LoadFlat and LoadPQ insist on their own family.
 //
-// Version 2 ("VSF2") mirrors the in-memory contiguous layout — keys up
-// front, then one flat little-endian u16 code block — so loading is a
-// streaming read straight into the scan-ready representation:
-//
-//	magic "VSF2" | dim u32 | count u64 |
-//	repeat count: keyLen u32 | key bytes |
-//	count × dim × u16 codes (one contiguous block)
-//
-// Version 1 ("VSF1", the jagged per-record format: keyLen u32 | key | dim ×
-// u16 vector, repeated) is still accepted on load for old files.
-//
-// IVF indexes are persisted as their underlying Flat data plus quantizer
-// parameters and rebuilt (retrained deterministically) at load; training is
-// cheap relative to embedding and keeps the format simple and versionable.
+// IVF/IVF-PQ indexes are persisted as their underlying flat data plus
+// quantizer parameters and rebuilt (retrained deterministically) at load;
+// training is cheap relative to embedding and keeps the format simple and
+// versionable.
 
 var (
 	magicV1 = [4]byte{'V', 'S', 'F', '1'}
 	magicV2 = [4]byte{'V', 'S', 'F', '2'}
+	magicV3 = [4]byte{'V', 'S', 'F', '3'}
 )
 
 // ErrBadFormat is returned when a persisted index fails validation.
@@ -37,7 +34,13 @@ var ErrBadFormat = errors.New("vecstore: bad index file format")
 
 // Save writes the index to path atomically (write temp, rename) in the
 // current (VSF2, contiguous) format.
-func (ix *Flat) Save(path string) (err error) {
+func (ix *Flat) Save(path string) error {
+	return saveAtomic(path, func(w io.Writer) error { return writeFlat(w, ix) })
+}
+
+// saveAtomic streams one index through write into path via a buffered
+// temp-file-then-rename, so readers never observe a partial file.
+func saveAtomic(path string, write func(w io.Writer) error) (err error) {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
@@ -49,7 +52,7 @@ func (ix *Flat) Save(path string) (err error) {
 		}
 	}()
 	w := bufio.NewWriterSize(f, 1<<20)
-	if err = writeFlat(w, ix); err != nil {
+	if err = write(w); err != nil {
 		f.Close()
 		return err
 	}
@@ -73,7 +76,14 @@ func writeFlat(w io.Writer, ix *Flat) error {
 	if err := binary.Write(w, binary.LittleEndian, uint64(len(ix.keys))); err != nil {
 		return err
 	}
-	for _, k := range ix.keys {
+	if err := writeKeys(w, ix.keys); err != nil {
+		return err
+	}
+	return writeCodes(w, ix.codes)
+}
+
+func writeKeys(w io.Writer, keys []string) error {
+	for _, k := range keys {
 		if err := binary.Write(w, binary.LittleEndian, uint32(len(k))); err != nil {
 			return err
 		}
@@ -81,7 +91,7 @@ func writeFlat(w io.Writer, ix *Flat) error {
 			return err
 		}
 	}
-	return writeCodes(w, ix.codes)
+	return nil
 }
 
 // writeCodes streams the contiguous code block as little-endian u16 through
@@ -126,30 +136,65 @@ func readCodes(r io.Reader, dst []uint16) error {
 	return nil
 }
 
-// LoadFlat reads an index previously written by Save, accepting both the
-// current contiguous VSF2 format and the legacy jagged VSF1 format.
+// LoadFlat reads a Flat index previously written by Save, accepting both
+// the current contiguous VSF2 format and the legacy jagged VSF1 format.
+// VSF3 (PQ) files are rejected; use Load or LoadPQ for those.
 func LoadFlat(path string) (*Flat, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	return readFlat(bufio.NewReaderSize(f, 1<<20))
-}
-
-func readFlat(r io.Reader) (*Flat, error) {
-	var m [4]byte
-	if _, err := io.ReadFull(r, m[:]); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	r := bufio.NewReaderSize(f, 1<<20)
+	m, err := readMagic(r)
+	if err != nil {
+		return nil, err
 	}
-	legacy := false
 	switch m {
 	case magicV2:
+		return readFlat(r, false)
 	case magicV1:
-		legacy = true
-	default:
-		return nil, fmt.Errorf("%w: magic %q", ErrBadFormat, m)
+		return readFlat(r, true)
+	case magicV3:
+		return nil, fmt.Errorf("%w: %s is a PQ (VSF3) index; use Load or LoadPQ", ErrBadFormat, path)
 	}
+	return nil, fmt.Errorf("%w: magic %q", ErrBadFormat, m)
+}
+
+// Load reads any persisted index, dispatching on the format magic: VSF1
+// and VSF2 load as *Flat, VSF3 as *PQ.
+func Load(path string) (Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<20)
+	m, err := readMagic(r)
+	if err != nil {
+		return nil, err
+	}
+	switch m {
+	case magicV2:
+		return readFlat(r, false)
+	case magicV1:
+		return readFlat(r, true)
+	case magicV3:
+		return readPQ(r)
+	}
+	return nil, fmt.Errorf("%w: magic %q", ErrBadFormat, m)
+}
+
+func readMagic(r io.Reader) ([4]byte, error) {
+	var m [4]byte
+	if _, err := io.ReadFull(r, m[:]); err != nil {
+		return m, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	return m, nil
+}
+
+// readFlat consumes a VSF1 (legacy=true) or VSF2 stream after the magic.
+func readFlat(r io.Reader, legacy bool) (*Flat, error) {
 	var dim uint32
 	if err := binary.Read(r, binary.LittleEndian, &dim); err != nil {
 		return nil, fmt.Errorf("%w: dim: %v", ErrBadFormat, err)
@@ -218,6 +263,156 @@ func readKey(r io.Reader, i uint64) (string, error) {
 	return string(key), nil
 }
 
+// Save writes the PQ index to path atomically in the VSF3 format
+// (codebooks plus the contiguous code block; see docs/VSF_FORMAT.md).
+// Save panics if the index is untrained.
+func (ix *PQ) Save(path string) error {
+	if !ix.trained {
+		panic("vecstore: PQ Save before Train")
+	}
+	return saveAtomic(path, func(w io.Writer) error { return writePQ(w, ix) })
+}
+
+func writePQ(w io.Writer, ix *PQ) error {
+	if _, err := w.Write(magicV3[:]); err != nil {
+		return err
+	}
+	hdr := []uint32{uint32(ix.dim), uint32(ix.cb.m), uint32(ix.cb.ksub)}
+	for _, v := range hdr {
+		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint64(len(ix.keys))); err != nil {
+		return err
+	}
+	if err := writeKeys(w, ix.keys); err != nil {
+		return err
+	}
+	if err := writeF32s(w, ix.cb.cents); err != nil {
+		return err
+	}
+	_, err := w.Write(ix.codes)
+	return err
+}
+
+// LoadPQ reads a PQ index previously written by PQ.Save (VSF3). Flat files
+// (VSF1/VSF2) are rejected; use Load or LoadFlat for those.
+func LoadPQ(path string) (*PQ, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<20)
+	m, err := readMagic(r)
+	if err != nil {
+		return nil, err
+	}
+	if m != magicV3 {
+		return nil, fmt.Errorf("%w: %s is not a PQ (VSF3) index (magic %q); use Load or LoadFlat", ErrBadFormat, path, m)
+	}
+	return readPQ(r)
+}
+
+// readPQ consumes a VSF3 stream after the magic. The subspace geometry
+// (bounds, centroid block offsets) is not stored — it is a pure function
+// of dim and m, recomputed by newPQCodebook.
+func readPQ(r io.Reader) (*PQ, error) {
+	var dim, m, ksub uint32
+	for _, p := range []*uint32{&dim, &m, &ksub} {
+		if err := binary.Read(r, binary.LittleEndian, p); err != nil {
+			return nil, fmt.Errorf("%w: PQ header: %v", ErrBadFormat, err)
+		}
+	}
+	if dim == 0 || dim > 1<<16 {
+		return nil, fmt.Errorf("%w: implausible dim %d", ErrBadFormat, dim)
+	}
+	if m == 0 || m > dim {
+		return nil, fmt.Errorf("%w: implausible PQ m %d for dim %d", ErrBadFormat, m, dim)
+	}
+	if ksub == 0 || ksub > pqKSubMax {
+		return nil, fmt.Errorf("%w: implausible PQ ksub %d", ErrBadFormat, ksub)
+	}
+	var count uint64
+	if err := binary.Read(r, binary.LittleEndian, &count); err != nil {
+		return nil, fmt.Errorf("%w: count: %v", ErrBadFormat, err)
+	}
+	if count > (1<<31)/uint64(m) {
+		return nil, fmt.Errorf("%w: implausible count %d", ErrBadFormat, count)
+	}
+	ix := NewPQ(PQConfig{Dim: int(dim), M: int(m)})
+	ix.keys = make([]string, 0, count)
+	for i := uint64(0); i < count; i++ {
+		key, err := readKey(r, i)
+		if err != nil {
+			return nil, err
+		}
+		ix.keys = append(ix.keys, key)
+	}
+	ix.cb = newPQCodebook(int(dim), int(m), int(ksub))
+	if err := readF32s(r, ix.cb.cents); err != nil {
+		return nil, fmt.Errorf("%w: PQ codebook: %v", ErrBadFormat, err)
+	}
+	ix.codes = make([]byte, count*uint64(m))
+	if _, err := io.ReadFull(r, ix.codes); err != nil {
+		return nil, fmt.Errorf("%w: PQ code block: %v", ErrBadFormat, err)
+	}
+	// Bad files must fail here, not at query time: a code byte ≥ ksub
+	// (possible whenever ksub < 256) would index past its subspace's LUT
+	// and codebook regions during search.
+	if int(ksub) < pqKSubMax {
+		for i, c := range ix.codes {
+			if uint32(c) >= ksub {
+				return nil, fmt.Errorf("%w: PQ code %d at offset %d exceeds ksub %d", ErrBadFormat, c, i, ksub)
+			}
+		}
+	}
+	ix.trained = true
+	return ix, nil
+}
+
+// writeF32s streams float32s as little-endian through a fixed scratch
+// buffer (same discipline as writeCodes).
+func writeF32s(w io.Writer, vals []float32) error {
+	const chunk = 16 << 10
+	buf := make([]byte, 4*chunk)
+	for len(vals) > 0 {
+		n := len(vals)
+		if n > chunk {
+			n = chunk
+		}
+		for i, v := range vals[:n] {
+			binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(v))
+		}
+		if _, err := w.Write(buf[:4*n]); err != nil {
+			return err
+		}
+		vals = vals[n:]
+	}
+	return nil
+}
+
+// readF32s fills dst with little-endian float32s from r.
+func readF32s(r io.Reader, dst []float32) error {
+	const chunk = 16 << 10
+	buf := make([]byte, 4*chunk)
+	for len(dst) > 0 {
+		n := len(dst)
+		if n > chunk {
+			n = chunk
+		}
+		if _, err := io.ReadFull(r, buf[:4*n]); err != nil {
+			return err
+		}
+		for i := range dst[:n] {
+			dst[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:]))
+		}
+		dst = dst[n:]
+	}
+	return nil
+}
+
 // ToIVF converts a Flat index into a trained IVF index with the given
 // configuration (Dim is taken from the source index). The FP16 payloads are
 // transferred without re-encoding.
@@ -228,4 +423,28 @@ func (ix *Flat) ToIVF(cfg IVFConfig) *IVF {
 	ivf.keys = append(ivf.keys, ix.keys...)
 	ivf.Train()
 	return ivf
+}
+
+// ToPQ converts a Flat index into a trained PQ index with the given
+// configuration (Dim is taken from the source index). The FP16 payloads
+// seed the staging buffer without re-encoding; Train then fits codebooks
+// and produces the M-byte codes.
+func (ix *Flat) ToPQ(cfg PQConfig) *PQ {
+	cfg.Dim = ix.dim
+	pq := NewPQ(cfg)
+	pq.staged = append(pq.staged, ix.codes...)
+	pq.keys = append(pq.keys, ix.keys...)
+	pq.Train()
+	return pq
+}
+
+// ToIVFPQ converts a Flat index into a trained IVF-PQ index with the given
+// configuration (Dim is taken from the source index).
+func (ix *Flat) ToIVFPQ(cfg IVFPQConfig) *IVFPQ {
+	cfg.Dim = ix.dim
+	ivfpq := NewIVFPQ(cfg)
+	ivfpq.staged = append(ivfpq.staged, ix.codes...)
+	ivfpq.keys = append(ivfpq.keys, ix.keys...)
+	ivfpq.Train()
+	return ivfpq
 }

@@ -1,0 +1,322 @@
+package vecstore
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/f16"
+)
+
+// IVFPQ composes the inverted-file coarse quantizer with product-quantized
+// cell storage (FAISS IndexIVFPQ, without the residual encoding — codes
+// quantize the raw vectors against one codebook shared by all cells, which
+// keeps LUT construction per query O(M·ksub) rather than per probed cell).
+// A query scans only the NProbe nearest cells, and each probed cell is an
+// M-byte-per-row LUT scan, so both the scanned-row count and the
+// bytes-per-row shrink relative to Flat. The recall/latency/memory
+// trade-off is pinned by the IVF-PQ recall regression test.
+type IVFPQ struct {
+	dim    int
+	nprobe int
+	pqCfg  PQConfig
+	km     *KMeans // coarse quantizer (spherical, like IVF)
+	cb     *pqCodebook
+	keys   []string
+	// staged buffers codes contiguously in insertion order until Train.
+	staged []uint16
+	// After Train: per-cell contiguous PQ code blocks and id postings. Row
+	// j of cellCodes[c] belongs to insertion id cellIDs[c][j].
+	cellIDs   [][]int
+	cellCodes [][]byte
+	trained   bool
+}
+
+// IVFPQConfig parameterises IVF-PQ construction.
+type IVFPQConfig struct {
+	Dim    int
+	NList  int    // number of cells; 0 → sqrt(n) at Train time
+	NProbe int    // cells scanned per query; 0 → max(1, NList/16)
+	M      int    // PQ subspaces (code bytes per vector); 0 → max(1, Dim/8)
+	Seed   uint64 // quantizer and codebook training seed
+}
+
+// NewIVFPQ returns an untrained IVF-PQ index. Vectors may be added before
+// training; Train must be called before Search.
+func NewIVFPQ(cfg IVFPQConfig) *IVFPQ {
+	pqCfg := PQConfig{Dim: cfg.Dim, M: cfg.M, Seed: cfg.Seed}
+	pqCfg.normalize()
+	return &IVFPQ{
+		dim:    cfg.Dim,
+		nprobe: cfg.NProbe,
+		pqCfg:  pqCfg,
+		km:     &KMeans{K: cfg.NList, Seed: cfg.Seed},
+	}
+}
+
+// Add implements Index. Vectors added after training are encoded and
+// routed to their cell immediately; before training they are only
+// buffered.
+func (ix *IVFPQ) Add(vec []float32, key string) int {
+	if len(vec) != ix.dim {
+		panic(fmt.Sprintf("vecstore: Add dim %d to IVFPQ of dim %d", len(vec), ix.dim))
+	}
+	id := len(ix.keys)
+	ix.keys = append(ix.keys, key)
+	if ix.trained {
+		c := ix.km.Nearest(vec)
+		ix.cellIDs[c] = append(ix.cellIDs[c], id)
+		code := make([]byte, ix.cb.m)
+		ix.cb.encode(vec, code)
+		ix.cellCodes[c] = append(ix.cellCodes[c], code...)
+	} else {
+		ix.staged = f16.AppendEncoded(ix.staged, vec)
+	}
+	return id
+}
+
+// Train fits the coarse quantizer and the shared PQ codebook on all
+// buffered vectors, then encodes every vector into its cell's contiguous
+// code block. It panics if the index is empty.
+func (ix *IVFPQ) Train() {
+	n := len(ix.keys)
+	if n == 0 {
+		panic("vecstore: Train on empty IVFPQ")
+	}
+	if ix.km.K <= 0 {
+		ix.km.K = int(math.Sqrt(float64(n)))
+		if ix.km.K < 1 {
+			ix.km.K = 1
+		}
+	}
+	if ix.km.K > n {
+		ix.km.K = n
+	}
+	if ix.nprobe <= 0 {
+		ix.nprobe = ix.km.K / 16
+		if ix.nprobe < 1 {
+			ix.nprobe = 1
+		}
+	}
+	full := make([][]float32, n)
+	for i := range full {
+		full[i] = f16.Decode(ix.staged[i*ix.dim : (i+1)*ix.dim])
+	}
+	ix.km.Train(full)
+	ksub := pqKSubMax
+	if ksub > n {
+		ksub = n
+	}
+	ix.cb = newPQCodebook(ix.dim, ix.pqCfg.M, ksub)
+	ix.cb.train(full, ix.pqCfg.TrainIters, ix.pqCfg.Seed)
+	// Assign cells, encode all rows in parallel, then pack per cell.
+	assign := make([]int, n)
+	counts := make([]int, ix.km.K)
+	codes := make([]byte, n*ix.cb.m)
+	parallelFor(n, 0, func(id int) {
+		assign[id] = ix.km.Nearest(full[id])
+		ix.cb.encode(full[id], codes[id*ix.cb.m:(id+1)*ix.cb.m])
+	})
+	for _, c := range assign {
+		counts[c]++
+	}
+	ix.cellIDs = make([][]int, ix.km.K)
+	ix.cellCodes = make([][]byte, ix.km.K)
+	for c, cnt := range counts {
+		ix.cellIDs[c] = make([]int, 0, cnt)
+		ix.cellCodes[c] = make([]byte, 0, cnt*ix.cb.m)
+	}
+	for id := 0; id < n; id++ {
+		c := assign[id]
+		ix.cellIDs[c] = append(ix.cellIDs[c], id)
+		ix.cellCodes[c] = append(ix.cellCodes[c], codes[id*ix.cb.m:(id+1)*ix.cb.m]...)
+	}
+	ix.staged = nil
+	ix.trained = true
+}
+
+// Trained reports whether the quantizers have been fitted.
+func (ix *IVFPQ) Trained() bool { return ix.trained }
+
+// SetNProbe adjusts the number of cells scanned per query (recall knob).
+func (ix *IVFPQ) SetNProbe(n int) {
+	if n < 1 {
+		n = 1
+	}
+	if ix.trained && n > ix.km.K {
+		n = ix.km.K
+	}
+	ix.nprobe = n
+}
+
+// NProbe returns the current probe count.
+func (ix *IVFPQ) NProbe() int { return ix.nprobe }
+
+// NList returns the number of cells (0 before training when auto-sized).
+func (ix *IVFPQ) NList() int { return ix.km.K }
+
+// M returns the number of PQ subspaces (code bytes per vector).
+func (ix *IVFPQ) M() int { return ix.pqCfg.M }
+
+// Len implements Index.
+func (ix *IVFPQ) Len() int { return len(ix.keys) }
+
+// Dim implements Index.
+func (ix *IVFPQ) Dim() int { return ix.dim }
+
+// Key returns the metadata key for id.
+func (ix *IVFPQ) Key(id int) string { return ix.keys[id] }
+
+// Search implements Index: one LUT is built for the query, then the nprobe
+// nearest cells are streamed through the PQ LUT kernel.
+func (ix *IVFPQ) Search(query []float32, k int) []Result {
+	if !ix.trained {
+		panic("vecstore: Search on untrained IVFPQ")
+	}
+	if len(query) != ix.dim {
+		panic("vecstore: Search dim mismatch")
+	}
+	if k <= 0 {
+		return nil
+	}
+	probes := ix.km.NearestN(query, ix.nprobe)
+	lp := getTile(ix.cb.m * ix.cb.ksub)
+	lut := *lp
+	ix.cb.lutInto(lut, query)
+	h := getTopK(k)
+	for _, c := range probes {
+		scanPQTopK(ix.cellCodes[c], ix.cb, lut, h, ix.cellIDs[c], 0)
+	}
+	putTile(lp)
+	res := h.results(ix.keys)
+	putTopK(h)
+	return res
+}
+
+// SearchBatch implements BatchSearcher: LUTs are built once per query (the
+// batch amortisation), queries are grouped by probed cell, and cells are
+// scanned in parallel.
+func (ix *IVFPQ) SearchBatch(queries [][]float32, k int) [][]Result {
+	if !ix.trained {
+		panic("vecstore: Search on untrained IVFPQ")
+	}
+	for _, q := range queries {
+		if len(q) != ix.dim {
+			panic("vecstore: Search dim mismatch")
+		}
+	}
+	out := make([][]Result, len(queries))
+	if k <= 0 || len(queries) == 0 {
+		return out
+	}
+	// Probe assignment and LUT construction, fanned out over queries.
+	probes := make([][]int, len(queries))
+	luts, pooled := buildLUTs(ix.cb, queries)
+	parallelFor(len(queries), 0, func(qi int) {
+		probes[qi] = ix.km.NearestN(queries[qi], ix.nprobe)
+	})
+	// Invert: cell → indices of the queries probing it.
+	perCell := make([][]int32, ix.km.K)
+	for qi, ps := range probes {
+		for _, c := range ps {
+			perCell[c] = append(perCell[c], int32(qi))
+		}
+	}
+	work := make([]int, 0, ix.km.K)
+	for c, qs := range perCell {
+		if len(qs) > 0 && len(ix.cellIDs[c]) > 0 {
+			work = append(work, c)
+		}
+	}
+	// Scan cells in parallel; each produces one partial heap per
+	// interested query, merged per query afterwards.
+	partial := make([][]*topK, len(work))
+	parallelFor(len(work), 0, func(wi int) {
+		c := work[wi]
+		qs := perCell[c]
+		qluts := make([][]float32, len(qs))
+		hs := make([]*topK, len(qs))
+		for i, qi := range qs {
+			qluts[i] = luts[qi]
+			hs[i] = getTopK(k)
+		}
+		scanPQBatchTopK(ix.cellCodes[c], ix.cb, qluts, hs, ix.cellIDs[c], 0)
+		partial[wi] = hs
+	})
+	releaseLUTs(pooled)
+	final := make([]*topK, len(queries))
+	for wi, c := range work {
+		for i, qi := range perCell[c] {
+			h := partial[wi][i]
+			if final[qi] == nil {
+				final[qi] = h
+				continue
+			}
+			f := final[qi]
+			for j, id := range h.ids {
+				f.push(id, h.scores[j])
+			}
+			putTopK(h)
+		}
+	}
+	for qi := range out {
+		if final[qi] == nil {
+			// All probed cells were empty; Search returns a non-nil empty
+			// slice in this case, so match it.
+			out[qi] = []Result{}
+			continue
+		}
+		out[qi] = final[qi].results(ix.keys)
+		putTopK(final[qi])
+	}
+	return out
+}
+
+// searchReference is the retained reference scalar scan over the probed
+// cells, one row at a time (see pq_test.go).
+func (ix *IVFPQ) searchReference(query []float32, k int) []Result {
+	if !ix.trained {
+		panic("vecstore: Search on untrained IVFPQ")
+	}
+	if len(query) != ix.dim {
+		panic("vecstore: Search dim mismatch")
+	}
+	if k <= 0 {
+		return nil
+	}
+	probes := ix.km.NearestN(query, ix.nprobe)
+	lut := make([]float32, ix.cb.m*ix.cb.ksub)
+	ix.cb.lutInto(lut, query)
+	h := newTopK(k)
+	m := ix.cb.m
+	for _, c := range probes {
+		block := ix.cellCodes[c]
+		for row, id := range ix.cellIDs[c] {
+			h.push(id, lutScore(block[row*m:(row+1)*m], lut, ix.cb.ksub))
+		}
+	}
+	return h.results(ix.keys)
+}
+
+// MemoryBytes reports code storage (M bytes/vector) plus the codebook;
+// before Train it reports the FP16 staging buffer.
+func (ix *IVFPQ) MemoryBytes() int64 {
+	if !ix.trained {
+		return int64(2 * len(ix.staged))
+	}
+	return int64(len(ix.keys)*ix.cb.m) + int64(4*len(ix.cb.cents))
+}
+
+// Recall measures IVF-PQ ranking fidelity against an exact FP16 scan of
+// the original full-precision vectors, when those are provided. Used by
+// the recall regression test to pin the coarse-probe + quantization
+// trade-off.
+func (ix *IVFPQ) Recall(originals [][]float32, queries [][]float32, k int) float64 {
+	if len(queries) == 0 || len(originals) != ix.Len() {
+		return 0
+	}
+	flat := NewFlat(ix.dim)
+	for i, v := range originals {
+		flat.Add(v, ix.keys[i])
+	}
+	return recallAgainst(flat, ix, queries, k)
+}

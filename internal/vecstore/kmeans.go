@@ -9,18 +9,58 @@ import (
 	"repro/internal/rng"
 )
 
-// KMeans clusters unit vectors by spherical k-means (cosine objective),
-// the coarse quantizer training used by IVF indexes. Initialisation is
-// k-means++ from a seeded PRNG, so training is deterministic.
+// KMeans clusters vectors by k-means, the quantizer training used by the
+// IVF coarse quantizer and the PQ sub-quantizers. The default objective is
+// spherical (cosine: assignment by max inner product, centroids
+// re-normalised each round), which fits the unit-norm embedding vectors;
+// Euclidean selects plain L2 k-means (assignment by min squared distance,
+// centroids are arithmetic means), which is what product-quantization
+// sub-vectors need — they are not unit-norm, and normalising their
+// centroids would corrupt reconstruction. Initialisation is k-means++ from
+// a seeded PRNG, so training is deterministic either way.
 type KMeans struct {
 	K         int // number of centroids
 	MaxIter   int // iteration cap (default 15)
 	Seed      uint64
+	Euclidean bool // plain L2 objective instead of spherical/cosine
 	Centroids [][]float32
 }
 
-// Train fits centroids to the given vectors. Vectors are assumed (but not
-// required) to be unit-norm; centroids are re-normalised each round. Train
+// dist is the k-means++ seeding distance: 1-dot clamped at 0 for the
+// spherical objective, squared Euclidean distance otherwise.
+func (km *KMeans) dist(v, c []float32) float64 {
+	if km.Euclidean {
+		return float64(sqDist(v, c))
+	}
+	d := 1 - float64(f16.DotF32(v, c))
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// score is the assignment affinity (higher is closer): inner product for
+// the spherical objective, negated squared distance for Euclidean.
+func (km *KMeans) score(v, c []float32) float32 {
+	if km.Euclidean {
+		return -sqDist(v, c)
+	}
+	return f16.DotF32(v, c)
+}
+
+// sqDist returns the squared Euclidean distance between a and b.
+func sqDist(a, b []float32) float32 {
+	var s float32
+	for i, x := range a {
+		d := x - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// Train fits centroids to the given vectors. Under the spherical objective
+// vectors are assumed (but not required) to be unit-norm and centroids are
+// re-normalised each round; under Euclidean they are plain means. Train
 // panics if there are fewer vectors than centroids.
 func (km *KMeans) Train(vecs [][]float32) {
 	if len(vecs) < km.K {
@@ -38,10 +78,7 @@ func (km *KMeans) Train(vecs [][]float32) {
 	centroids = append(centroids, cloneVec(vecs[first]))
 	dist := make([]float64, len(vecs))
 	for i := range dist {
-		dist[i] = 1 - float64(f16.DotF32(vecs[i], centroids[0]))
-		if dist[i] < 0 {
-			dist[i] = 0
-		}
+		dist[i] = km.dist(vecs[i], centroids[0])
 	}
 	for len(centroids) < km.K {
 		var total float64
@@ -64,11 +101,7 @@ func (km *KMeans) Train(vecs [][]float32) {
 		c := cloneVec(vecs[pick])
 		centroids = append(centroids, c)
 		for i := range dist {
-			d := 1 - float64(f16.DotF32(vecs[i], c))
-			if d < 0 {
-				d = 0
-			}
-			if d < dist[i] {
+			if d := km.dist(vecs[i], c); d < dist[i] {
 				dist[i] = d
 			}
 		}
@@ -78,7 +111,7 @@ func (km *KMeans) Train(vecs [][]float32) {
 	workers := runtime.GOMAXPROCS(0)
 	for iter := 0; iter < km.MaxIter; iter++ {
 		// Assignment step, parallel over vectors.
-		changed := assignAll(vecs, centroids, assign, workers)
+		changed := km.assignAll(vecs, centroids, assign, workers)
 		// Update step.
 		sums := make([][]float32, km.K)
 		counts := make([]int, km.K)
@@ -100,7 +133,14 @@ func (km *KMeans) Train(vecs [][]float32) {
 				continue
 			}
 			copy(centroids[c], sums[c])
-			f16.Normalize(centroids[c])
+			if km.Euclidean {
+				inv := 1 / float32(counts[c])
+				for j := range centroids[c] {
+					centroids[c][j] *= inv
+				}
+			} else {
+				f16.Normalize(centroids[c])
+			}
 		}
 		if changed == 0 && iter > 0 {
 			break
@@ -109,10 +149,10 @@ func (km *KMeans) Train(vecs [][]float32) {
 	km.Centroids = centroids
 }
 
-// assignAll assigns each vector to its nearest centroid by inner product and
-// returns the number of changed assignments. Work is handed out in blocks
-// through an atomic cursor (no mutex on the hot path).
-func assignAll(vecs, centroids [][]float32, assign []int, workers int) int {
+// assignAll assigns each vector to its nearest centroid under the active
+// objective and returns the number of changed assignments. Work is handed
+// out in blocks through an atomic cursor (no mutex on the hot path).
+func (km *KMeans) assignAll(vecs, centroids [][]float32, assign []int, workers int) int {
 	if workers <= 0 {
 		workers = 1
 	}
@@ -135,9 +175,9 @@ func assignAll(vecs, centroids [][]float32, assign []int, workers int) int {
 					end = len(vecs)
 				}
 				for i := start; i < end; i++ {
-					best, bestScore := 0, f16.DotF32(vecs[i], centroids[0])
+					best, bestScore := 0, km.score(vecs[i], centroids[0])
 					for c := 1; c < len(centroids); c++ {
-						if s := f16.DotF32(vecs[i], centroids[c]); s > bestScore {
+						if s := km.score(vecs[i], centroids[c]); s > bestScore {
 							best, bestScore = c, s
 						}
 					}
@@ -154,12 +194,13 @@ func assignAll(vecs, centroids [][]float32, assign []int, workers int) int {
 	return int(changed.Load())
 }
 
-// Nearest returns the index of the centroid with the largest inner product
-// against v.
+// Nearest returns the index of the closest centroid under the active
+// objective (largest inner product, or smallest squared distance when
+// Euclidean).
 func (km *KMeans) Nearest(v []float32) int {
-	best, bestScore := 0, f16.DotF32(v, km.Centroids[0])
+	best, bestScore := 0, km.score(v, km.Centroids[0])
 	for c := 1; c < len(km.Centroids); c++ {
-		if s := f16.DotF32(v, km.Centroids[c]); s > bestScore {
+		if s := km.score(v, km.Centroids[c]); s > bestScore {
 			best, bestScore = c, s
 		}
 	}

@@ -295,6 +295,106 @@ func searchBlockBatch[B codeBlock[B]](b B, queries [][]float32, k int, keys []st
 	return out
 }
 
+// scanPQTopK streams a block of M-byte PQ codes against a precomputed
+// asymmetric-distance LUT: scoring a row is one table lookup and add per
+// subspace (lutScore), with no FP32 decode. Row r is reported as ids[r]
+// when ids is non-nil (IVF-PQ cell postings), base+r otherwise.
+func scanPQTopK(codes []byte, cb *pqCodebook, lut []float32, h *topK, ids []int, base int) {
+	m, ksub := cb.m, cb.ksub
+	rows := len(codes) / m
+	for r := 0; r < rows; r++ {
+		s := lutScore(codes[r*m:(r+1)*m], lut, ksub)
+		if ids != nil {
+			h.push(ids[r], s)
+		} else {
+			h.push(base+r, s)
+		}
+	}
+}
+
+// scanPQBatchTopK is the multi-query PQ kernel: the code segment (small —
+// M bytes per row — and so cache-resident) is re-streamed once per query
+// with that query's LUT. hs[i] receives the results for luts[i].
+func scanPQBatchTopK(codes []byte, cb *pqCodebook, luts [][]float32, hs []*topK, ids []int, base int) {
+	for qi, lut := range luts {
+		scanPQTopK(codes, cb, lut, hs[qi], ids, base)
+	}
+}
+
+// searchPQBlock runs the top-k LUT scan over one PQ code block, splitting
+// it into parallel segments when large enough, and appends the
+// descending-ordered results to dst.
+func searchPQBlock(codes []byte, cb *pqCodebook, lut []float32, k int, keys []string, dst []Result) []Result {
+	rows := len(codes) / cb.m
+	workers := scanSegments(rows, 1)
+	if workers <= 1 {
+		h := getTopK(k)
+		scanPQTopK(codes, cb, lut, h, nil, 0)
+		dst = h.appendResults(dst, keys)
+		putTopK(h)
+		return dst
+	}
+	seg := segmentSize(rows, workers)
+	heaps := make([]*topK, 0, workers)
+	var wg sync.WaitGroup
+	for r0 := 0; r0 < rows; r0 += seg {
+		r1 := r0 + seg
+		if r1 > rows {
+			r1 = rows
+		}
+		h := getTopK(k)
+		heaps = append(heaps, h)
+		wg.Add(1)
+		go func(sub []byte, base int, h *topK) {
+			defer wg.Done()
+			scanPQTopK(sub, cb, lut, h, nil, base)
+		}(codes[r0*cb.m:r1*cb.m], r0, h)
+	}
+	wg.Wait()
+	return mergeHeaps(heaps, keys, dst)
+}
+
+// searchPQBlockBatch is the segment-parallel multi-query PQ driver behind
+// PQ.SearchBatch: LUT construction is already amortised by the caller, and
+// every worker scores its code segment against the whole batch.
+func searchPQBlockBatch(codes []byte, cb *pqCodebook, luts [][]float32, k int, keys []string) [][]Result {
+	out := make([][]Result, len(luts))
+	rows := len(codes) / cb.m
+	if rows == 0 || k <= 0 {
+		return out
+	}
+	workers := scanSegments(rows, len(luts))
+	seg := segmentSize(rows, workers)
+	nseg := (rows + seg - 1) / seg
+	heaps := make([][]*topK, 0, nseg)
+	var wg sync.WaitGroup
+	for r0 := 0; r0 < rows; r0 += seg {
+		r1 := r0 + seg
+		if r1 > rows {
+			r1 = rows
+		}
+		hs := make([]*topK, len(luts))
+		for i := range hs {
+			hs[i] = getTopK(k)
+		}
+		heaps = append(heaps, hs)
+		wg.Add(1)
+		go func(sub []byte, base int, hs []*topK) {
+			defer wg.Done()
+			scanPQBatchTopK(sub, cb, luts, hs, nil, base)
+		}(codes[r0*cb.m:r1*cb.m], r0, hs)
+	}
+	wg.Wait()
+	for qi := range luts {
+		perSeg := make([]*topK, len(heaps))
+		for si := range heaps {
+			perSeg[si] = heaps[si][qi]
+		}
+		out[qi] = mergeHeaps(perSeg, keys, nil)
+	}
+	return out
+}
+
 // segmentSize rounds rows/workers up to a whole number of tiles so decode
 // tiles never straddle segment boundaries.
 func segmentSize(rows, workers int) int {

@@ -103,6 +103,7 @@ func BenchmarkFlatSearch(b *testing.B) {
 		dst = ix.SearchInto(queries[i%len(queries)], 10, dst)
 	}
 	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(benchN), "ns/vector")
+	reportBytesPerVector(b, ix)
 }
 
 // BenchmarkFlatSearchJagged is the pre-rewrite baseline (jagged [][]uint16
@@ -167,6 +168,115 @@ func BenchmarkFlatBatchFanout(b *testing.B) {
 	b.ReportMetric(
 		float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(benchN)/float64(len(queries)),
 		"ns/vector")
+}
+
+// benchPQM is the PQ operating point of the acceptance config: 48
+// subspaces of 8 dims → 48 bytes/vector, 1/8 of SQ8's 384 and 1/16 of
+// FP16's 768.
+const benchPQM = 48
+
+// reportBytesPerVector adds the storage figure of merit next to ns/vector
+// so the recall/memory/QPS table in docs/ARCHITECTURE.md reads off one
+// bench run.
+func reportBytesPerVector(b *testing.B, ix Index) {
+	b.Helper()
+	b.ReportMetric(StatsOf(ix).BytesPerVector(), "bytes/vector")
+}
+
+// BenchmarkSQ8Search is the int8 contiguous-scan baseline the PQ
+// asymmetric-LUT scan must beat (compare ns/vector with
+// BenchmarkPQSearch).
+func BenchmarkSQ8Search(b *testing.B) {
+	r := rng.New(1)
+	ix := NewSQ8(benchDim)
+	for _, v := range randomUnit(r, benchN, benchDim) {
+		ix.Add(v, "")
+	}
+	ix.Train()
+	queries := randomUnit(r, 64, benchDim)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ix.Search(queries[i%len(queries)], 10)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(benchN), "ns/vector")
+	reportBytesPerVector(b, ix)
+}
+
+func buildBenchPQ(b *testing.B, n int) (*PQ, [][]float32) {
+	b.Helper()
+	r := rng.New(1)
+	ix := NewPQ(PQConfig{Dim: benchDim, M: benchPQM, Seed: 1})
+	for _, v := range randomUnit(r, n, benchDim) {
+		ix.Add(v, "")
+	}
+	ix.Train()
+	queries := randomUnit(r, 64, benchDim)
+	return ix, queries
+}
+
+// BenchmarkPQSearch is the asymmetric-distance scan: per query one M×256
+// LUT build, then one lookup+add per subspace per row — no FP32 decode in
+// the hot loop.
+func BenchmarkPQSearch(b *testing.B) {
+	ix, queries := buildBenchPQ(b, benchN)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ix.Search(queries[i%len(queries)], 10)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(benchN), "ns/vector")
+	reportBytesPerVector(b, ix)
+}
+
+// BenchmarkPQSearchSerial pins the single-threaded LUT kernel by staying
+// under the parallel threshold (compare with BenchmarkFlatSearchSerial for
+// the per-core decode-free win).
+func BenchmarkPQSearchSerial(b *testing.B) {
+	n := segmentMinRows
+	ix, queries := buildBenchPQ(b, n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ix.Search(queries[i%len(queries)], 10)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(n), "ns/vector")
+}
+
+// BenchmarkPQSearchBatch amortises LUT construction across the batch and
+// re-streams each cache-resident code segment once per query.
+func BenchmarkPQSearchBatch(b *testing.B) {
+	ix, queries := buildBenchPQ(b, benchN)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ix.SearchBatch(queries, 10)
+	}
+	b.ReportMetric(
+		float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(benchN)/float64(len(queries)),
+		"ns/vector")
+}
+
+// BenchmarkIVFPQSearch composes the coarse probe with PQ cells: ns/vector
+// is per row actually scanned (n × nprobe/nlist), the figure to compare
+// with BenchmarkIVFSearch's FP16 cells.
+func BenchmarkIVFPQSearch(b *testing.B) {
+	r := rng.New(1)
+	ix := NewIVFPQ(IVFPQConfig{Dim: benchDim, NList: 256, NProbe: 8, M: benchPQM, Seed: 1})
+	const n = 20_000
+	for _, v := range randomUnit(r, n, benchDim) {
+		ix.Add(v, "")
+	}
+	ix.Train()
+	queries := randomUnit(r, 64, benchDim)
+	scanned := float64(n) * float64(ix.NProbe()) / float64(ix.NList())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ix.Search(queries[i%len(queries)], 10)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/scanned, "ns/vector")
+	reportBytesPerVector(b, ix)
 }
 
 func BenchmarkIVFSearch(b *testing.B) {

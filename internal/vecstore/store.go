@@ -1,44 +1,3 @@
-// Package vecstore is the vector-database substrate standing in for FAISS.
-//
-// The paper stores 173,318 PubMedBERT chunk embeddings as FP16 in FAISS and
-// three additional stores of reasoning-trace embeddings. This package
-// provides the same capabilities in pure Go:
-//
-//   - Flat: exact inner-product / cosine search (FAISS IndexFlatIP),
-//   - IVF: inverted-file index with a k-means coarse quantizer and nprobe
-//     search (FAISS IndexIVFFlat), trading recall for throughput,
-//   - HNSW: graph-based approximate search (FAISS IndexHNSWFlat),
-//   - SQ8: 8-bit scalar quantization (FAISS IndexScalarQuantizer),
-//   - attached per-vector metadata payloads (ids, provenance),
-//   - binary persistence, and parallel single- and multi-query batch search.
-//
-// # Storage layout and scan kernel
-//
-// All code-based indexes use FAISS's contiguous-block layout: one flat
-// array holds every row, with row i at codes[i*dim:(i+1)*dim] (Flat and
-// SQ8 globally; IVF as one contiguous block per inverted list). There are
-// no per-vector slice headers and no pointer dereferences on the scan
-// path. Searches run through a blocked kernel (scan.go): a tile of
-// scanTileRows (64) rows is decoded into a pooled FP32 scratch buffer
-// once, then scored with the 4-way-unrolled float32 dot product. Blocks
-// with at least segmentMinRows (4096) rows of work per core are split into
-// GOMAXPROCS segments scanned concurrently with per-segment top-k heaps
-// merged exactly at the end — a single query saturates the machine, not
-// just the query-level fan-out of BatchSearch.
-//
-// SearchBatch is the multi-query kernel: each decoded tile is reused
-// across the whole query batch, amortising decode bandwidth the way a
-// GEMM amortises operand loads. BatchSearch delegates to it whenever the
-// index implements BatchSearcher.
-//
-// Scores are bit-for-bit identical to the reference scalar scan (decode
-// one row, one dot product at a time): binary16→float32 decoding is exact,
-// the accumulation trees match, and top-k selection uses the total order
-// (score descending, id ascending), making segment merges associative.
-// parity_test.go pins this down.
-//
-// All indexes are safe for concurrent Search after construction; Add is not
-// concurrent with Search.
 package vecstore
 
 import (
@@ -289,6 +248,48 @@ func sortResults(rs []Result) {
 	sort.Slice(rs, func(i, j int) bool {
 		return worse(rs[j].Score, rs[j].ID, rs[i].Score, rs[i].ID)
 	})
+}
+
+// IndexStats describes an index's storage profile for reports (the
+// recall/memory/QPS trade-off tables rendered by internal/eval).
+type IndexStats struct {
+	Kind    string // index family, e.g. "Flat(FP16)", "PQ(m=48)"
+	Vectors int
+	Dim     int
+	Bytes   int64 // vector/code storage incl. codebooks, excl. keys
+}
+
+// BytesPerVector returns the per-row storage cost, codebooks amortised.
+func (s IndexStats) BytesPerVector() float64 {
+	if s.Vectors == 0 {
+		return 0
+	}
+	return float64(s.Bytes) / float64(s.Vectors)
+}
+
+// StatsOf inspects an index's concrete type and reports its storage
+// profile. Unknown index types report Kind "?" and zero bytes.
+func StatsOf(ix Index) IndexStats {
+	st := IndexStats{Kind: "?", Vectors: ix.Len(), Dim: ix.Dim()}
+	type sized interface{ MemoryBytes() int64 }
+	if m, ok := ix.(sized); ok {
+		st.Bytes = m.MemoryBytes()
+	}
+	switch v := ix.(type) {
+	case *Flat:
+		st.Kind = "Flat(FP16)"
+	case *SQ8:
+		st.Kind = "SQ8"
+	case *IVF:
+		st.Kind = fmt.Sprintf("IVF(nlist=%d,nprobe=%d)", v.NList(), v.NProbe())
+	case *PQ:
+		st.Kind = fmt.Sprintf("PQ(m=%d)", v.M())
+	case *IVFPQ:
+		st.Kind = fmt.Sprintf("IVF-PQ(nlist=%d,nprobe=%d,m=%d)", v.NList(), v.NProbe(), v.M())
+	case *HNSW:
+		st.Kind = "HNSW(FP16)"
+	}
+	return st
 }
 
 // BatchSearch runs many queries against an index, preserving query order.
