@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: verify bench bench-all docs fmt
+.PHONY: verify bench bench-all bench-serve docs fmt race
 
 verify:
 	@unformatted="$$(gofmt -l .)"; \
@@ -15,6 +15,12 @@ verify:
 	$(GO) build ./...
 	$(MAKE) docs
 	$(GO) test ./...
+	$(MAKE) race
+
+# Race gate for the concurrency-heavy packages: the serving layer
+# (coalescer, cache, hot swap), the gateways, and the parallel pipeline.
+race:
+	$(GO) test -race ./internal/serve ./internal/batch ./internal/argo ./internal/pipeline ./internal/rag
 
 # Documentation gate: vet plus a package-comment check — every internal
 # package must open with a `// Package <name> ...` comment somewhere in
@@ -42,6 +48,12 @@ bench:
 # Full paper-artifact bench suite (Tables 2-4, Figures 4-6, ablations).
 bench-all:
 	$(GO) test . -run '^$$' -bench . -benchmem
+
+# End-to-end serving benchmark: ragload drives an in-process ragserve
+# (sequential baseline vs. coalesced concurrency, cache hit rate, hot
+# swaps under load) and writes the machine-readable report.
+bench-serve:
+	$(GO) run ./cmd/ragload -inprocess -scale 0.01 -n 2000 -c 32 -json BENCH_serve.json
 
 fmt:
 	gofmt -w .

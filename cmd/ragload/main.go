@@ -1,0 +1,215 @@
+// Command ragload is the load generator for ragserve: closed- or
+// open-loop traffic against a running server, or a fully in-process
+// benchmark (-inprocess) that builds a corpus, starts a server on a
+// loopback socket, and measures the serving stack end to end — sequential
+// baseline vs. coalesced concurrent throughput, cache hit rate, and hot
+// index swaps under load.
+//
+// Usage:
+//
+//	ragload -addr http://127.0.0.1:8080 -n 5000 -c 32     # drive a server
+//	ragload -addr ... -rate 500                           # open loop at 500 qps
+//	ragload -inprocess -scale 0.01 -json BENCH_serve.json # end-to-end bench
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8080", "target server base URL")
+	inprocess := flag.Bool("inprocess", false, "build a corpus and server in-process instead of targeting -addr")
+	scale := flag.Float64("scale", 0.01, "corpus scale for -inprocess")
+	seed := flag.Uint64("seed", 42, "corpus seed for -inprocess")
+	n := flag.Int("n", 2000, "requests per phase")
+	c := flag.Int("c", 32, "concurrent clients (closed loop) / in-flight cap (open loop)")
+	rate := flag.Float64("rate", 0, "open-loop admission rate in qps (0 = closed loop)")
+	k := flag.Int("k", 5, "retrieval depth")
+	nq := flag.Int("queries", 0, "distinct query pool size (remote: 0 = one per request; inprocess: hot-set size for the cached phase, 0 = 64)")
+	swaps := flag.Int("swaps", 4, "hot swaps performed during the -inprocess swap phase (0 disables)")
+	jsonPath := flag.String("json", "", "write the machine-readable report here")
+	flag.Parse()
+
+	var err error
+	if *inprocess {
+		err = runInProcess(*scale, *seed, *n, *c, *k, *nq, *swaps, *rate, *jsonPath)
+	} else {
+		err = runRemote(*addr, *n, *c, *nq, *k, *rate, *jsonPath)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+// queryPool derives load queries from chunk-like topic vocabulary. Each is
+// distinct, so a pool larger than the cache defeats it and a small pool
+// exercises it.
+func queryPool(n int) []string {
+	topics := []string{"galaxy formation", "neutrino oscillation", "stellar wind", "dark matter halo",
+		"accretion disk", "gravitational lensing", "pulsar timing", "cosmic ray flux"}
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("%s observation run %d with instrument channel %d", topics[i%len(topics)], i, i*13%97)
+	}
+	return out
+}
+
+func runRemote(addr string, n, c, nq, k int, rate float64, jsonPath string) error {
+	client := serve.NewClient(addr, nil)
+	if _, err := client.Healthz(); err != nil {
+		return fmt.Errorf("server not healthy: %w", err)
+	}
+	if nq <= 0 {
+		nq = n
+	}
+	rep := serve.RunLoad(serve.LoadConfig{
+		Concurrency: c, Requests: n, RatePerSec: rate, K: k, Queries: queryPool(nq),
+	}, func(q string, k int) error {
+		_, err := client.Search(q, k)
+		return err
+	})
+	fmt.Println(rep)
+	mtext, err := client.Metrics()
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nserver /metrics:")
+	fmt.Print(mtext)
+	if jsonPath != "" {
+		return writeJSON(jsonPath, map[string]any{"bench": "serve", "load": rep})
+	}
+	return nil
+}
+
+// benchReport is the BENCH_serve.json schema.
+type benchReport struct {
+	Bench        string            `json:"bench"`
+	Scale        float64           `json:"scale"`
+	Chunks       int               `json:"chunks"`
+	Sequential   *serve.LoadReport `json:"sequential"`
+	Concurrent   *serve.LoadReport `json:"concurrent"`
+	Cached       *serve.LoadReport `json:"cached"`
+	SwapPhase    *serve.LoadReport `json:"swap_phase,omitempty"`
+	Speedup      float64           `json:"speedup_qps"`
+	MeanBatch    float64           `json:"mean_batch"`
+	CacheHitRate float64           `json:"cache_hit_rate"`
+	Swaps        int               `json:"swaps"`
+	SwapFailures int64             `json:"swap_failures"`
+	P50MS        float64           `json:"latency_p50_ms"`
+	P95MS        float64           `json:"latency_p95_ms"`
+	P99MS        float64           `json:"latency_p99_ms"`
+}
+
+func runInProcess(scale float64, seed uint64, n, c, k, nq, swaps int, rate float64, jsonPath string) error {
+	if nq <= 0 {
+		nq = 64
+	}
+	cfg := core.DefaultConfig(scale)
+	cfg.Seed = seed
+	fmt.Printf("building corpus at scale %.4f (seed %d)…\n", scale, seed)
+	a, err := core.BuildBenchmark(cfg)
+	if err != nil {
+		return err
+	}
+	srv := serve.New(a.ChunkStore, serve.DefaultConfig())
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		return err
+	}
+	defer srv.Close()
+	client := serve.NewClient("http://"+srv.Addr(), nil)
+	do := func(q string, kk int) error {
+		_, err := client.Search(q, kk)
+		return err
+	}
+	fmt.Printf("serving %d chunks on %s\n\n", len(a.Chunks), srv.Addr())
+	rep := benchReport{Bench: "serve", Scale: scale, Chunks: len(a.Chunks), Swaps: swaps}
+
+	// Phase 1 — sequential baseline: one client, distinct queries, so every
+	// request is a cache-missing batch of one.
+	rep.Sequential = serve.RunLoad(serve.LoadConfig{Concurrency: 1, Requests: n, K: k, Queries: queryPool(n)}, do)
+	fmt.Printf("sequential baseline:\n%s\n\n", rep.Sequential)
+
+	// Phase 2 — concurrent closed loop on fresh distinct queries: the same
+	// per-request work, but coalesced onto the batch kernel.
+	before := srv.Registry().Snapshot()
+	q2 := queryPool(2 * n)[n:] // disjoint from phase 1 → no cache hits
+	rep.Concurrent = serve.RunLoad(serve.LoadConfig{Concurrency: c, Requests: n, RatePerSec: rate, K: k, Queries: q2}, do)
+	after := srv.Registry().Snapshot()
+	batches := after.Counter("serve.batches") - before.Counter("serve.batches")
+	queries := after.Counter("serve.batch.queries") - before.Counter("serve.batch.queries")
+	if batches > 0 {
+		rep.MeanBatch = float64(queries) / float64(batches)
+	}
+	rep.Speedup = rep.Concurrent.QPS / rep.Sequential.QPS
+	fmt.Printf("concurrent (%d clients):\n%s\nmean batch %.2f, speedup %.2fx over sequential\n\n",
+		c, rep.Concurrent, rep.MeanBatch, rep.Speedup)
+
+	// Phase 3 — hot query set: a pool much smaller than the cache, and
+	// disjoint from phases 1-2 so the measured hit rate includes the hot
+	// set's own compulsory misses.
+	before = after
+	hot := queryPool(2*n + nq)[2*n:]
+	rep.Cached = serve.RunLoad(serve.LoadConfig{Concurrency: c, Requests: n, K: k, Queries: hot}, do)
+	after = srv.Registry().Snapshot()
+	hits := after.Counter("serve.cache.hits") - before.Counter("serve.cache.hits")
+	misses := after.Counter("serve.cache.misses") - before.Counter("serve.cache.misses")
+	if hits+misses > 0 {
+		rep.CacheHitRate = float64(hits) / float64(hits+misses)
+	}
+	fmt.Printf("cached hot set:\n%s\ncache hit rate %.1f%%\n\n", rep.Cached, 100*rep.CacheHitRate)
+
+	// Phase 4 — hot swaps under load: save the index, then swap it in
+	// repeatedly while the closed loop runs. Zero failures expected.
+	if swaps > 0 {
+		dir, err := os.MkdirTemp("", "ragload")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		vsf := filepath.Join(dir, "index.vsf")
+		if err := a.ChunkStore.SaveIndex(vsf); err != nil {
+			return err
+		}
+		done := make(chan *serve.LoadReport, 1)
+		go func() {
+			done <- serve.RunLoad(serve.LoadConfig{Concurrency: c, Requests: n, K: k, Queries: queryPool(n)}, do)
+		}()
+		for i := 0; i < swaps; i++ {
+			time.Sleep(10 * time.Millisecond)
+			if _, err := client.Swap(vsf); err != nil {
+				return fmt.Errorf("hot swap %d: %w", i, err)
+			}
+		}
+		rep.SwapPhase = <-done
+		rep.SwapFailures = rep.SwapPhase.Failures
+		fmt.Printf("under %d hot swaps:\n%s\nswap failures: %d\n\n", swaps, rep.SwapPhase, rep.SwapFailures)
+	}
+
+	rep.P50MS, rep.P95MS, rep.P99MS = rep.Concurrent.P50MS, rep.Concurrent.P95MS, rep.Concurrent.P99MS
+	fmt.Println("server /metrics after all phases:")
+	fmt.Print(srv.Registry().Render())
+	if jsonPath != "" {
+		if err := writeJSON(jsonPath, rep); err != nil {
+			return err
+		}
+		fmt.Printf("\nreport written to %s\n", jsonPath)
+	}
+	return nil
+}
+
+func writeJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

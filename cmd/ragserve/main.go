@@ -1,0 +1,120 @@
+// Command ragserve is the online retrieval server: it builds (or reloads)
+// the chunk retrieval database and serves it over the internal/serve HTTP
+// API — coalesced micro-batch search, query cache, hot index swap,
+// /healthz and /metrics.
+//
+// Usage:
+//
+//	ragserve -addr :8080 -scale 0.02              # synthetic corpus
+//	ragserve -artifacts out/ -index pq            # reuse saved artifacts
+//	ragserve -save-index /tmp/idx.vsf             # keep a swap target
+//
+// Hot swap while serving:
+//
+//	curl -X POST localhost:8080/admin/swap -d '{"path":"/tmp/idx.vsf"}'
+//
+// SIGINT/SIGTERM drains gracefully: the listener closes immediately,
+// in-flight requests finish within the -drain window.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/rag"
+	"repro/internal/serve"
+	"repro/internal/vecstore"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	scale := flag.Float64("scale", 0.02, "fraction of the paper's corpus to build")
+	seed := flag.Uint64("seed", 42, "corpus seed")
+	artifacts := flag.String("artifacts", "", "load a saved artifact directory (from mcqgen) instead of regenerating")
+	indexKind := flag.String("index", "flat", "index kind: flat | ivf | pq | ivfpq")
+	maxBatch := flag.Int("max-batch", 32, "coalescer batch size")
+	maxDelay := flag.Duration("max-delay", time.Millisecond, "coalescer admission window")
+	cacheCap := flag.Int("cache", 4096, "query cache entries (0 disables)")
+	saveIndex := flag.String("save-index", "", "also persist the serving index to this VSF path (handy as a swap target)")
+	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown window")
+	flag.Parse()
+
+	if err := run(*addr, *artifacts, *indexKind, *saveIndex, *scale, *seed, *maxBatch, *cacheCap, *maxDelay, *drain); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(addr, artifactDir, indexKind, saveIndex string, scale float64, seed uint64, maxBatch, cacheCap int, maxDelay, drain time.Duration) error {
+	store, nChunks, err := buildStore(artifactDir, scale, seed, indexKind)
+	if err != nil {
+		return err
+	}
+	if saveIndex != "" {
+		if err := store.SaveIndex(saveIndex); err != nil {
+			return fmt.Errorf("save index: %w", err)
+		}
+		fmt.Printf("index saved to %s\n", saveIndex)
+	}
+
+	cfg := serve.DefaultConfig()
+	cfg.MaxBatch = maxBatch
+	cfg.MaxDelay = maxDelay
+	cfg.CacheCap = cacheCap
+	srv := serve.New(store, cfg)
+	if err := srv.Start(addr); err != nil {
+		return err
+	}
+	st := store.IndexStats()
+	fmt.Printf("ragserve listening on %s — %d chunks, %s index (%.1f bytes/vector), batch≤%d window=%s cache=%d\n",
+		srv.Addr(), nChunks, st.Kind, st.BytesPerVector(), maxBatch, maxDelay, cacheCap)
+
+	// SIGTERM drain: stop accepting, let in-flight requests finish.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	fmt.Println("\ndraining…")
+	drainCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	fmt.Println(srv.Registry().Render())
+	return nil
+}
+
+func buildStore(artifactDir string, scale float64, seed uint64, indexKind string) (*rag.ChunkStore, int, error) {
+	var a *core.Artifacts
+	var err error
+	if artifactDir != "" {
+		fmt.Printf("loading artifacts from %s…\n", artifactDir)
+		a, err = core.Load(artifactDir)
+	} else {
+		cfg := core.DefaultConfig(scale)
+		cfg.Seed = seed
+		fmt.Printf("building corpus at scale %.4f (seed %d)…\n", scale, seed)
+		a, err = core.BuildBenchmark(cfg)
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	store := a.ChunkStore
+	switch indexKind {
+	case "flat":
+	case "ivf":
+		store.UseIVF(vecstore.IVFConfig{Seed: seed})
+	case "pq":
+		store.UsePQ(vecstore.PQConfig{Seed: seed})
+	case "ivfpq":
+		store.UseIVFPQ(vecstore.IVFPQConfig{Seed: seed})
+	default:
+		return nil, 0, fmt.Errorf("unknown -index %q (flat | ivf | pq | ivfpq)", indexKind)
+	}
+	return store, len(a.Chunks), nil
+}

@@ -258,3 +258,32 @@ func BenchmarkGatewayThroughput(b *testing.B) {
 		}
 	})
 }
+
+func TestServerShutdownDrainsInFlight(t *testing.T) {
+	started := make(chan struct{})
+	handler := func(ctx context.Context, batch []Request) []Response {
+		close(started)
+		time.Sleep(50 * time.Millisecond)
+		return echoHandler(ctx, batch)
+	}
+	srv, err := NewServer("127.0.0.1:0", handler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGateway(Config{MaxRetries: 1}, HTTPHandler("http://"+srv.Addr(), nil))
+	defer g.Close()
+	done := make(chan error, 1)
+	go func() {
+		_, err := g.Call(context.Background(), Request{ID: "inflight", Payload: []byte("x")})
+		done <- err
+	}()
+	<-started
+	// Shutdown while the request is being handled: it must complete, not
+	// be dropped with a connection reset.
+	if err := srv.Close(); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("in-flight request dropped across shutdown: %v", err)
+	}
+}

@@ -6,7 +6,9 @@
 // campaign needs from a model endpoint:
 //
 //   - request coalescing: concurrent Call()s are packed into batches of up
-//     to MaxBatch, or whatever arrived within MaxDelay;
+//     to MaxBatch, or whatever arrived within MaxDelay — provided by the
+//     shared internal/batch coalescer, which the serve retrieval server
+//     reuses for the same admission-window batching;
 //   - token-bucket rate limiting across batches;
 //   - bounded retries with exponential backoff and deterministic jitter for
 //     transient failures;
@@ -20,6 +22,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"repro/internal/batch"
 )
 
 // Request is one unit of model work. Payload is opaque to the gateway.
@@ -74,7 +78,9 @@ func (c *Config) fill() {
 	}
 }
 
-// Stats is a snapshot of gateway accounting.
+// Stats is a snapshot of gateway accounting. Batches counts handler
+// invocations including retry rounds, so it can exceed the coalescer's
+// dispatch count.
 type Stats struct {
 	Requests   int64
 	Batches    int64
@@ -86,26 +92,15 @@ type Stats struct {
 // ErrGatewayClosed is returned by Call after Close.
 var ErrGatewayClosed = errors.New("argo: gateway closed")
 
-type pending struct {
-	req  Request
-	done chan Response
-}
-
-// Gateway batches concurrent requests into handler calls.
+// Gateway batches concurrent requests into handler calls. Coalescing is
+// delegated to internal/batch; the gateway layers the model-endpoint
+// semantics (rate limiting, retry with backoff, ID-keyed handler contract)
+// on top.
 type Gateway struct {
 	cfg     Config
 	handler BatchHandler
-	queue   chan pending
-	closed  chan struct{}
-	wg      sync.WaitGroup
-
-	// closeMu serialises enqueue against shutdown: Call holds the read
-	// side across its enqueue, so Close cannot finish draining while a
-	// request is in flight into the queue (a select races its two ready
-	// cases randomly, so without this a request could be enqueued after
-	// the dispatcher's final drain and never be answered).
-	closeMu    sync.RWMutex
-	closedFlag bool
+	co      *batch.Coalescer[Request, Response]
+	limiter *bucket
 
 	mu    sync.Mutex
 	stats Stats
@@ -117,29 +112,14 @@ func NewGateway(cfg Config, handler BatchHandler) *Gateway {
 	g := &Gateway{
 		cfg:     cfg,
 		handler: handler,
-		queue:   make(chan pending, cfg.MaxBatch*4),
-		closed:  make(chan struct{}),
+		limiter: newBucket(cfg.RatePerSec, cfg.Burst),
 	}
-	g.wg.Add(1)
-	go g.dispatchLoop()
+	g.co = batch.New(batch.Config{MaxBatch: cfg.MaxBatch, MaxDelay: cfg.MaxDelay}, g.serveBatch)
 	return g
 }
 
 // Close drains and stops the gateway. Calls after Close fail.
-func (g *Gateway) Close() {
-	g.closeMu.Lock()
-	if g.closedFlag {
-		g.closeMu.Unlock()
-		return
-	}
-	g.closedFlag = true
-	g.closeMu.Unlock()
-	close(g.closed)
-	g.wg.Wait()
-	// Catch any request whose enqueue won the race against the
-	// dispatcher's own drain.
-	g.failRemaining()
-}
+func (g *Gateway) Close() { g.co.Close() }
 
 // Stats returns a snapshot of the gateway counters.
 func (g *Gateway) Stats() Stats {
@@ -152,34 +132,17 @@ func (g *Gateway) Stats() Stats {
 // are retried internally up to the configured budget; exhaustion surfaces
 // as an error.
 func (g *Gateway) Call(ctx context.Context, req Request) (Response, error) {
-	p := pending{req: req, done: make(chan Response, 1)}
-	// Hold the read side across the enqueue: either we observe the closed
-	// flag and refuse, or the enqueue completes before Close can run its
-	// final drain — so every accepted request is always answered.
-	g.closeMu.RLock()
-	if g.closedFlag {
-		g.closeMu.RUnlock()
-		return Response{}, ErrGatewayClosed
-	}
-	select {
-	case g.queue <- p:
-		g.closeMu.RUnlock()
-	case <-ctx.Done():
-		g.closeMu.RUnlock()
-		return Response{}, ctx.Err()
-	}
-	select {
-	case resp := <-p.done:
-		if resp.Err != "" {
-			if resp.Err == ErrGatewayClosed.Error() {
-				return resp, ErrGatewayClosed
-			}
-			return resp, fmt.Errorf("argo: %s: %s", req.ID, resp.Err)
+	resp, err := g.co.Do(ctx, req)
+	if err != nil {
+		if errors.Is(err, batch.ErrClosed) {
+			return Response{}, ErrGatewayClosed
 		}
-		return resp, nil
-	case <-ctx.Done():
-		return Response{}, ctx.Err()
+		return Response{}, err
 	}
+	if resp.Err != "" {
+		return resp, fmt.Errorf("argo: %s: %s", req.ID, resp.Err)
+	}
+	return resp, nil
 }
 
 // CallAll submits requests concurrently (letting the gateway batch them)
@@ -204,110 +167,79 @@ func (g *Gateway) CallAll(ctx context.Context, reqs []Request) ([]Response, erro
 	return out, nil
 }
 
-// dispatchLoop collects pending requests into batches and services them.
-func (g *Gateway) dispatchLoop() {
-	defer g.wg.Done()
-	limiter := newBucket(g.cfg.RatePerSec, g.cfg.Burst)
-	for {
-		// Block for the first request (or shutdown).
-		var first pending
-		select {
-		case first = <-g.queue:
-		case <-g.closed:
-			g.failRemaining()
-			return
-		}
-		batch := []pending{first}
-		timer := time.NewTimer(g.cfg.MaxDelay)
-	fill:
-		for len(batch) < g.cfg.MaxBatch {
-			select {
-			case p := <-g.queue:
-				batch = append(batch, p)
-			case <-timer.C:
-				break fill
-			case <-g.closed:
-				break fill
-			}
-		}
-		timer.Stop()
-		limiter.wait()
-		g.serveBatch(batch, 0)
-	}
+// serveBatch is the coalescer's batch function: one rate-limiter token per
+// coalesced batch, then the retry loop.
+func (g *Gateway) serveBatch(reqs []Request) []Response {
+	g.limiter.wait()
+	return g.serveAttempt(reqs, 0)
 }
 
-// failRemaining answers queued requests with a closed error.
-func (g *Gateway) failRemaining() {
-	for {
-		select {
-		case p := <-g.queue:
-			p.done <- Response{ID: p.req.ID, Err: ErrGatewayClosed.Error()}
-		default:
-			return
-		}
-	}
-}
-
-// serveBatch invokes the handler, delivering terminal responses and
-// re-serving transient failures with backoff until the retry budget is
-// spent.
-func (g *Gateway) serveBatch(batch []pending, attempt int) {
-	reqs := make([]Request, len(batch))
-	byID := make(map[string]pending, len(batch))
-	for i, p := range batch {
-		reqs[i] = p.req
-		byID[p.req.ID] = p
-	}
+// serveAttempt invokes the handler once, resolves terminal responses, and
+// re-serves transient failures with backoff until the retry budget is
+// spent. Results are index-aligned with reqs, as the coalescer requires —
+// which means batchmates of a retried request wait for the retry chain
+// (bounded by sum-of-backoffs, ~a few ms at the default BaseBackoff)
+// instead of receiving their already-computed responses early, the one
+// semantic trade-off of delegating delivery to the shared coalescer.
+func (g *Gateway) serveAttempt(reqs []Request, attempt int) []Response {
 	g.mu.Lock()
 	g.stats.Batches++
 	if attempt == 0 {
-		g.stats.Requests += int64(len(batch))
+		g.stats.Requests += int64(len(reqs))
 	}
-	if len(batch) > g.stats.MaxBatched {
-		g.stats.MaxBatched = len(batch)
+	if len(reqs) > g.stats.MaxBatched {
+		g.stats.MaxBatched = len(reqs)
 	}
 	g.mu.Unlock()
 
 	responses := g.handler(context.Background(), reqs)
-	var retry []pending
-	answered := make(map[string]bool, len(responses))
+	byID := make(map[string]Response, len(responses))
 	for _, resp := range responses {
-		p, ok := byID[resp.ID]
+		byID[resp.ID] = resp
+	}
+
+	out := make([]Response, len(reqs))
+	var retryReqs []Request
+	var retryIdx []int
+	for i, req := range reqs {
+		resp, ok := byID[req.ID]
 		if !ok {
+			// Handler contract violations (missing IDs) become failures.
+			g.countFailure()
+			out[i] = Response{ID: req.ID, Err: "argo: handler returned no response"}
 			continue
 		}
-		answered[resp.ID] = true
 		if resp.Retry && attempt < g.cfg.MaxRetries {
-			retry = append(retry, p)
+			retryReqs = append(retryReqs, req)
+			retryIdx = append(retryIdx, i)
 			continue
 		}
 		if resp.Err != "" {
-			g.mu.Lock()
-			g.stats.Failures++
-			g.mu.Unlock()
+			g.countFailure()
 		}
-		p.done <- resp
+		out[i] = resp
 	}
-	// Handler contract violations (missing IDs) become failures.
-	for id, p := range byID {
-		if !answered[id] {
-			g.mu.Lock()
-			g.stats.Failures++
-			g.mu.Unlock()
-			p.done <- Response{ID: id, Err: "argo: handler returned no response"}
-		}
-	}
-	if len(retry) > 0 {
+	if len(retryReqs) > 0 {
 		g.mu.Lock()
-		g.stats.Retries += int64(len(retry))
+		g.stats.Retries += int64(len(retryReqs))
 		g.mu.Unlock()
 		// Exponential backoff with deterministic jitter from the attempt
 		// number (no wall-clock randomness, keeping runs reproducible).
 		delay := g.cfg.BaseBackoff << uint(attempt)
 		delay += time.Duration(attempt*7%5) * g.cfg.BaseBackoff / 4
 		time.Sleep(delay)
-		g.serveBatch(retry, attempt+1)
+		retried := g.serveAttempt(retryReqs, attempt+1)
+		for j, i := range retryIdx {
+			out[i] = retried[j]
+		}
 	}
+	return out
+}
+
+func (g *Gateway) countFailure() {
+	g.mu.Lock()
+	g.stats.Failures++
+	g.mu.Unlock()
 }
 
 // bucket is a token-bucket rate limiter; nil-safe when disabled.

@@ -54,11 +54,20 @@ func NewServer(addr string, handler BatchHandler) (*Server, error) {
 // Addr returns the bound address.
 func (s *Server) Addr() string { return s.listener.Addr().String() }
 
-// Close shuts the server down.
-func (s *Server) Close() error {
-	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
-	defer cancel()
+// Shutdown drains the server gracefully: the listener stops accepting new
+// connections immediately, but requests already being handled run to
+// completion (or until ctx expires, whichever is first). This is the
+// SIGTERM drain pattern the serve layer's ragserve binary reuses.
+func (s *Server) Shutdown(ctx context.Context) error {
 	return s.httpSrv.Shutdown(ctx)
+}
+
+// Close shuts the server down, giving in-flight requests a bounded drain
+// window rather than dropping them.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	return s.Shutdown(ctx)
 }
 
 func (s *Server) serveBatch(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,144 @@
+package batch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// double answers each int with its double.
+func double(items []int) []int {
+	out := make([]int, len(items))
+	for i, v := range items {
+		out[i] = v * 2
+	}
+	return out
+}
+
+func TestDoRoundTrip(t *testing.T) {
+	c := New(Config{}, double)
+	defer c.Close()
+	got, err := c.Do(context.Background(), 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 42 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+func TestCoalescing(t *testing.T) {
+	var maxBatch int32
+	run := func(items []int) []int {
+		for {
+			m := atomic.LoadInt32(&maxBatch)
+			if int32(len(items)) <= m || atomic.CompareAndSwapInt32(&maxBatch, m, int32(len(items))) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		return double(items)
+	}
+	c := New(Config{MaxBatch: 8, MaxDelay: 5 * time.Millisecond}, run)
+	defer c.Close()
+	var wg sync.WaitGroup
+	errs := make([]error, 64)
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got, err := c.Do(context.Background(), i)
+			if err == nil && got != i*2 {
+				err = fmt.Errorf("item %d answered %d", i, got)
+			}
+			errs[i] = err
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if atomic.LoadInt32(&maxBatch) < 2 {
+		t.Fatalf("no coalescing observed (max batch %d)", maxBatch)
+	}
+	st := c.Stats()
+	if st.Items != 64 || st.Batches < 8 || st.MaxBatch > 8 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestResultsAlignedUnderConcurrency(t *testing.T) {
+	c := New(Config{MaxBatch: 4, MaxDelay: time.Millisecond}, double)
+	defer c.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 100; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if got, err := c.Do(context.Background(), i); err != nil || got != i*2 {
+				t.Errorf("item %d: got %d err %v", i, got, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestClosed(t *testing.T) {
+	c := New(Config{}, double)
+	c.Close()
+	if _, err := c.Do(context.Background(), 1); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err %v", err)
+	}
+	c.Close() // idempotent
+}
+
+func TestCloseAnswersEveryAcceptedItem(t *testing.T) {
+	// Hammer Close against concurrent Do: every call must either complete
+	// or fail with ErrClosed — never hang.
+	for round := 0; round < 20; round++ {
+		c := New(Config{MaxBatch: 4, MaxDelay: 100 * time.Microsecond}, double)
+		var wg sync.WaitGroup
+		for i := 0; i < 16; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				got, err := c.Do(context.Background(), i)
+				if err == nil && got != i*2 {
+					t.Errorf("item %d answered %d", i, got)
+				} else if err != nil && !errors.Is(err, ErrClosed) {
+					t.Errorf("item %d: %v", i, err)
+				}
+			}(i)
+		}
+		c.Close()
+		wg.Wait()
+	}
+}
+
+func TestContextCancelled(t *testing.T) {
+	block := make(chan struct{})
+	c := New(Config{MaxDelay: time.Millisecond}, func(items []int) []int {
+		<-block
+		return double(items)
+	})
+	defer func() { close(block); c.Close() }()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	if _, err := c.Do(ctx, 1); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err %v", err)
+	}
+}
+
+func TestShortResultSliceFails(t *testing.T) {
+	c := New(Config{}, func(items []int) []int { return nil })
+	defer c.Close()
+	if _, err := c.Do(context.Background(), 1); err == nil {
+		t.Fatal("short batch result did not surface as an error")
+	}
+}

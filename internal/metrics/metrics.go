@@ -48,6 +48,11 @@ func (g *Gauge) Set(n int64) { g.v.Store(n) }
 func (g *Gauge) Value() int64 { return g.v.Load() }
 
 // Histogram accumulates duration observations into fixed buckets.
+//
+// A histogram can also track a dimensionless size distribution (batch
+// sizes, result counts): NewSizeHistogram stores each observation as
+// 1ns == 1 unit and marks the histogram so exports render plain integers
+// instead of durations.
 type Histogram struct {
 	mu      sync.Mutex
 	bounds  []time.Duration // ascending upper bounds; implicit +inf last
@@ -55,6 +60,7 @@ type Histogram struct {
 	sum     time.Duration
 	total   int64
 	maxSeen time.Duration
+	sizes   bool // observations are dimensionless counts, not durations
 }
 
 // DefaultBounds covers microseconds to minutes, the range of pipeline item
@@ -77,6 +83,29 @@ func NewHistogram(bounds []time.Duration) *Histogram {
 	}
 	return &Histogram{bounds: bounds, counts: make([]int64, len(bounds)+1)}
 }
+
+// DefaultSizeBounds covers the batch sizes a coalescing gateway sees
+// (power-of-two buckets up to 256).
+var DefaultSizeBounds = []int64{1, 2, 4, 8, 16, 32, 64, 128, 256}
+
+// NewSizeHistogram returns a histogram over dimensionless sizes with the
+// given ascending integer bucket bounds (nil selects DefaultSizeBounds).
+// Record observations with ObserveN.
+func NewSizeHistogram(bounds []int64) *Histogram {
+	if bounds == nil {
+		bounds = DefaultSizeBounds
+	}
+	db := make([]time.Duration, len(bounds))
+	for i, b := range bounds {
+		db[i] = time.Duration(b)
+	}
+	h := NewHistogram(db)
+	h.sizes = true
+	return h
+}
+
+// ObserveN records one dimensionless size observation.
+func (h *Histogram) ObserveN(n int64) { h.Observe(time.Duration(n)) }
 
 // Observe records one duration.
 func (h *Histogram) Observe(d time.Duration) {
@@ -106,13 +135,15 @@ type Snapshot struct {
 	// Buckets maps each bound (and +inf as 0) to its cumulative count.
 	Counts []int64
 	Bounds []time.Duration
+	// Sizes marks a dimensionless size histogram (1ns == 1 unit).
+	Sizes bool
 }
 
 // Snapshot returns the current state.
 func (h *Histogram) Snapshot() Snapshot {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	s := Snapshot{Total: h.total, Max: h.maxSeen}
+	s := Snapshot{Total: h.total, Max: h.maxSeen, Sizes: h.sizes}
 	if h.total > 0 {
 		s.Mean = h.sum / time.Duration(h.total)
 	}
@@ -185,8 +216,10 @@ func (r *Registry) Gauge(name string) *Gauge {
 	return g
 }
 
-// Histogram returns (creating on first use) the named histogram with
-// default bounds.
+// Histogram returns (creating on first use) the named duration histogram
+// with default bounds. Panics if the name is already a size histogram —
+// the two kinds render differently, so a silent mix-up would corrupt the
+// export.
 func (r *Registry) Histogram(name string) *Histogram {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -194,6 +227,24 @@ func (r *Registry) Histogram(name string) *Histogram {
 	if !ok {
 		h = NewHistogram(nil)
 		r.histograms[name] = h
+	} else if h.sizes {
+		panic(fmt.Sprintf("metrics: histogram %q already registered as a size histogram", name))
+	}
+	return h
+}
+
+// SizeHistogram returns (creating on first use) the named dimensionless
+// size histogram with default bounds. Panics if the name is already a
+// duration histogram (see Histogram).
+func (r *Registry) SizeHistogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = NewSizeHistogram(nil)
+		r.histograms[name] = h
+	} else if !h.sizes {
+		panic(fmt.Sprintf("metrics: histogram %q already registered as a duration histogram", name))
 	}
 	return h
 }

@@ -169,3 +169,129 @@ func TestRegistryReport(t *testing.T) {
 		}
 	}
 }
+
+func TestQuantileEmptyHistogram(t *testing.T) {
+	s := NewHistogram(nil).Snapshot()
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := s.Quantile(q); got != 0 {
+			t.Fatalf("empty histogram Quantile(%v) = %v", q, got)
+		}
+	}
+}
+
+func TestQuantileExtremes(t *testing.T) {
+	h := NewHistogram([]time.Duration{time.Millisecond, time.Second})
+	h.Observe(500 * time.Microsecond) // first bucket
+	h.Observe(100 * time.Millisecond) // second bucket
+	h.Observe(2 * time.Second)        // overflow bucket
+	s := h.Snapshot()
+	// q=0 clamps to the first observation's bucket bound.
+	if got := s.Quantile(0); got != time.Millisecond {
+		t.Fatalf("Quantile(0) = %v", got)
+	}
+	// q=1 lands in the overflow bucket, whose bound is the observed max.
+	if got := s.Quantile(1); got != 2*time.Second {
+		t.Fatalf("Quantile(1) = %v", got)
+	}
+}
+
+func TestQuantileSingleBucket(t *testing.T) {
+	h := NewHistogram([]time.Duration{time.Millisecond})
+	h.Observe(10 * time.Microsecond)
+	s := h.Snapshot()
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := s.Quantile(q); got != time.Millisecond {
+			t.Fatalf("Quantile(%v) = %v", q, got)
+		}
+	}
+}
+
+func TestSizeHistogram(t *testing.T) {
+	h := NewSizeHistogram(nil)
+	for _, n := range []int64{1, 1, 4, 9, 30} {
+		h.ObserveN(n)
+	}
+	s := h.Snapshot()
+	if !s.Sizes {
+		t.Fatal("size flag lost in snapshot")
+	}
+	if s.Total != 5 || int64(s.Max) != 30 {
+		t.Fatalf("snapshot %+v", s)
+	}
+	// Median of {1,1,4,9,30} falls in the le=1 bucket.
+	if got := s.Quantile(0.5); int64(got) != 1 {
+		t.Fatalf("p50 = %d", int64(got))
+	}
+}
+
+func TestRegistrySnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits").Add(3)
+	r.Gauge("depth").Set(7)
+	r.Histogram("lat").Observe(2 * time.Millisecond)
+	r.SizeHistogram("batch").ObserveN(4)
+	s := r.Snapshot()
+	if s.Counter("hits") != 3 || s.Gauge("depth") != 7 {
+		t.Fatalf("snapshot %+v", s)
+	}
+	if s.Histogram("lat").Total != 1 || s.Histogram("batch").Total != 1 {
+		t.Fatal("histogram snapshots missing")
+	}
+	if !s.Histogram("batch").Sizes || s.Histogram("lat").Sizes {
+		t.Fatal("size flag mixed up between histograms")
+	}
+	if s.Counter("absent") != 0 {
+		t.Fatal("absent counter not zero")
+	}
+}
+
+func TestRegistryRender(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("serve.requests").Add(10)
+	r.Gauge("serve.index.len").Set(128)
+	r.Histogram("serve.latency").Observe(5 * time.Millisecond)
+	r.SizeHistogram("serve.batch.size").ObserveN(8)
+	out := r.Render()
+	for _, want := range []string{
+		"counter serve.requests 10\n",
+		"gauge serve.index.len 128\n",
+		"histogram serve.latency count=1",
+		"histogram serve.batch.size count=1 mean=8 p50=8 p95=8 p99=8 max=8\n",
+		"histogram_bucket serve.batch.size le=8 1\n",
+		"histogram_bucket serve.latency le=+inf 1\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q in:\n%s", want, out)
+		}
+	}
+	// Deterministic: two renders agree.
+	if out != r.Render() {
+		t.Fatal("render not deterministic")
+	}
+	// WriteTo agrees with Render and reports its length.
+	var b strings.Builder
+	n, err := r.WriteTo(&b)
+	if err != nil || b.String() != out || n != int64(len(out)) {
+		t.Fatalf("WriteTo n=%d err=%v", n, err)
+	}
+}
+
+func TestHistogramKindCollisionPanics(t *testing.T) {
+	r := NewRegistry()
+	r.SizeHistogram("batch")
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("duration lookup of a size histogram did not panic")
+			}
+		}()
+		r.Histogram("batch")
+	}()
+	r.Histogram("lat")
+	defer func() {
+		if recover() == nil {
+			t.Error("size lookup of a duration histogram did not panic")
+		}
+	}()
+	r.SizeHistogram("lat")
+}

@@ -458,3 +458,70 @@ func TestTraceRetrieveBatchMatchesRetrieve(t *testing.T) {
 		}
 	}
 }
+
+func TestChunkStoreWithIndexSnapshot(t *testing.T) {
+	fx := buildFixture(t, 4)
+	store := BuildChunkStore(nil, fx.chunks, 0)
+	dir := t.TempDir()
+	path := dir + "/snap.vsf"
+	if err := store.SaveIndex(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := vecstore.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := store.WithIndex(loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap == store {
+		t.Fatal("WithIndex returned the receiver, not a snapshot")
+	}
+	if store.Index() == snap.Index() {
+		t.Fatal("snapshot shares the receiver's index")
+	}
+	// Same data behind both indexes → identical retrieval.
+	query := fx.chunks[0].Text
+	before, after := store.Retrieve(query, 3), snap.Retrieve(query, 3)
+	if len(before) == 0 || len(before) != len(after) {
+		t.Fatalf("result lengths %d vs %d", len(before), len(after))
+	}
+	for i := range before {
+		if before[i].Chunk.ID != after[i].Chunk.ID {
+			t.Fatalf("result %d: %s vs %s", i, before[i].Chunk.ID, after[i].Chunk.ID)
+		}
+	}
+}
+
+func TestWithIndexRejectsMismatch(t *testing.T) {
+	fx := buildFixture(t, 2)
+	store := BuildChunkStore(nil, fx.chunks, 0)
+	if _, err := store.WithIndex(nil); err == nil {
+		t.Fatal("nil index accepted")
+	}
+	if _, err := store.WithIndex(vecstore.NewFlat(7)); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+	// Right dimension, wrong corpus: sampled keys must resolve in byKey.
+	alien := vecstore.NewFlat(embed.NewDefault().Dim())
+	alien.Add(make([]float32, alien.Dim()), "not-a-chunk")
+	if _, err := store.WithIndex(alien); err == nil {
+		t.Fatal("foreign-corpus index accepted")
+	}
+	stores := TraceStores(nil, fx.traces, QuestionFactMap(fx.questions), 0)
+	for _, ts := range stores {
+		if _, err := ts.WithIndex(vecstore.NewFlat(7)); err == nil {
+			t.Fatal("trace store dimension mismatch accepted")
+		}
+		break
+	}
+}
+
+func TestWithIndexRejectsEmptyIndex(t *testing.T) {
+	fx := buildFixture(t, 2)
+	store := BuildChunkStore(nil, fx.chunks, 0)
+	if _, err := store.WithIndex(vecstore.NewFlat(embed.NewDefault().Dim())); err == nil {
+		t.Fatal("empty index accepted as a swap target")
+	}
+}

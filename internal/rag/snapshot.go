@@ -1,0 +1,88 @@
+package rag
+
+import (
+	"fmt"
+
+	"repro/internal/vecstore"
+)
+
+// Hot-swap hooks for the serving layer: a store is treated as an immutable
+// snapshot, and "swapping the index" means deriving a new snapshot that
+// shares the encoder and metadata maps but serves a different
+// vecstore.Index. The serving layer loads/trains the replacement index in
+// the background, derives the snapshot with WithIndex, and publishes it
+// with one atomic pointer store — readers mid-search keep the old snapshot,
+// so no request ever observes a torn index.
+
+// WithIndex returns a snapshot of the store serving index instead of the
+// current one. The encoder and chunk metadata are shared (both are
+// read-only at serve time); the receiver is not modified. The index keys
+// must be chunk ids from the same corpus, and its dimensionality must
+// match the encoder's.
+func (s *ChunkStore) WithIndex(index vecstore.Index) (*ChunkStore, error) {
+	if err := validateIndex(index, s.enc.Dim(), func(k string) bool {
+		_, ok := s.byKey[k]
+		return ok
+	}); err != nil {
+		return nil, err
+	}
+	return &ChunkStore{enc: s.enc, index: index, byKey: s.byKey}, nil
+}
+
+// keyed is implemented by every vecstore index; it lets WithIndex probe
+// stored keys without widening the Index interface.
+type keyed interface{ Key(id int) string }
+
+// validateIndex rejects the swaps that would otherwise fail silently: a
+// dimension mismatch, and — by sampling stored keys against the store's
+// metadata — a same-dimension index built from a different corpus (whose
+// hits would all be dropped by collect, serving empty results with no
+// error).
+func validateIndex(index vecstore.Index, dim int, known func(string) bool) error {
+	if index == nil {
+		return fmt.Errorf("rag: WithIndex: nil index")
+	}
+	if index.Dim() != dim {
+		return fmt.Errorf("rag: WithIndex: index dim %d != encoder dim %d", index.Dim(), dim)
+	}
+	n := index.Len()
+	if n == 0 {
+		// An empty replacement would silently serve empty results — the
+		// same failure mode the key sampling below exists to reject.
+		return fmt.Errorf("rag: WithIndex: refusing to swap to an empty index")
+	}
+	kx, ok := index.(keyed)
+	if !ok {
+		return nil
+	}
+	samples := 16
+	if n < samples {
+		samples = n
+	}
+	for i := 0; i < samples; i++ {
+		if key := kx.Key(i * n / samples); !known(key) {
+			return fmt.Errorf("rag: WithIndex: index key %q not in store metadata (index from a different corpus?)", key)
+		}
+	}
+	return nil
+}
+
+// Index exposes the store's current index for stats and persistence; treat
+// it as read-only while the store is serving.
+func (s *ChunkStore) Index() vecstore.Index { return s.index }
+
+// WithIndex returns a snapshot of the trace store serving index instead of
+// the current one (see ChunkStore.WithIndex).
+func (s *TraceStore) WithIndex(index vecstore.Index) (*TraceStore, error) {
+	if err := validateIndex(index, s.enc.Dim(), func(k string) bool {
+		_, ok := s.byKey[k]
+		return ok
+	}); err != nil {
+		return nil, err
+	}
+	return &TraceStore{mode: s.mode, enc: s.enc, index: index, byKey: s.byKey, factOf: s.factOf}, nil
+}
+
+// Index exposes the trace store's current index; treat it as read-only
+// while the store is serving.
+func (s *TraceStore) Index() vecstore.Index { return s.index }

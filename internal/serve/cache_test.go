@@ -1,0 +1,196 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/chunk"
+	"repro/internal/rag"
+)
+
+func val(id string) CachedResult {
+	return CachedResult{Results: []rag.RetrievedChunk{{Chunk: chunk.Chunk{ID: id}, Score: 1}}, Epoch: 1}
+}
+
+func TestCacheGetPut(t *testing.T) {
+	c := NewCache(16, 4)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put("a", val("x"))
+	got, ok := c.Get("a")
+	if !ok || got.Results[0].Chunk.ID != "x" {
+		t.Fatalf("got %v ok=%v", got, ok)
+	}
+	c.Put("a", val("y")) // overwrite
+	if got, _ := c.Get("a"); got.Results[0].Chunk.ID != "y" {
+		t.Fatal("overwrite lost")
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len %d", c.Len())
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(4, 1) // single shard → strict global LRU
+	for i := 0; i < 4; i++ {
+		c.Put(fmt.Sprint(i), val(fmt.Sprint(i)))
+	}
+	c.Get("0") // refresh 0 → 1 is now the LRU entry
+	c.Put("4", val("4"))
+	if _, ok := c.Get("1"); ok {
+		t.Fatal("LRU entry survived eviction")
+	}
+	for _, k := range []string{"0", "2", "3", "4"} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("entry %s evicted prematurely", k)
+		}
+	}
+	if c.Len() != 4 {
+		t.Fatalf("len %d", c.Len())
+	}
+}
+
+func TestCachePurge(t *testing.T) {
+	c := NewCache(32, 8)
+	for i := 0; i < 20; i++ {
+		c.Put(fmt.Sprint(i), val("v"))
+	}
+	if c.Len() == 0 {
+		t.Fatal("nothing cached")
+	}
+	c.Purge()
+	if c.Len() != 0 {
+		t.Fatalf("len %d after purge", c.Len())
+	}
+	if _, ok := c.Get("3"); ok {
+		t.Fatal("entry survived purge")
+	}
+}
+
+func TestCacheShardCapacityClamp(t *testing.T) {
+	// More shards than capacity must still yield ≥1 entry per shard.
+	c := NewCache(2, 8)
+	c.Put("a", val("a"))
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("tiny cache dropped its only entry")
+	}
+}
+
+func TestCacheConcurrent(t *testing.T) {
+	c := NewCache(64, 8)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := fmt.Sprint(i % 50)
+				c.Put(k, val(k))
+				if got, ok := c.Get(k); ok && got.Results[0].Chunk.ID != k {
+					t.Errorf("key %s returned %s", k, got.Results[0].Chunk.ID)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestFlightGroupDedup(t *testing.T) {
+	var g flightGroup
+	release := make(chan struct{})
+	var calls atomic.Int32
+	fn := func() (CachedResult, error) {
+		calls.Add(1)
+		<-release
+		return val("shared"), nil
+	}
+	leaderDone := make(chan struct{})
+	go func() {
+		defer close(leaderDone)
+		v, shared, err := g.do(context.Background(), "k", fn)
+		if shared || err != nil || v.Results[0].Chunk.ID != "shared" {
+			t.Errorf("leader: shared=%v err=%v", shared, err)
+		}
+	}()
+	// Wait until the leader's flight is registered, so every joiner below
+	// is guaranteed to find it.
+	for {
+		g.mu.Lock()
+		registered := g.m != nil && g.m["k"] != nil
+		g.mu.Unlock()
+		if registered {
+			break
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+
+	const joiners = 8
+	var wg, ready sync.WaitGroup
+	sharedCount := make(chan bool, joiners)
+	ready.Add(joiners)
+	for i := 0; i < joiners; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ready.Done()
+			v, shared, err := g.do(context.Background(), "k", fn)
+			if err != nil || v.Results[0].Chunk.ID != "shared" {
+				t.Errorf("joiner: %v %v", v, err)
+			}
+			sharedCount <- shared
+		}()
+	}
+	// All joiners are at (or a few instructions from) their do() call, and
+	// the leader cannot complete before release: give them a beat to join
+	// its flight, then release it.
+	ready.Wait()
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	<-leaderDone
+	close(sharedCount)
+	n := 0
+	for s := range sharedCount {
+		if s {
+			n++
+		}
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("function ran %d times", calls.Load())
+	}
+	if n != joiners {
+		t.Fatalf("%d of %d joiners shared", n, joiners)
+	}
+
+	// After completion the key is released: the next call runs fresh.
+	_, shared, _ := g.do(context.Background(), "k", func() (CachedResult, error) {
+		return val("fresh"), nil
+	})
+	if shared {
+		t.Fatal("post-completion call joined a dead flight")
+	}
+}
+
+func TestFlightGroupJoinerContext(t *testing.T) {
+	var g flightGroup
+	release := make(chan struct{})
+	started := make(chan struct{})
+	go g.do(context.Background(), "k", func() (CachedResult, error) {
+		close(started)
+		<-release
+		return val("v"), nil
+	})
+	<-started
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := g.do(ctx, "k", func() (CachedResult, error) { return CachedResult{}, nil })
+	if err != context.Canceled {
+		t.Fatalf("err %v", err)
+	}
+	close(release)
+}

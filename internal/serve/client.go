@@ -1,0 +1,91 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// Client is a minimal JSON client for a ragserve endpoint, shared by the
+// ragload generator and the serving tests.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient targets baseURL ("http://host:port"). A nil httpClient gets a
+// 30s-timeout default with a connection pool sized for load generation.
+func NewClient(baseURL string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		tr := &http.Transport{MaxIdleConns: 256, MaxIdleConnsPerHost: 256}
+		httpClient = &http.Client{Timeout: 30 * time.Second, Transport: tr}
+	}
+	return &Client{base: baseURL, hc: httpClient}
+}
+
+func (c *Client) post(path string, req, resp any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	r, err := c.hc.Post(c.base+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(r.Body, 4<<10))
+		return fmt.Errorf("serve: %s: status %d: %s", path, r.StatusCode, bytes.TrimSpace(msg))
+	}
+	return json.NewDecoder(r.Body).Decode(resp)
+}
+
+// Search issues one /v1/search request.
+func (c *Client) Search(query string, k int) (SearchResponse, error) {
+	var out SearchResponse
+	err := c.post("/v1/search", SearchRequest{Query: query, K: k}, &out)
+	return out, err
+}
+
+// SearchBatch issues one /v1/search/batch request.
+func (c *Client) SearchBatch(queries []string, k int) (BatchSearchResponse, error) {
+	var out BatchSearchResponse
+	err := c.post("/v1/search/batch", BatchSearchRequest{Queries: queries, K: k}, &out)
+	return out, err
+}
+
+// Swap asks the server to hot-swap its index from a VSF file.
+func (c *Client) Swap(path string) (SwapResponse, error) {
+	var out SwapResponse
+	err := c.post("/admin/swap", SwapRequest{Path: path}, &out)
+	return out, err
+}
+
+// Healthz fetches the health summary.
+func (c *Client) Healthz() (Healthz, error) {
+	var out Healthz
+	r, err := c.hc.Get(c.base + "/healthz")
+	if err != nil {
+		return out, err
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		return out, fmt.Errorf("serve: healthz status %d", r.StatusCode)
+	}
+	err = json.NewDecoder(r.Body).Decode(&out)
+	return out, err
+}
+
+// Metrics fetches the /metrics text exposition.
+func (c *Client) Metrics() (string, error) {
+	r, err := c.hc.Get(c.base + "/metrics")
+	if err != nil {
+		return "", err
+	}
+	defer r.Body.Close()
+	body, err := io.ReadAll(r.Body)
+	return string(body), err
+}

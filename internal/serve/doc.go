@@ -1,0 +1,36 @@
+// Package serve is the online retrieval layer: an HTTP JSON server that
+// puts the repo's offline retrieval substrate (rag.ChunkStore over the
+// vecstore scan kernels) behind a socket, with the serving-time machinery
+// a production deployment needs.
+//
+// Four mechanisms make up the subsystem:
+//
+//   - Request coalescing. Concurrent single-query /v1/search requests are
+//     packed into micro-batches (internal/batch, the same admission-window
+//     coalescer behind the argo model gateway) and dispatched through
+//     rag.ChunkStore.RetrieveBatch — so the vecstore multi-query kernel
+//     amortises tile decode, and a PQ index amortises its per-query LUT
+//     build, across the whole batch. This is where the batch kernel's
+//     offline speedup becomes an online QPS win.
+//
+//   - Query cache. A sharded LRU keyed by (epoch, k, query) with
+//     singleflight de-duplication: repeated queries are answered without
+//     touching the index, and concurrent identical misses collapse into
+//     one search.
+//
+//   - Hot index swap. The server publishes immutable Snapshots through an
+//     atomic pointer. A replacement index (any VSF generation) is loaded
+//     off the serving path, wrapped via rag's WithIndex hook, and swapped
+//     in with one pointer store; the cache is purged and the epoch
+//     incremented. In-flight batches finish on the old snapshot — zero
+//     downtime, no torn reads.
+//
+//   - Observability and load. /healthz and /metrics (text exposition of an
+//     internal/metrics Registry: QPS counters, batch-size distribution,
+//     cache hit rate, latency quantiles) plus a closed/open-loop load
+//     harness (RunLoad) that cmd/ragload and `make bench-serve` drive to
+//     measure the serving stack end to end.
+//
+// cmd/ragserve wires the server to a corpus and a SIGTERM drain;
+// cmd/ragload is the matching load generator.
+package serve

@@ -1,0 +1,161 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// LoadConfig parameterises the load harness.
+type LoadConfig struct {
+	// Concurrency is the number of closed-loop workers, or the in-flight
+	// cap for the open loop (default 16).
+	Concurrency int
+	// Requests is the total number of requests to issue (default 1000).
+	Requests int
+	// RatePerSec > 0 switches to an open loop: requests are admitted at a
+	// fixed rate regardless of completions (latency under offered load),
+	// instead of the default closed loop where each worker waits for its
+	// previous request (latency under concurrency).
+	RatePerSec float64
+	// K is the retrieval depth sent with every request.
+	K int
+	// Queries are cycled through in request order; repetition in this
+	// slice is what exercises the server's query cache.
+	Queries []string
+}
+
+func (c *LoadConfig) fill() {
+	if c.Concurrency <= 0 {
+		c.Concurrency = 16
+	}
+	if c.Requests <= 0 {
+		c.Requests = 1000
+	}
+	if c.K <= 0 {
+		c.K = 5
+	}
+}
+
+// LoadReport is the harness's latency/throughput summary. Latencies are
+// client-observed (queueing + batching + search + transport).
+type LoadReport struct {
+	Mode        string  `json:"mode"` // "closed" or "open"
+	Concurrency int     `json:"concurrency"`
+	Requests    int64   `json:"requests"`
+	Failures    int64   `json:"failures"`
+	ElapsedMS   float64 `json:"elapsed_ms"`
+	QPS         float64 `json:"qps"`
+	MeanMS      float64 `json:"latency_mean_ms"`
+	P50MS       float64 `json:"latency_p50_ms"`
+	P95MS       float64 `json:"latency_p95_ms"`
+	P99MS       float64 `json:"latency_p99_ms"`
+	MaxMS       float64 `json:"latency_max_ms"`
+}
+
+// String renders the report as the table ragload prints.
+func (r *LoadReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "mode=%s concurrency=%d requests=%d failures=%d\n",
+		r.Mode, r.Concurrency, r.Requests, r.Failures)
+	fmt.Fprintf(&b, "elapsed %.1fms   throughput %.0f qps\n", r.ElapsedMS, r.QPS)
+	fmt.Fprintf(&b, "latency mean=%.3fms p50=%.3fms p95=%.3fms p99=%.3fms max=%.3fms",
+		r.MeanMS, r.P50MS, r.P95MS, r.P99MS, r.MaxMS)
+	return b.String()
+}
+
+// RunLoad drives do — one retrieval request; typically Client.Search or an
+// in-process Server.Search closure — according to cfg and reports
+// client-side latency quantiles and throughput.
+func RunLoad(cfg LoadConfig, do func(query string, k int) error) *LoadReport {
+	cfg.fill()
+	if len(cfg.Queries) == 0 {
+		cfg.Queries = []string{"empty query set"}
+	}
+	lat := make([]time.Duration, cfg.Requests)
+	var failures atomic.Int64
+	issue := func(i int) {
+		q := cfg.Queries[i%len(cfg.Queries)]
+		start := time.Now()
+		err := do(q, cfg.K)
+		lat[i] = time.Since(start)
+		if err != nil {
+			failures.Add(1)
+		}
+	}
+
+	mode := "closed"
+	start := time.Now()
+	if cfg.RatePerSec > 0 {
+		mode = "open"
+		interval := time.Duration(float64(time.Second) / cfg.RatePerSec)
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, cfg.Concurrency)
+		next := time.Now()
+		for i := 0; i < cfg.Requests; i++ {
+			if d := time.Until(next); d > 0 {
+				time.Sleep(d)
+			}
+			next = next.Add(interval)
+			sem <- struct{}{}
+			wg.Add(1)
+			go func(i int) {
+				defer func() { <-sem; wg.Done() }()
+				issue(i)
+			}(i)
+		}
+		wg.Wait()
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < cfg.Concurrency; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= cfg.Requests {
+						return
+					}
+					issue(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	elapsed := time.Since(start)
+
+	sorted := append([]time.Duration(nil), lat...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var sum time.Duration
+	for _, d := range sorted {
+		sum += d
+	}
+	q := func(p float64) float64 {
+		if len(sorted) == 0 {
+			return 0
+		}
+		return ms(sorted[int(p*float64(len(sorted)-1))])
+	}
+	rep := &LoadReport{
+		Mode:        mode,
+		Concurrency: cfg.Concurrency,
+		Requests:    int64(cfg.Requests),
+		Failures:    failures.Load(),
+		ElapsedMS:   ms(elapsed),
+		MeanMS:      ms(sum / time.Duration(max(1, len(sorted)))),
+		P50MS:       q(0.50),
+		P95MS:       q(0.95),
+		P99MS:       q(0.99),
+		MaxMS:       ms(sorted[len(sorted)-1]),
+	}
+	if elapsed > 0 {
+		rep.QPS = float64(cfg.Requests) / elapsed.Seconds()
+	}
+	return rep
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

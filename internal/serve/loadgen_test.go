@@ -1,0 +1,71 @@
+package serve
+
+import (
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunLoadClosedLoop(t *testing.T) {
+	var calls, inFlight, maxInFlight atomic.Int64
+	rep := RunLoad(LoadConfig{Concurrency: 4, Requests: 40, Queries: []string{"a", "b", "c"}},
+		func(q string, k int) error {
+			calls.Add(1)
+			cur := inFlight.Add(1)
+			defer inFlight.Add(-1)
+			for {
+				m := maxInFlight.Load()
+				if cur <= m || maxInFlight.CompareAndSwap(m, cur) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			if q == "c" {
+				return errors.New("boom")
+			}
+			return nil
+		})
+	if calls.Load() != 40 || rep.Requests != 40 {
+		t.Fatalf("calls=%d requests=%d", calls.Load(), rep.Requests)
+	}
+	// Queries cycle a/b/c → a third of 40, rounded, fail.
+	if rep.Failures != 13 {
+		t.Fatalf("failures %d", rep.Failures)
+	}
+	if m := maxInFlight.Load(); m > 4 {
+		t.Fatalf("closed loop exceeded concurrency: %d in flight", m)
+	}
+	if rep.Mode != "closed" || rep.QPS <= 0 || rep.P95MS <= 0 || rep.MaxMS < rep.P50MS {
+		t.Fatalf("report %+v", rep)
+	}
+	if !strings.Contains(rep.String(), "qps") {
+		t.Fatal("String() lost the throughput line")
+	}
+}
+
+func TestRunLoadOpenLoop(t *testing.T) {
+	start := time.Now()
+	rep := RunLoad(LoadConfig{Concurrency: 8, Requests: 30, RatePerSec: 1000, Queries: []string{"q"}},
+		func(q string, k int) error { return nil })
+	if rep.Mode != "open" || rep.Requests != 30 || rep.Failures != 0 {
+		t.Fatalf("report %+v", rep)
+	}
+	// 30 admissions at 1000/s cannot complete much faster than 30ms.
+	if elapsed := time.Since(start); elapsed < 20*time.Millisecond {
+		t.Fatalf("open loop ignored the rate: %v", elapsed)
+	}
+}
+
+func TestRunLoadDefaults(t *testing.T) {
+	rep := RunLoad(LoadConfig{Requests: 5}, func(q string, k int) error {
+		if q == "" || k <= 0 {
+			return errors.New("defaults not applied")
+		}
+		return nil
+	})
+	if rep.Failures != 0 || rep.Concurrency != 16 {
+		t.Fatalf("report %+v", rep)
+	}
+}

@@ -1,0 +1,511 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/batch"
+	"repro/internal/metrics"
+	"repro/internal/rag"
+	"repro/internal/vecstore"
+)
+
+// Config parameterises a Server.
+type Config struct {
+	// MaxBatch caps the coalesced batch handed to RetrieveBatch
+	// (default 32).
+	MaxBatch int
+	// MaxDelay is the admission window: how long the first request of a
+	// batch waits for batchmates (default 1ms).
+	MaxDelay time.Duration
+	// CacheCap is the query-cache capacity in entries; 0 disables the
+	// cache (default 4096 via DefaultConfig).
+	CacheCap int
+	// CacheShards splits the cache to reduce lock contention (default 8).
+	CacheShards int
+	// DefaultK is the retrieval depth when a request omits k (default 5).
+	DefaultK int
+	// MaxK bounds the retrieval depth a request may ask for (default 100).
+	MaxK int
+	// MaxBatchQueries bounds one /v1/search/batch request (default 1024):
+	// unlike coalesced singles, an explicit batch bypasses MaxBatch and
+	// would otherwise let one request run an unbounded RetrieveBatch.
+	MaxBatchQueries int
+	// OmitText drops chunk text from responses (ids and scores only),
+	// shrinking payloads for recall-style load tests.
+	OmitText bool
+	// Registry receives the server's metrics; nil creates a private one.
+	Registry *metrics.Registry
+}
+
+// DefaultConfig returns the serving defaults.
+func DefaultConfig() Config {
+	return Config{MaxBatch: 32, MaxDelay: time.Millisecond, CacheCap: 4096, CacheShards: 8, DefaultK: 5, MaxK: 100}
+}
+
+func (c *Config) fill() {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 32
+	}
+	if c.MaxDelay <= 0 {
+		c.MaxDelay = time.Millisecond
+	}
+	if c.CacheShards <= 0 {
+		c.CacheShards = 8
+	}
+	if c.DefaultK <= 0 {
+		c.DefaultK = 5
+	}
+	if c.MaxK <= 0 {
+		c.MaxK = 100
+	}
+	if c.MaxBatchQueries <= 0 {
+		c.MaxBatchQueries = 1024
+	}
+}
+
+// Snapshot is one immutable published state of the server: a store
+// serving one index generation. Epoch increments on every hot swap.
+type Snapshot struct {
+	Store  *rag.ChunkStore
+	Epoch  uint64
+	Source string // where the index came from ("initial" or a VSF path)
+}
+
+// Server is the online retrieval server: an HTTP JSON front-end over a
+// rag.ChunkStore that coalesces concurrent single-query requests into
+// micro-batches for the vecstore batch kernel, fronts the index with a
+// sharded LRU + singleflight query cache, and hot-swaps index snapshots
+// with zero downtime.
+type Server struct {
+	cfg     Config
+	reg     *metrics.Registry
+	snap    atomic.Pointer[Snapshot]
+	co      *batch.Coalescer[searchJob, searchOut]
+	cache   *Cache
+	flights flightGroup
+
+	swapMu  sync.Mutex // serialises swaps (readers go through snap)
+	httpSrv *http.Server
+	ln      net.Listener
+
+	// metric handles resolved once so the hot path skips registry lookups
+	mRequests, mHits, mMisses, mShared *metrics.Counter
+	mBatches, mBatchedQueries          *metrics.Counter
+	mErrors, mSwaps                    *metrics.Counter
+	hLatency, hSearch, hBatch          *metrics.Histogram
+	gVectors, gEpoch, gCacheLen        *metrics.Gauge
+}
+
+type searchJob struct {
+	query string
+	k     int
+}
+
+// searchOut carries one job's results plus the epoch of the snapshot the
+// batch actually ran against (which can trail a concurrent swap).
+type searchOut struct {
+	results []rag.RetrievedChunk
+	epoch   uint64
+}
+
+// New builds a server around store. Call Start to bind a socket, or mount
+// Handler on an existing one.
+func New(store *rag.ChunkStore, cfg Config) *Server {
+	cfg.fill()
+	reg := cfg.Registry
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	s := &Server{
+		cfg:             cfg,
+		reg:             reg,
+		mRequests:       reg.Counter("serve.requests"),
+		mHits:           reg.Counter("serve.cache.hits"),
+		mMisses:         reg.Counter("serve.cache.misses"),
+		mShared:         reg.Counter("serve.flight.shared"),
+		mBatches:        reg.Counter("serve.batches"),
+		mBatchedQueries: reg.Counter("serve.batch.queries"),
+		mErrors:         reg.Counter("serve.errors"),
+		mSwaps:          reg.Counter("serve.swaps"),
+		hLatency:        reg.Histogram("serve.latency"),
+		hSearch:         reg.Histogram("serve.search.latency"),
+		hBatch:          reg.SizeHistogram("serve.batch.size"),
+		gVectors:        reg.Gauge("serve.index.vectors"),
+		gEpoch:          reg.Gauge("serve.index.epoch"),
+		gCacheLen:       reg.Gauge("serve.cache.len"),
+	}
+	if cfg.CacheCap > 0 {
+		s.cache = NewCache(cfg.CacheCap, cfg.CacheShards)
+	}
+	s.snap.Store(&Snapshot{Store: store, Epoch: 0, Source: "initial"})
+	s.gVectors.Set(int64(store.Len()))
+	s.co = batch.New(batch.Config{MaxBatch: cfg.MaxBatch, MaxDelay: cfg.MaxDelay}, s.runBatch)
+	return s
+}
+
+// runBatch is the coalescer's batch function: the whole batch is answered
+// from one snapshot through the multi-query scan kernel, so a hot swap
+// mid-batch cannot tear an individual batch across two indexes.
+func (s *Server) runBatch(jobs []searchJob) []searchOut {
+	snap := s.snap.Load()
+	queries := make([]string, len(jobs))
+	maxK := 0
+	for i, j := range jobs {
+		queries[i] = j.query
+		if j.k > maxK {
+			maxK = j.k
+		}
+	}
+	res := s.retrieve(snap, queries, maxK)
+	// Each request gets the top-k prefix of the shared maxK retrieval —
+	// identical to what its own k would have returned.
+	out := make([]searchOut, len(jobs))
+	for i := range res {
+		if len(res[i]) > jobs[i].k {
+			res[i] = res[i][:jobs[i].k]
+		}
+		out[i] = searchOut{results: res[i], epoch: snap.Epoch}
+	}
+	return out
+}
+
+// retrieve runs one timed, metered RetrieveBatch against a snapshot — the
+// shared core of the coalesced path and the explicit batch endpoint, so
+// both report identical batch accounting.
+func (s *Server) retrieve(snap *Snapshot, queries []string, k int) [][]rag.RetrievedChunk {
+	start := time.Now()
+	res := snap.Store.RetrieveBatch(queries, k)
+	s.hSearch.Observe(time.Since(start))
+	s.mBatches.Inc()
+	s.mBatchedQueries.Add(int64(len(queries)))
+	s.hBatch.ObserveN(int64(len(queries)))
+	return res
+}
+
+// Search answers one query through the cache and coalescer. cached reports
+// whether the result came from the query cache; epoch is the generation of
+// the snapshot that actually produced the results (it can trail the
+// currently published epoch across a concurrent swap).
+func (s *Server) Search(ctx context.Context, query string, k int) (results []rag.RetrievedChunk, cached bool, epoch uint64, err error) {
+	if k <= 0 {
+		k = s.cfg.DefaultK
+	}
+	if k > s.cfg.MaxK {
+		k = s.cfg.MaxK
+	}
+	s.mRequests.Inc()
+	start := time.Now()
+	defer func() { s.hLatency.Observe(time.Since(start)) }()
+
+	if s.cache == nil {
+		out, err := s.co.Do(ctx, searchJob{query: query, k: k})
+		return out.results, false, out.epoch, err
+	}
+	// The epoch in the key makes entries generation-scoped: after a swap,
+	// fresh lookups miss even if a stale fill lands post-Purge (the old
+	// generation's key is never read again and ages out of the LRU).
+	snap := s.snap.Load()
+	key := fmt.Sprintf("%d\x1f%d\x1f%s", snap.Epoch, k, query)
+	if val, ok := s.cache.Get(key); ok {
+		s.mHits.Inc()
+		return val.Results, true, val.Epoch, nil
+	}
+	s.mMisses.Inc()
+	val, shared, err := s.flights.do(ctx, key, func() (CachedResult, error) {
+		// Detach the batch dispatch from the leader's request context: a
+		// flight computes a result shared by every joiner, so one
+		// client's disconnect must not poison the rest (each caller still
+		// guards its own wait with its own ctx inside do and co.Do).
+		out, err := s.co.Do(context.WithoutCancel(ctx), searchJob{query: query, k: k})
+		if err != nil {
+			return CachedResult{}, err
+		}
+		res := CachedResult{Results: out.results, Epoch: out.epoch}
+		s.cache.Put(key, res)
+		return res, nil
+	})
+	if shared {
+		s.mShared.Inc()
+	}
+	return val.Results, false, val.Epoch, err
+}
+
+// SwapIndex atomically publishes a snapshot serving index. In-flight
+// requests finish against the old snapshot; the query cache is purged so
+// no pre-swap result is served afterwards.
+func (s *Server) SwapIndex(index vecstore.Index, source string) (*Snapshot, error) {
+	s.swapMu.Lock()
+	defer s.swapMu.Unlock()
+	cur := s.snap.Load()
+	store, err := cur.Store.WithIndex(index)
+	if err != nil {
+		return nil, err
+	}
+	snap := &Snapshot{Store: store, Epoch: cur.Epoch + 1, Source: source}
+	s.snap.Store(snap)
+	if s.cache != nil {
+		s.cache.Purge()
+		s.gCacheLen.Set(0)
+	}
+	s.mSwaps.Inc()
+	s.gEpoch.Set(int64(snap.Epoch))
+	s.gVectors.Set(int64(index.Len()))
+	return snap, nil
+}
+
+// SwapFromFile loads a persisted index (any VSF generation) in the
+// calling goroutine — the expensive part, off the serving path — then
+// publishes it with SwapIndex.
+func (s *Server) SwapFromFile(path string) (*Snapshot, error) {
+	index, err := vecstore.Load(path)
+	if err != nil {
+		return nil, fmt.Errorf("serve: swap load: %w", err)
+	}
+	return s.SwapIndex(index, path)
+}
+
+// Snapshot returns the currently published snapshot.
+func (s *Server) Snapshot() *Snapshot { return s.snap.Load() }
+
+// Registry exposes the server's metrics registry.
+func (s *Server) Registry() *metrics.Registry { return s.reg }
+
+// Handler returns the HTTP API:
+//
+//	POST /v1/search        {"query","k"} → {"results":[...],"cached","epoch"}
+//	POST /v1/search/batch  {"queries":[...],"k"} → {"results":[[...],...]}
+//	POST /admin/swap       {"path"} → {"epoch","vectors","source"}
+//	GET  /healthz          {"status","epoch","vectors","source"}
+//	GET  /metrics          text exposition of the registry
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/search", s.handleSearch)
+	mux.HandleFunc("/v1/search/batch", s.handleSearchBatch)
+	mux.HandleFunc("/admin/swap", s.handleSwap)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return mux
+}
+
+// Start binds addr ("127.0.0.1:0" for an ephemeral port) and serves in the
+// background until Shutdown.
+func (s *Server) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	s.httpSrv = &http.Server{Handler: s.Handler(), ReadTimeout: 30 * time.Second}
+	go s.httpSrv.Serve(ln) //nolint:errcheck // Serve returns on Shutdown
+	return nil
+}
+
+// Addr returns the bound address (after Start).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Shutdown drains gracefully: the listener stops accepting, in-flight
+// requests run to completion (bounded by ctx), and only then does the
+// coalescer stop — the argo SIGTERM-drain pattern.
+func (s *Server) Shutdown(ctx context.Context) error {
+	var err error
+	if s.httpSrv != nil {
+		err = s.httpSrv.Shutdown(ctx)
+	}
+	s.co.Close()
+	return err
+}
+
+// Close is Shutdown with a bounded drain window.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	return s.Shutdown(ctx)
+}
+
+// Wire types.
+
+// SearchRequest is the /v1/search body.
+type SearchRequest struct {
+	Query string `json:"query"`
+	K     int    `json:"k,omitempty"`
+}
+
+// SearchResult is one retrieval hit on the wire.
+type SearchResult struct {
+	ChunkID string  `json:"chunk_id"`
+	DocID   string  `json:"doc_id"`
+	Text    string  `json:"text,omitempty"`
+	Score   float32 `json:"score"`
+}
+
+// SearchResponse is the /v1/search reply.
+type SearchResponse struct {
+	Results []SearchResult `json:"results"`
+	Cached  bool           `json:"cached,omitempty"`
+	Epoch   uint64         `json:"epoch"`
+}
+
+// BatchSearchRequest is the /v1/search/batch body.
+type BatchSearchRequest struct {
+	Queries []string `json:"queries"`
+	K       int      `json:"k,omitempty"`
+}
+
+// BatchSearchResponse is the /v1/search/batch reply, per-query results in
+// request order.
+type BatchSearchResponse struct {
+	Results [][]SearchResult `json:"results"`
+	Epoch   uint64           `json:"epoch"`
+}
+
+// SwapRequest is the /admin/swap body.
+type SwapRequest struct {
+	Path string `json:"path"`
+}
+
+// SwapResponse is the /admin/swap reply.
+type SwapResponse struct {
+	Epoch   uint64 `json:"epoch"`
+	Vectors int    `json:"vectors"`
+	Source  string `json:"source"`
+}
+
+// Healthz is the /healthz reply.
+type Healthz struct {
+	Status  string `json:"status"`
+	Epoch   uint64 `json:"epoch"`
+	Vectors int    `json:"vectors"`
+	Source  string `json:"source"`
+}
+
+func (s *Server) results(rcs []rag.RetrievedChunk) []SearchResult {
+	out := make([]SearchResult, len(rcs))
+	for i, rc := range rcs {
+		out[i] = SearchResult{ChunkID: rc.Chunk.ID, DocID: rc.Chunk.DocID, Score: rc.Score}
+		if !s.cfg.OmitText {
+			out[i].Text = rc.Chunk.Text
+		}
+	}
+	return out
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	var req SearchRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if req.Query == "" {
+		s.mErrors.Inc()
+		http.Error(w, "empty query", http.StatusBadRequest)
+		return
+	}
+	res, cached, epoch, err := s.Search(r.Context(), req.Query, req.K)
+	if err != nil {
+		s.mErrors.Inc()
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	writeJSON(w, SearchResponse{Results: s.results(res), Cached: cached, Epoch: epoch})
+}
+
+// handleSearchBatch serves an already-batched request straight through the
+// batch kernel — it is its own micro-batch, so it bypasses the coalescer
+// and cache.
+func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchSearchRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if len(req.Queries) == 0 {
+		s.mErrors.Inc()
+		http.Error(w, "empty queries", http.StatusBadRequest)
+		return
+	}
+	if len(req.Queries) > s.cfg.MaxBatchQueries {
+		s.mErrors.Inc()
+		http.Error(w, fmt.Sprintf("batch of %d exceeds limit %d", len(req.Queries), s.cfg.MaxBatchQueries),
+			http.StatusRequestEntityTooLarge)
+		return
+	}
+	k := req.K
+	if k <= 0 {
+		k = s.cfg.DefaultK
+	}
+	if k > s.cfg.MaxK {
+		k = s.cfg.MaxK
+	}
+	s.mRequests.Add(int64(len(req.Queries)))
+	snap := s.snap.Load()
+	res := s.retrieve(snap, req.Queries, k)
+	out := BatchSearchResponse{Results: make([][]SearchResult, len(res)), Epoch: snap.Epoch}
+	for i, rcs := range res {
+		out.Results[i] = s.results(rcs)
+	}
+	writeJSON(w, out)
+}
+
+func (s *Server) handleSwap(w http.ResponseWriter, r *http.Request) {
+	var req SwapRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if req.Path == "" {
+		s.mErrors.Inc()
+		http.Error(w, "empty path", http.StatusBadRequest)
+		return
+	}
+	snap, err := s.SwapFromFile(req.Path)
+	if err != nil {
+		s.mErrors.Inc()
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, SwapResponse{Epoch: snap.Epoch, Vectors: snap.Store.Len(), Source: snap.Source})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	snap := s.snap.Load()
+	writeJSON(w, Healthz{Status: "ok", Epoch: snap.Epoch, Vectors: snap.Store.Len(), Source: snap.Source})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	// The cache-size gauge is refreshed here rather than on every fill:
+	// Len locks all shards, which would re-serialize the miss path.
+	if s.cache != nil {
+		s.gCacheLen.Set(int64(s.cache.Len()))
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	s.reg.WriteTo(w) //nolint:errcheck // client went away
+}
+
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, dst any) bool {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return false
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 16<<20))
+	if err != nil {
+		s.mErrors.Inc()
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return false
+	}
+	if err := json.Unmarshal(body, dst); err != nil {
+		s.mErrors.Inc()
+		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v) //nolint:errcheck // client went away
+}
