@@ -17,8 +17,10 @@ verify:
 	$(GO) test ./...
 	$(MAKE) race
 
-# Race gate for the concurrency-heavy packages: the serving layer
-# (coalescer, cache, hot swap), the gateways, and the parallel pipeline.
+# Race gate for the concurrency-heavy packages: the multi-store serving
+# layer (coalescers, per-route caches, hot swap under load — including
+# TestSwapSearchRaceConsistency's swap/search hammering), the gateways,
+# and the parallel pipeline.
 race:
 	$(GO) test -race ./internal/serve ./internal/batch ./internal/argo ./internal/pipeline ./internal/rag
 
@@ -51,7 +53,10 @@ bench-all:
 
 # End-to-end serving benchmark: ragload drives an in-process ragserve
 # (sequential baseline vs. coalesced concurrency, cache hit rate, hot
-# swaps under load) and writes the machine-readable report.
+# swaps under load, and a mixed-route phase across the chunk + trace
+# stores) and writes the machine-readable report with per-route records.
+# BENCH_serve.json is schema-checked by the root bench test inside
+# `make verify` (serve.BenchReport.Check), so a malformed emit fails CI.
 bench-serve:
 	$(GO) run ./cmd/ragload -inprocess -scale 0.01 -n 2000 -c 32 -json BENCH_serve.json
 

@@ -1,0 +1,35 @@
+package repro
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"testing"
+
+	"repro/internal/serve"
+)
+
+// TestBenchServeReportSchema gates the serving benchmark artifact: if a
+// BENCH_serve.json is checked in, it must decode into serve.BenchReport
+// with no unknown fields and pass the shared shape validator, so a
+// malformed `make bench-serve` emit fails `make verify` instead of
+// silently shipping a report the tooling can't read. The per-route
+// records (chunks + the three trace routes) are part of that schema.
+func TestBenchServeReportSchema(t *testing.T) {
+	data, err := os.ReadFile("BENCH_serve.json")
+	if os.IsNotExist(err) {
+		t.Skip("no BENCH_serve.json; run `make bench-serve` to produce one")
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var rep serve.BenchReport
+	if err := dec.Decode(&rep); err != nil {
+		t.Fatalf("BENCH_serve.json does not match the serve.BenchReport schema: %v", err)
+	}
+	if err := rep.Check(); err != nil {
+		t.Fatalf("BENCH_serve.json is malformed: %v", err)
+	}
+}

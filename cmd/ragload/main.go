@@ -1,15 +1,18 @@
 // Command ragload is the load generator for ragserve: closed- or
-// open-loop traffic against a running server, or a fully in-process
-// benchmark (-inprocess) that builds a corpus, starts a server on a
+// open-loop traffic against a running server (optionally fanned across
+// several routes with -routes), or a fully in-process benchmark
+// (-inprocess) that builds a corpus, starts a multi-store server on a
 // loopback socket, and measures the serving stack end to end — sequential
-// baseline vs. coalesced concurrent throughput, cache hit rate, and hot
-// index swaps under load.
+// baseline vs. coalesced concurrent throughput, cache hit rate, hot index
+// swaps under load, and a mixed-route phase over the chunk and
+// reasoning-trace stores with per-route QPS and hit rates.
 //
 // Usage:
 //
-//	ragload -addr http://127.0.0.1:8080 -n 5000 -c 32     # drive a server
-//	ragload -addr ... -rate 500                           # open loop at 500 qps
-//	ragload -inprocess -scale 0.01 -json BENCH_serve.json # end-to-end bench
+//	ragload -addr http://127.0.0.1:8080 -n 5000 -c 32      # drive a server
+//	ragload -addr ... -rate 500                            # open loop at 500 qps
+//	ragload -addr ... -routes chunks,traces/detailed       # mixed-route load
+//	ragload -inprocess -scale 0.01 -json BENCH_serve.json  # end-to-end bench
 package main
 
 import (
@@ -19,6 +22,7 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"repro/internal/core"
@@ -34,8 +38,9 @@ func main() {
 	c := flag.Int("c", 32, "concurrent clients (closed loop) / in-flight cap (open loop)")
 	rate := flag.Float64("rate", 0, "open-loop admission rate in qps (0 = closed loop)")
 	k := flag.Int("k", 5, "retrieval depth")
-	nq := flag.Int("queries", 0, "distinct query pool size (remote: 0 = one per request; inprocess: hot-set size for the cached phase, 0 = 64)")
+	nq := flag.Int("queries", 0, "distinct query pool size (remote: 0 = one per request; inprocess: hot-set size for the cached/mixed phases, 0 = 64)")
 	swaps := flag.Int("swaps", 4, "hot swaps performed during the -inprocess swap phase (0 disables)")
+	routes := flag.String("routes", "chunks", "comma-separated routes to fan remote requests across (e.g. chunks,traces/detailed)")
 	jsonPath := flag.String("json", "", "write the machine-readable report here")
 	flag.Parse()
 
@@ -43,7 +48,7 @@ func main() {
 	if *inprocess {
 		err = runInProcess(*scale, *seed, *n, *c, *k, *nq, *swaps, *rate, *jsonPath)
 	} else {
-		err = runRemote(*addr, *n, *c, *nq, *k, *rate, *jsonPath)
+		err = runRemote(*addr, *routes, *n, *c, *nq, *k, *rate, *jsonPath)
 	}
 	if err != nil {
 		log.Fatal(err)
@@ -63,7 +68,7 @@ func queryPool(n int) []string {
 	return out
 }
 
-func runRemote(addr string, n, c, nq, k int, rate float64, jsonPath string) error {
+func runRemote(addr, routeList string, n, c, nq, k int, rate float64, jsonPath string) error {
 	client := serve.NewClient(addr, nil)
 	if _, err := client.Healthz(); err != nil {
 		return fmt.Errorf("server not healthy: %w", err)
@@ -71,13 +76,27 @@ func runRemote(addr string, n, c, nq, k int, rate float64, jsonPath string) erro
 	if nq <= 0 {
 		nq = n
 	}
-	rep := serve.RunLoad(serve.LoadConfig{
+	var routes []string
+	for _, r := range strings.Split(routeList, ",") {
+		if r = strings.TrimSpace(r); r != "" {
+			routes = append(routes, r)
+		}
+	}
+	if len(routes) == 0 {
+		return fmt.Errorf("-routes %q names no routes", routeList)
+	}
+	rep := serve.RunLoadMixed(serve.LoadConfig{
 		Concurrency: c, Requests: n, RatePerSec: rate, K: k, Queries: queryPool(nq),
-	}, func(q string, k int) error {
-		_, err := client.Search(q, k)
+	}, routes, func(route, q string, k int) error {
+		_, err := client.SearchRoute(route, q, k, "")
 		return err
 	})
-	fmt.Println(rep)
+	fmt.Println(rep.Total)
+	if len(routes) > 1 {
+		for _, route := range routes {
+			fmt.Printf("\n%s:\n%s\n", route, rep.PerRoute[route])
+		}
+	}
 	mtext, err := client.Metrics()
 	if err != nil {
 		return err
@@ -85,28 +104,9 @@ func runRemote(addr string, n, c, nq, k int, rate float64, jsonPath string) erro
 	fmt.Println("\nserver /metrics:")
 	fmt.Print(mtext)
 	if jsonPath != "" {
-		return writeJSON(jsonPath, map[string]any{"bench": "serve", "load": rep})
+		return writeJSON(jsonPath, map[string]any{"bench": "serve-remote", "load": rep})
 	}
 	return nil
-}
-
-// benchReport is the BENCH_serve.json schema.
-type benchReport struct {
-	Bench        string            `json:"bench"`
-	Scale        float64           `json:"scale"`
-	Chunks       int               `json:"chunks"`
-	Sequential   *serve.LoadReport `json:"sequential"`
-	Concurrent   *serve.LoadReport `json:"concurrent"`
-	Cached       *serve.LoadReport `json:"cached"`
-	SwapPhase    *serve.LoadReport `json:"swap_phase,omitempty"`
-	Speedup      float64           `json:"speedup_qps"`
-	MeanBatch    float64           `json:"mean_batch"`
-	CacheHitRate float64           `json:"cache_hit_rate"`
-	Swaps        int               `json:"swaps"`
-	SwapFailures int64             `json:"swap_failures"`
-	P50MS        float64           `json:"latency_p50_ms"`
-	P95MS        float64           `json:"latency_p95_ms"`
-	P99MS        float64           `json:"latency_p99_ms"`
 }
 
 func runInProcess(scale float64, seed uint64, n, c, k, nq, swaps int, rate float64, jsonPath string) error {
@@ -121,6 +121,9 @@ func runInProcess(scale float64, seed uint64, n, c, k, nq, swaps int, rate float
 		return err
 	}
 	srv := serve.New(a.ChunkStore, serve.DefaultConfig())
+	if err := srv.MountTraceStores(a.TraceStores); err != nil {
+		return err
+	}
 	if err := srv.Start("127.0.0.1:0"); err != nil {
 		return err
 	}
@@ -130,8 +133,9 @@ func runInProcess(scale float64, seed uint64, n, c, k, nq, swaps int, rate float
 		_, err := client.Search(q, kk)
 		return err
 	}
-	fmt.Printf("serving %d chunks on %s\n\n", len(a.Chunks), srv.Addr())
-	rep := benchReport{Bench: "serve", Scale: scale, Chunks: len(a.Chunks), Swaps: swaps}
+	fmt.Printf("serving %d chunks (+%d traces) on %s, routes: %s\n\n",
+		len(a.Chunks), len(a.Traces), srv.Addr(), strings.Join(srv.Routes(), ", "))
+	rep := serve.BenchReport{Bench: "serve", Scale: scale, Chunks: len(a.Chunks), Swaps: swaps}
 
 	// Phase 1 — sequential baseline: one client, distinct queries, so every
 	// request is a cache-missing batch of one.
@@ -144,8 +148,9 @@ func runInProcess(scale float64, seed uint64, n, c, k, nq, swaps int, rate float
 	q2 := queryPool(2 * n)[n:] // disjoint from phase 1 → no cache hits
 	rep.Concurrent = serve.RunLoad(serve.LoadConfig{Concurrency: c, Requests: n, RatePerSec: rate, K: k, Queries: q2}, do)
 	after := srv.Registry().Snapshot()
-	batches := after.Counter("serve.batches") - before.Counter("serve.batches")
-	queries := after.Counter("serve.batch.queries") - before.Counter("serve.batch.queries")
+	chunksPrefix := serve.MetricPrefix(serve.RouteChunks)
+	batches := after.Counter(chunksPrefix+"batches") - before.Counter(chunksPrefix+"batches")
+	queries := after.Counter(chunksPrefix+"batch.queries") - before.Counter(chunksPrefix+"batch.queries")
 	if batches > 0 {
 		rep.MeanBatch = float64(queries) / float64(batches)
 	}
@@ -160,8 +165,8 @@ func runInProcess(scale float64, seed uint64, n, c, k, nq, swaps int, rate float
 	hot := queryPool(2*n + nq)[2*n:]
 	rep.Cached = serve.RunLoad(serve.LoadConfig{Concurrency: c, Requests: n, K: k, Queries: hot}, do)
 	after = srv.Registry().Snapshot()
-	hits := after.Counter("serve.cache.hits") - before.Counter("serve.cache.hits")
-	misses := after.Counter("serve.cache.misses") - before.Counter("serve.cache.misses")
+	hits := after.Counter(chunksPrefix+"cache.hits") - before.Counter(chunksPrefix+"cache.hits")
+	misses := after.Counter(chunksPrefix+"cache.misses") - before.Counter(chunksPrefix+"cache.misses")
 	if hits+misses > 0 {
 		rep.CacheHitRate = float64(hits) / float64(hits+misses)
 	}
@@ -194,9 +199,45 @@ func runInProcess(scale float64, seed uint64, n, c, k, nq, swaps int, rate float
 		fmt.Printf("under %d hot swaps:\n%s\nswap failures: %d\n\n", swaps, rep.SwapPhase, rep.SwapFailures)
 	}
 
+	// Phase 5 — mixed-route closed loop: the same hot-set workload fanned
+	// round-robin across every mounted route (chunk store + the three
+	// reasoning-trace stores), reporting per-route QPS and hit rate.
+	routes := srv.Routes()
+	before = srv.Registry().Snapshot()
+	mixedHot := queryPool(2*n + 2*nq)[2*n+nq:] // disjoint from the phase-3 hot set
+	mixed := serve.RunLoadMixed(serve.LoadConfig{Concurrency: c, Requests: n, K: k, Queries: mixedHot},
+		routes, func(route, q string, kk int) error {
+			_, err := client.SearchRoute(route, q, kk, "")
+			return err
+		})
+	after = srv.Registry().Snapshot()
+	rep.Mixed = mixed.Total
+	rep.Routes = make(map[string]*serve.RouteBench, len(routes))
+	fmt.Printf("mixed routes (%s):\n%s\n", strings.Join(routes, ", "), mixed.Total)
+	for _, route := range routes {
+		prefix := serve.MetricPrefix(route)
+		hits := after.Counter(prefix+"cache.hits") - before.Counter(prefix+"cache.hits")
+		misses := after.Counter(prefix+"cache.misses") - before.Counter(prefix+"cache.misses")
+		rb := &serve.RouteBench{Load: mixed.PerRoute[route]}
+		if hits+misses > 0 {
+			rb.CacheHitRate = float64(hits) / float64(hits+misses)
+		}
+		if snap, ok := srv.RouteSnapshot(route); ok {
+			rb.Epoch = snap.Epoch
+		}
+		rb.Swaps = after.Counter(prefix + "swaps")
+		rep.Routes[route] = rb
+		fmt.Printf("  %-18s %6.0f qps  p95 %7.3fms  hit rate %5.1f%%  epoch %d\n",
+			route, rb.Load.QPS, rb.Load.P95MS, 100*rb.CacheHitRate, rb.Epoch)
+	}
+	fmt.Println()
+
 	rep.P50MS, rep.P95MS, rep.P99MS = rep.Concurrent.P50MS, rep.Concurrent.P95MS, rep.Concurrent.P99MS
 	fmt.Println("server /metrics after all phases:")
 	fmt.Print(srv.Registry().Render())
+	if err := rep.Check(); err != nil {
+		return fmt.Errorf("malformed bench report: %w", err)
+	}
 	if jsonPath != "" {
 		if err := writeJSON(jsonPath, rep); err != nil {
 			return err

@@ -1,17 +1,21 @@
 // Command ragserve is the online retrieval server: it builds (or reloads)
-// the chunk retrieval database and serves it over the internal/serve HTTP
-// API — coalesced micro-batch search, query cache, hot index swap,
-// /healthz and /metrics.
+// the chunk retrieval database plus the three per-mode reasoning-trace
+// databases and serves them over the internal/serve HTTP API — one route
+// per store, each with its own coalesced micro-batch search, query cache
+// and hot index swap, plus shared /healthz and /metrics.
 //
 // Usage:
 //
 //	ragserve -addr :8080 -scale 0.02              # synthetic corpus
 //	ragserve -artifacts out/ -index pq            # reuse saved artifacts
-//	ragserve -save-index /tmp/idx.vsf             # keep a swap target
+//	ragserve -save-index /tmp/idx.vsf             # keep a chunk swap target
+//	ragserve -save-traces /tmp/tr                 # keep trace swap targets
+//	ragserve -traces=false                        # chunk route only
 //
-// Hot swap while serving:
+// Hot swap while serving (per route; /admin/swap aliases the chunk route):
 //
-//	curl -X POST localhost:8080/admin/swap -d '{"path":"/tmp/idx.vsf"}'
+//	curl -X POST localhost:8080/admin/chunks/swap -d '{"path":"/tmp/idx.vsf"}'
+//	curl -X POST localhost:8080/admin/traces/detailed/swap -d '{"path":"/tmp/tr/traces_detailed.vsf"}'
 //
 // SIGINT/SIGTERM drains gracefully: the listener closes immediately,
 // in-flight requests finish within the -drain window.
@@ -24,11 +28,12 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/rag"
 	"repro/internal/serve"
 	"repro/internal/vecstore"
 )
@@ -38,29 +43,49 @@ func main() {
 	scale := flag.Float64("scale", 0.02, "fraction of the paper's corpus to build")
 	seed := flag.Uint64("seed", 42, "corpus seed")
 	artifacts := flag.String("artifacts", "", "load a saved artifact directory (from mcqgen) instead of regenerating")
-	indexKind := flag.String("index", "flat", "index kind: flat | ivf | pq | ivfpq")
+	indexKind := flag.String("index", "flat", "chunk index kind: flat | ivf | pq | ivfpq (trace stores stay flat)")
 	maxBatch := flag.Int("max-batch", 32, "coalescer batch size")
 	maxDelay := flag.Duration("max-delay", time.Millisecond, "coalescer admission window")
-	cacheCap := flag.Int("cache", 4096, "query cache entries (0 disables)")
-	saveIndex := flag.String("save-index", "", "also persist the serving index to this VSF path (handy as a swap target)")
+	cacheCap := flag.Int("cache", 4096, "per-route query cache entries (0 disables)")
+	traces := flag.Bool("traces", true, "serve the three reasoning-trace stores as /v1/traces/<mode> routes")
+	saveIndex := flag.String("save-index", "", "also persist the chunk serving index to this VSF path (handy as a swap target)")
+	saveTraces := flag.String("save-traces", "", "also persist the trace indexes to traces_<mode>.vsf under this directory")
 	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown window")
 	flag.Parse()
 
-	if err := run(*addr, *artifacts, *indexKind, *saveIndex, *scale, *seed, *maxBatch, *cacheCap, *maxDelay, *drain); err != nil {
+	if err := run(*addr, *artifacts, *indexKind, *saveIndex, *saveTraces, *scale, *seed,
+		*maxBatch, *cacheCap, *maxDelay, *drain, *traces); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(addr, artifactDir, indexKind, saveIndex string, scale float64, seed uint64, maxBatch, cacheCap int, maxDelay, drain time.Duration) error {
-	store, nChunks, err := buildStore(artifactDir, scale, seed, indexKind)
+func run(addr, artifactDir, indexKind, saveIndex, saveTraces string, scale float64, seed uint64,
+	maxBatch, cacheCap int, maxDelay, drain time.Duration, traces bool) error {
+	a, err := buildArtifacts(artifactDir, scale, seed, indexKind)
 	if err != nil {
 		return err
 	}
+	store := a.ChunkStore
 	if saveIndex != "" {
 		if err := store.SaveIndex(saveIndex); err != nil {
 			return fmt.Errorf("save index: %w", err)
 		}
-		fmt.Printf("index saved to %s\n", saveIndex)
+		fmt.Printf("chunk index saved to %s\n", saveIndex)
+	}
+	if saveTraces != "" {
+		if err := os.MkdirAll(saveTraces, 0o755); err != nil {
+			return err
+		}
+		for mode, ts := range a.TraceStores {
+			if ts.Len() == 0 {
+				continue
+			}
+			path := filepath.Join(saveTraces, "traces_"+string(mode)+".vsf")
+			if err := ts.SaveIndex(path); err != nil {
+				return fmt.Errorf("save trace index %s: %w", mode, err)
+			}
+			fmt.Printf("trace index saved to %s\n", path)
+		}
 	}
 
 	cfg := serve.DefaultConfig()
@@ -68,12 +93,18 @@ func run(addr, artifactDir, indexKind, saveIndex string, scale float64, seed uin
 	cfg.MaxDelay = maxDelay
 	cfg.CacheCap = cacheCap
 	srv := serve.New(store, cfg)
+	if traces {
+		if err := srv.MountTraceStores(a.TraceStores); err != nil {
+			return err
+		}
+	}
 	if err := srv.Start(addr); err != nil {
 		return err
 	}
 	st := store.IndexStats()
-	fmt.Printf("ragserve listening on %s — %d chunks, %s index (%.1f bytes/vector), batch≤%d window=%s cache=%d\n",
-		srv.Addr(), nChunks, st.Kind, st.BytesPerVector(), maxBatch, maxDelay, cacheCap)
+	fmt.Printf("ragserve listening on %s — %d chunks, %d traces, %s chunk index (%.1f bytes/vector), batch≤%d window=%s cache=%d\n",
+		srv.Addr(), len(a.Chunks), len(a.Traces), st.Kind, st.BytesPerVector(), maxBatch, maxDelay, cacheCap)
+	fmt.Printf("routes: %s\n", strings.Join(srv.Routes(), ", "))
 
 	// SIGTERM drain: stop accepting, let in-flight requests finish.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -89,7 +120,7 @@ func run(addr, artifactDir, indexKind, saveIndex string, scale float64, seed uin
 	return nil
 }
 
-func buildStore(artifactDir string, scale float64, seed uint64, indexKind string) (*rag.ChunkStore, int, error) {
+func buildArtifacts(artifactDir string, scale float64, seed uint64, indexKind string) (*core.Artifacts, error) {
 	var a *core.Artifacts
 	var err error
 	if artifactDir != "" {
@@ -102,19 +133,18 @@ func buildStore(artifactDir string, scale float64, seed uint64, indexKind string
 		a, err = core.BuildBenchmark(cfg)
 	}
 	if err != nil {
-		return nil, 0, err
+		return nil, err
 	}
-	store := a.ChunkStore
 	switch indexKind {
 	case "flat":
 	case "ivf":
-		store.UseIVF(vecstore.IVFConfig{Seed: seed})
+		a.ChunkStore.UseIVF(vecstore.IVFConfig{Seed: seed})
 	case "pq":
-		store.UsePQ(vecstore.PQConfig{Seed: seed})
+		a.ChunkStore.UsePQ(vecstore.PQConfig{Seed: seed})
 	case "ivfpq":
-		store.UseIVFPQ(vecstore.IVFPQConfig{Seed: seed})
+		a.ChunkStore.UseIVFPQ(vecstore.IVFPQConfig{Seed: seed})
 	default:
-		return nil, 0, fmt.Errorf("unknown -index %q (flat | ivf | pq | ivfpq)", indexKind)
+		return nil, fmt.Errorf("unknown -index %q (flat | ivf | pq | ivfpq)", indexKind)
 	}
-	return store, len(a.Chunks), nil
+	return a, nil
 }

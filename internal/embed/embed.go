@@ -230,10 +230,23 @@ func (p *Pool) EncodeAll(texts []string) [][]float32 {
 	if len(texts) == 0 {
 		return out
 	}
+	// Never spawn more workers than texts: retrieval micro-batches are
+	// often 1-32 queries, and a fan-out of GOMAXPROCS goroutines per call
+	// would dominate the cost of embedding a single query.
+	workers := p.workers
+	if workers > len(texts) {
+		workers = len(texts)
+	}
+	if workers == 1 {
+		for i, t := range texts {
+			out[i] = p.enc.Encode(t)
+		}
+		return out
+	}
 	var next int
 	var mu sync.Mutex
 	var wg sync.WaitGroup
-	for w := 0; w < p.workers; w++ {
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()

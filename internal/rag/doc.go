@@ -9,7 +9,14 @@
 // UseIVF, UsePQ and UseIVFPQ swap the exact index for an approximate or
 // quantized one (recall vs memory vs QPS — see docs/ARCHITECTURE.md),
 // RetrieveBatch answers whole question sets through the index's
-// multi-query scan kernel, SaveIndex/vecstore.Load persist the store's
-// vectors (VSF2 for Flat, VSF3 for PQ), and IndexStats feeds the eval
-// report's retrieval-configuration table.
+// multi-query scan kernel (the query-embedding pool is built once per
+// store and capped at the batch size — the serving hot path calls this
+// per micro-batch), SaveIndex/vecstore.Load persist the store's vectors
+// (VSF2 for Flat, VSF3 for PQ), and IndexStats feeds the eval report's
+// retrieval-configuration table.
+//
+// For the online layer, Facade (with the NewChunkFacade/NewTraceFacade
+// adapters) presents both store kinds behind one store-agnostic
+// interface — flattened Hit results, the WithIndex hot-swap hook, and
+// per-query question exclusion — which internal/serve mounts as routes.
 package rag

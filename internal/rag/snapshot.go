@@ -26,7 +26,7 @@ func (s *ChunkStore) WithIndex(index vecstore.Index) (*ChunkStore, error) {
 	}); err != nil {
 		return nil, err
 	}
-	return &ChunkStore{enc: s.enc, index: index, byKey: s.byKey}, nil
+	return &ChunkStore{enc: s.enc, index: index, byKey: s.byKey, pool: s.pool}, nil
 }
 
 // keyed is implemented by every vecstore index; it lets WithIndex probe
@@ -80,7 +80,7 @@ func (s *TraceStore) WithIndex(index vecstore.Index) (*TraceStore, error) {
 	}); err != nil {
 		return nil, err
 	}
-	return &TraceStore{mode: s.mode, enc: s.enc, index: index, byKey: s.byKey, factOf: s.factOf}, nil
+	return &TraceStore{mode: s.mode, enc: s.enc, index: index, byKey: s.byKey, factOf: s.factOf, pool: s.pool}, nil
 }
 
 // Index exposes the trace store's current index; treat it as read-only

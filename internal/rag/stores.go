@@ -21,6 +21,11 @@ type ChunkStore struct {
 	enc   *embed.Encoder
 	index vecstore.Index
 	byKey map[string]chunk.Chunk
+	// pool is the query-embedding pool, built once at construction: the
+	// serving hot path calls RetrieveBatch per micro-batch, so a fresh
+	// pool per call would be one allocation per batch for no reason
+	// (Pool is stateless and safe for concurrent use).
+	pool *embed.Pool
 }
 
 // BuildChunkStore embeds all chunks in parallel and indexes them. workers
@@ -40,7 +45,7 @@ func BuildChunkStore(enc *embed.Encoder, chunks []chunk.Chunk, workers int) *Chu
 		ix.Add(vecs[i], c.ID)
 		byKey[c.ID] = c
 	}
-	return &ChunkStore{enc: enc, index: ix, byKey: byKey}
+	return &ChunkStore{enc: enc, index: ix, byKey: byKey, pool: embed.NewPool(enc, 0)}
 }
 
 // WrapChunkStore builds a ChunkStore around an already-populated index
@@ -54,7 +59,7 @@ func WrapChunkStore(enc *embed.Encoder, index vecstore.Index, chunks []chunk.Chu
 	for _, c := range chunks {
 		byKey[c.ID] = c
 	}
-	return &ChunkStore{enc: enc, index: index, byKey: byKey}
+	return &ChunkStore{enc: enc, index: index, byKey: byKey, pool: embed.NewPool(enc, 0)}
 }
 
 // UseIVF swaps the exact index for a trained IVF index (recall/latency
@@ -127,7 +132,7 @@ func (s *ChunkStore) Retrieve(query string, k int) []RetrievedChunk {
 // which amortises code decoding across the whole batch. Results are in
 // query order and identical to per-query Retrieve calls.
 func (s *ChunkStore) RetrieveBatch(queries []string, k int) [][]RetrievedChunk {
-	vecs := embed.NewPool(s.enc, 0).EncodeAll(queries)
+	vecs := s.pool.EncodeAll(queries)
 	res := vecstore.BatchSearch(s.index, vecs, k, 0)
 	out := make([][]RetrievedChunk, len(queries))
 	for i, rs := range res {
@@ -171,6 +176,7 @@ type TraceStore struct {
 	index  vecstore.Index
 	byKey  map[string]*mcq.Trace
 	factOf map[string]string // trace id → fact id of its source question
+	pool   *embed.Pool       // query-embedding pool, hoisted like ChunkStore's
 }
 
 // BuildTraceStore indexes all traces of one mode. questionFact maps
@@ -199,7 +205,7 @@ func BuildTraceStore(enc *embed.Encoder, mode mcq.ReasoningMode, traces []*mcq.T
 		byKey[tr.ID] = tr
 		factOf[tr.ID] = questionFact[tr.QuestionID]
 	}
-	return &TraceStore{mode: mode, enc: enc, index: ix, byKey: byKey, factOf: factOf}
+	return &TraceStore{mode: mode, enc: enc, index: ix, byKey: byKey, factOf: factOf, pool: embed.NewPool(enc, 0)}
 }
 
 // Mode returns the store's reasoning mode.
@@ -230,7 +236,7 @@ func (s *TraceStore) Retrieve(query string, k int, excludeQuestionID string) []R
 // self-exclusion rule as Retrieve. Results are in query order and identical
 // to per-query Retrieve calls.
 func (s *TraceStore) RetrieveBatch(queries []string, k int, excludeQuestionIDs []string) [][]RetrievedTrace {
-	vecs := embed.NewPool(s.enc, 0).EncodeAll(queries)
+	vecs := s.pool.EncodeAll(queries)
 	res := vecstore.BatchSearch(s.index, vecs, k+2, 0)
 	out := make([][]RetrievedTrace, len(queries))
 	for i, rs := range res {
@@ -316,7 +322,7 @@ func WrapTraceStore(enc *embed.Encoder, mode mcq.ReasoningMode, index vecstore.I
 		byKey[tr.ID] = tr
 		factOf[tr.ID] = questionFact[tr.QuestionID]
 	}
-	return &TraceStore{mode: mode, enc: enc, index: index, byKey: byKey, factOf: factOf}
+	return &TraceStore{mode: mode, enc: enc, index: index, byKey: byKey, factOf: factOf, pool: embed.NewPool(enc, 0)}
 }
 
 // TraceStores builds all three mode stores at once, as the pipeline does

@@ -1,0 +1,112 @@
+package serve
+
+import "fmt"
+
+// BenchReport is the BENCH_serve.json schema emitted by `make bench-serve`
+// (cmd/ragload -inprocess). The single-store phases (sequential,
+// concurrent, cached, swap_phase) run against the chunks route only, so
+// their numbers stay comparable across PRs; the mixed phase fans the same
+// closed loop across every mounted route and fills Routes with per-route
+// QPS, latency and cache hit rate. Check is the shared validator: ragload
+// refuses to emit a malformed report, and the root bench-schema test
+// fails `make verify` on one that was emitted anyway.
+type BenchReport struct {
+	Bench        string                 `json:"bench"`
+	Scale        float64                `json:"scale"`
+	Chunks       int                    `json:"chunks"`
+	Sequential   *LoadReport            `json:"sequential"`
+	Concurrent   *LoadReport            `json:"concurrent"`
+	Cached       *LoadReport            `json:"cached"`
+	SwapPhase    *LoadReport            `json:"swap_phase,omitempty"`
+	Speedup      float64                `json:"speedup_qps"`
+	MeanBatch    float64                `json:"mean_batch"`
+	CacheHitRate float64                `json:"cache_hit_rate"`
+	Swaps        int                    `json:"swaps"`
+	SwapFailures int64                  `json:"swap_failures"`
+	P50MS        float64                `json:"latency_p50_ms"`
+	P95MS        float64                `json:"latency_p95_ms"`
+	P99MS        float64                `json:"latency_p99_ms"`
+	Mixed        *LoadReport            `json:"mixed"`
+	Routes       map[string]*RouteBench `json:"routes"`
+}
+
+// RouteBench is one route's record from the mixed-route phase.
+type RouteBench struct {
+	Load         *LoadReport `json:"load"`
+	CacheHitRate float64     `json:"cache_hit_rate"`
+	Epoch        uint64      `json:"epoch"`
+	Swaps        int64       `json:"swaps"`
+}
+
+// Check validates the report's shape and internal consistency. It returns
+// the first problem found, or nil for a well-formed report.
+func (r *BenchReport) Check() error {
+	if r.Bench != "serve" {
+		return fmt.Errorf("bench %q, want \"serve\"", r.Bench)
+	}
+	if r.Scale <= 0 || r.Chunks <= 0 {
+		return fmt.Errorf("scale=%v chunks=%d, want both positive", r.Scale, r.Chunks)
+	}
+	for _, p := range []struct {
+		name string
+		rep  *LoadReport
+	}{{"sequential", r.Sequential}, {"concurrent", r.Concurrent}, {"cached", r.Cached}, {"mixed", r.Mixed}} {
+		if err := checkLoad(p.name, p.rep); err != nil {
+			return err
+		}
+	}
+	if r.SwapPhase != nil {
+		if err := checkLoad("swap_phase", r.SwapPhase); err != nil {
+			return err
+		}
+	}
+	if r.Speedup <= 0 || r.MeanBatch <= 0 {
+		return fmt.Errorf("speedup_qps=%v mean_batch=%v, want both positive", r.Speedup, r.MeanBatch)
+	}
+	if r.CacheHitRate < 0 || r.CacheHitRate > 1 {
+		return fmt.Errorf("cache_hit_rate %v outside [0,1]", r.CacheHitRate)
+	}
+	if len(r.Routes) == 0 {
+		return fmt.Errorf("no per-route records")
+	}
+	if _, ok := r.Routes[RouteChunks]; !ok {
+		return fmt.Errorf("per-route records missing the %q route", RouteChunks)
+	}
+	var routed int64
+	for name, rb := range r.Routes {
+		if rb == nil {
+			return fmt.Errorf("route %q: nil record", name)
+		}
+		if err := checkLoad("routes."+name, rb.Load); err != nil {
+			return err
+		}
+		if rb.CacheHitRate < 0 || rb.CacheHitRate > 1 {
+			return fmt.Errorf("route %q: cache_hit_rate %v outside [0,1]", name, rb.CacheHitRate)
+		}
+		routed += rb.Load.Requests
+	}
+	if routed != r.Mixed.Requests {
+		return fmt.Errorf("per-route requests sum to %d, mixed phase issued %d", routed, r.Mixed.Requests)
+	}
+	return nil
+}
+
+func checkLoad(name string, rep *LoadReport) error {
+	if rep == nil {
+		return fmt.Errorf("%s: missing load report", name)
+	}
+	if rep.Mode != "closed" && rep.Mode != "open" {
+		return fmt.Errorf("%s: mode %q", name, rep.Mode)
+	}
+	if rep.Requests <= 0 || rep.QPS <= 0 {
+		return fmt.Errorf("%s: requests=%d qps=%v, want both positive", name, rep.Requests, rep.QPS)
+	}
+	if rep.Failures < 0 || rep.Failures > rep.Requests {
+		return fmt.Errorf("%s: %d failures for %d requests", name, rep.Failures, rep.Requests)
+	}
+	if rep.P50MS > rep.P95MS || rep.P95MS > rep.P99MS || rep.P99MS > rep.MaxMS {
+		return fmt.Errorf("%s: non-monotone latency quantiles p50=%v p95=%v p99=%v max=%v",
+			name, rep.P50MS, rep.P95MS, rep.P99MS, rep.MaxMS)
+	}
+	return nil
+}

@@ -16,8 +16,11 @@ type Cache struct {
 }
 
 // NewCache returns a cache holding up to capacity entries split across
-// shards (shards <= 0 selects 8; capacity is rounded up so every shard
-// holds at least one entry).
+// shards (shards <= 0 selects 8, and is clamped to capacity so every
+// shard holds at least one entry). The remainder of capacity/shards is
+// distributed one entry each to the first shards, so the per-shard caps
+// sum to exactly capacity — rounding every shard up would let the cache
+// admit up to shards-1 entries more than asked for.
 func NewCache(capacity, shards int) *Cache {
 	if shards <= 0 {
 		shards = 8
@@ -28,11 +31,15 @@ func NewCache(capacity, shards int) *Cache {
 	if shards < 1 {
 		shards = 1
 	}
-	per := (capacity + shards - 1) / shards
+	per, extra := capacity/shards, capacity%shards
 	c := &Cache{shards: make([]*lruShard, shards)}
 	for i := range c.shards {
+		n := per
+		if i < extra {
+			n++
+		}
 		c.shards[i] = &lruShard{
-			cap:   per,
+			cap:   n,
 			ll:    list.New(),
 			items: make(map[string]*list.Element),
 		}
@@ -51,7 +58,7 @@ type lruShard struct {
 // snapshot that produced it, so responses can report the true generation
 // of the data they carry even across a concurrent swap.
 type CachedResult struct {
-	Results []rag.RetrievedChunk
+	Results []rag.Hit
 	Epoch   uint64
 }
 
@@ -100,6 +107,19 @@ func (c *Cache) Put(key string, val CachedResult) {
 		oldest := s.ll.Back()
 		s.ll.Remove(oldest)
 		delete(s.items, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// Delete removes key if present (used to back out a fill that raced a
+// purge: the entry is keyed under a dead epoch and would otherwise squat
+// LRU capacity until evicted).
+func (c *Cache) Delete(key string) {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[key]; ok {
+		s.ll.Remove(el)
+		delete(s.items, key)
 	}
 }
 

@@ -8,12 +8,11 @@ import (
 	"testing"
 	"time"
 
-	"repro/internal/chunk"
 	"repro/internal/rag"
 )
 
 func val(id string) CachedResult {
-	return CachedResult{Results: []rag.RetrievedChunk{{Chunk: chunk.Chunk{ID: id}, Score: 1}}, Epoch: 1}
+	return CachedResult{Results: []rag.Hit{{ID: id, Score: 1}}, Epoch: 1}
 }
 
 func TestCacheGetPut(t *testing.T) {
@@ -23,11 +22,11 @@ func TestCacheGetPut(t *testing.T) {
 	}
 	c.Put("a", val("x"))
 	got, ok := c.Get("a")
-	if !ok || got.Results[0].Chunk.ID != "x" {
+	if !ok || got.Results[0].ID != "x" {
 		t.Fatalf("got %v ok=%v", got, ok)
 	}
 	c.Put("a", val("y")) // overwrite
-	if got, _ := c.Get("a"); got.Results[0].Chunk.ID != "y" {
+	if got, _ := c.Get("a"); got.Results[0].ID != "y" {
 		t.Fatal("overwrite lost")
 	}
 	if c.Len() != 1 {
@@ -72,6 +71,51 @@ func TestCachePurge(t *testing.T) {
 	}
 }
 
+func TestCacheCapacityIsExact(t *testing.T) {
+	// The per-shard caps must sum to exactly the requested capacity:
+	// rounding every shard up used to admit up to shards-1 extra entries
+	// (NewCache(10, 8) held 16).
+	for _, tc := range []struct{ capacity, shards int }{
+		{10, 8}, {16, 4}, {7, 3}, {1, 8}, {4096, 8}, {13, 13},
+	} {
+		c := NewCache(tc.capacity, tc.shards)
+		total := 0
+		for _, s := range c.shards {
+			if s.cap < 1 {
+				t.Fatalf("NewCache(%d,%d): shard cap %d < 1", tc.capacity, tc.shards, s.cap)
+			}
+			total += s.cap
+		}
+		if total != tc.capacity {
+			t.Fatalf("NewCache(%d,%d): shard caps sum to %d", tc.capacity, tc.shards, total)
+		}
+		// Overfill every shard; the cache must never exceed capacity.
+		for i := 0; i < 16*tc.capacity; i++ {
+			c.Put(fmt.Sprintf("key-%d", i), val("v"))
+		}
+		if n := c.Len(); n > tc.capacity {
+			t.Fatalf("NewCache(%d,%d): holds %d entries after overfill", tc.capacity, tc.shards, n)
+		}
+	}
+}
+
+func TestCacheDelete(t *testing.T) {
+	c := NewCache(8, 2)
+	c.Put("a", val("a"))
+	c.Put("b", val("b"))
+	c.Delete("a")
+	c.Delete("missing") // no-op
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("deleted entry still present")
+	}
+	if _, ok := c.Get("b"); !ok {
+		t.Fatal("unrelated entry deleted")
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len %d", c.Len())
+	}
+}
+
 func TestCacheShardCapacityClamp(t *testing.T) {
 	// More shards than capacity must still yield ≥1 entry per shard.
 	c := NewCache(2, 8)
@@ -91,8 +135,8 @@ func TestCacheConcurrent(t *testing.T) {
 			for i := 0; i < 200; i++ {
 				k := fmt.Sprint(i % 50)
 				c.Put(k, val(k))
-				if got, ok := c.Get(k); ok && got.Results[0].Chunk.ID != k {
-					t.Errorf("key %s returned %s", k, got.Results[0].Chunk.ID)
+				if got, ok := c.Get(k); ok && got.Results[0].ID != k {
+					t.Errorf("key %s returned %s", k, got.Results[0].ID)
 				}
 			}
 		}(w)
@@ -113,7 +157,7 @@ func TestFlightGroupDedup(t *testing.T) {
 	go func() {
 		defer close(leaderDone)
 		v, shared, err := g.do(context.Background(), "k", fn)
-		if shared || err != nil || v.Results[0].Chunk.ID != "shared" {
+		if shared || err != nil || v.Results[0].ID != "shared" {
 			t.Errorf("leader: shared=%v err=%v", shared, err)
 		}
 	}()
@@ -139,7 +183,7 @@ func TestFlightGroupDedup(t *testing.T) {
 			defer wg.Done()
 			ready.Done()
 			v, shared, err := g.do(context.Background(), "k", fn)
-			if err != nil || v.Results[0].Chunk.ID != "shared" {
+			if err != nil || v.Results[0].ID != "shared" {
 				t.Errorf("joiner: %v %v", v, err)
 			}
 			sharedCount <- shared

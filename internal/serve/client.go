@@ -43,7 +43,7 @@ func (c *Client) post(path string, req, resp any) error {
 	return json.NewDecoder(r.Body).Decode(resp)
 }
 
-// Search issues one /v1/search request.
+// Search issues one /v1/search request (the chunks route's legacy alias).
 func (c *Client) Search(query string, k int) (SearchResponse, error) {
 	var out SearchResponse
 	err := c.post("/v1/search", SearchRequest{Query: query, K: k}, &out)
@@ -57,10 +57,41 @@ func (c *Client) SearchBatch(queries []string, k int) (BatchSearchResponse, erro
 	return out, err
 }
 
-// Swap asks the server to hot-swap its index from a VSF file.
+// Swap asks the server to hot-swap the chunks route's index from a VSF
+// file (the legacy /admin/swap alias).
 func (c *Client) Swap(path string) (SwapResponse, error) {
 	var out SwapResponse
 	err := c.post("/admin/swap", SwapRequest{Path: path}, &out)
+	return out, err
+}
+
+// SearchRoute issues one /v1/<route>/search request ("chunks",
+// "traces/detailed", …). exclude is the trace routes' question
+// self-exclusion id ("" for none).
+func (c *Client) SearchRoute(route, query string, k int, exclude string) (SearchResponse, error) {
+	var out SearchResponse
+	err := c.post("/v1/"+route+"/search", SearchRequest{Query: query, K: k, Exclude: exclude}, &out)
+	return out, err
+}
+
+// SearchRouteBatch issues one /v1/<route>/search/batch request. exclude
+// is nil or one entry per query.
+func (c *Client) SearchRouteBatch(route string, queries []string, k int, exclude []string) (BatchSearchResponse, error) {
+	var out BatchSearchResponse
+	err := c.post("/v1/"+route+"/search/batch", BatchSearchRequest{Queries: queries, K: k, Exclude: exclude}, &out)
+	return out, err
+}
+
+// SearchTrace issues one query against a reasoning-trace mode route.
+func (c *Client) SearchTrace(mode, query string, k int, exclude string) (SearchResponse, error) {
+	return c.SearchRoute("traces/"+mode, query, k, exclude)
+}
+
+// SwapRoute asks the server to hot-swap one route's index from a VSF
+// file; the other routes keep their epochs and warm caches.
+func (c *Client) SwapRoute(route, path string) (SwapResponse, error) {
+	var out SwapResponse
+	err := c.post("/admin/"+route+"/swap", SwapRequest{Path: path}, &out)
 	return out, err
 }
 

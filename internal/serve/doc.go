@@ -1,36 +1,47 @@
 // Package serve is the online retrieval layer: an HTTP JSON server that
-// puts the repo's offline retrieval substrate (rag.ChunkStore over the
-// vecstore scan kernels) behind a socket, with the serving-time machinery
-// a production deployment needs.
+// puts the repo's retrieval stores — the chunk database plus the three
+// per-mode reasoning-trace databases — behind a socket, with the
+// serving-time machinery a production deployment needs.
 //
-// Four mechanisms make up the subsystem:
+// The server is a front-end over a small store interface (Store, an alias
+// of rag.Facade: RetrieveBatch, the WithIndex snapshot hook, Index/Len).
+// Each store is mounted as a named route ("chunks", "traces/detailed", …)
+// served at /v1/<route>/search (+ /batch) and /admin/<route>/swap, and
+// every route gets its own copy of the serving machinery, so a hot swap
+// or cache purge on one store can never evict entries, bump epochs, or
+// stall requests on another. Per route:
 //
-//   - Request coalescing. Concurrent single-query /v1/search requests are
-//     packed into micro-batches (internal/batch, the same admission-window
-//     coalescer behind the argo model gateway) and dispatched through
-//     rag.ChunkStore.RetrieveBatch — so the vecstore multi-query kernel
+//   - Request coalescing. Concurrent single-query requests are packed
+//     into micro-batches (internal/batch, the same admission-window
+//     coalescer behind the argo model gateway) and dispatched through the
+//     store's RetrieveBatch — so the vecstore multi-query kernel
 //     amortises tile decode, and a PQ index amortises its per-query LUT
-//     build, across the whole batch. This is where the batch kernel's
-//     offline speedup becomes an online QPS win.
+//     build, across the whole batch. Trace-route requests carry the
+//     per-query question self-exclusion id through the same batches.
 //
-//   - Query cache. A sharded LRU keyed by (epoch, k, query) with
-//     singleflight de-duplication: repeated queries are answered without
-//     touching the index, and concurrent identical misses collapse into
-//     one search.
+//   - Query cache. A sharded LRU keyed by (epoch, k, exclude, query)
+//     with singleflight de-duplication: repeated queries are answered
+//     without touching the index, and concurrent identical misses
+//     collapse into one search. Shard capacities sum to exactly the
+//     configured total, and a fill that races a hot swap is dropped
+//     rather than left squatting under a dead epoch.
 //
-//   - Hot index swap. The server publishes immutable Snapshots through an
+//   - Hot index swap. Each route publishes immutable Snapshots through an
 //     atomic pointer. A replacement index (any VSF generation) is loaded
-//     off the serving path, wrapped via rag's WithIndex hook, and swapped
-//     in with one pointer store; the cache is purged and the epoch
-//     incremented. In-flight batches finish on the old snapshot — zero
-//     downtime, no torn reads.
+//     off the serving path, wrapped via the facade's WithIndex hook, and
+//     swapped in with one pointer store; the route's cache is purged and
+//     its epoch incremented — other routes keep serving warm. In-flight
+//     batches finish on the old snapshot — zero downtime, no torn reads.
 //
-//   - Observability and load. /healthz and /metrics (text exposition of an
-//     internal/metrics Registry: QPS counters, batch-size distribution,
-//     cache hit rate, latency quantiles) plus a closed/open-loop load
-//     harness (RunLoad) that cmd/ragload and `make bench-serve` drive to
-//     measure the serving stack end to end.
+//   - Observability and load. /healthz reports every route; /metrics is
+//     the text exposition of an internal/metrics Registry with one
+//     namespace per route (serve.chunks.…, serve.traces.detailed.…:
+//     QPS counters, batch-size distribution, cache hit rate, latency
+//     quantiles). RunLoad/RunLoadMixed drive closed/open-loop and
+//     mixed-route workloads for cmd/ragload and `make bench-serve`,
+//     whose BENCH_serve.json report is schema-checked (BenchReport.Check)
+//     by the root bench test.
 //
-// cmd/ragserve wires the server to a corpus and a SIGTERM drain;
+// cmd/ragserve wires the stores to a corpus and a SIGTERM drain;
 // cmd/ragload is the matching load generator.
 package serve

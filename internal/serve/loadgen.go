@@ -67,24 +67,42 @@ func (r *LoadReport) String() string {
 	return b.String()
 }
 
+// MixedReport is the result of a mixed-route load run: the aggregate plus
+// one report per route, all measured over the same wall-clock window (so
+// per-route QPS values sum to the total).
+type MixedReport struct {
+	Total    *LoadReport            `json:"total"`
+	PerRoute map[string]*LoadReport `json:"per_route"`
+}
+
 // RunLoad drives do — one retrieval request; typically Client.Search or an
 // in-process Server.Search closure — according to cfg and reports
 // client-side latency quantiles and throughput.
 func RunLoad(cfg LoadConfig, do func(query string, k int) error) *LoadReport {
+	return RunLoadMixed(cfg, nil, func(_, q string, k int) error { return do(q, k) }).Total
+}
+
+// RunLoadMixed drives do with requests fanned round-robin across routes
+// (request i goes to routes[i%len(routes)]), the multi-store serving
+// workload. A nil/empty routes slice degenerates to a single unnamed
+// route and an empty PerRoute map.
+func RunLoadMixed(cfg LoadConfig, routes []string, do func(route, query string, k int) error) *MixedReport {
 	cfg.fill()
 	if len(cfg.Queries) == 0 {
 		cfg.Queries = []string{"empty query set"}
 	}
+	perRoute := routes
+	if len(routes) == 0 {
+		routes = []string{""}
+	}
 	lat := make([]time.Duration, cfg.Requests)
-	var failures atomic.Int64
+	failed := make([]bool, cfg.Requests)
 	issue := func(i int) {
 		q := cfg.Queries[i%len(cfg.Queries)]
 		start := time.Now()
-		err := do(q, cfg.K)
+		err := do(routes[i%len(routes)], q, cfg.K)
 		lat[i] = time.Since(start)
-		if err != nil {
-			failures.Add(1)
-		}
+		failed[i] = err != nil
 	}
 
 	mode := "closed"
@@ -128,12 +146,39 @@ func RunLoad(cfg LoadConfig, do func(query string, k int) error) *LoadReport {
 	}
 	elapsed := time.Since(start)
 
-	sorted := append([]time.Duration(nil), lat...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	var sum time.Duration
-	for _, d := range sorted {
-		sum += d
+	all := make([]int, cfg.Requests)
+	for i := range all {
+		all[i] = i
 	}
+	rep := &MixedReport{
+		Total:    summarize(mode, cfg.Concurrency, all, lat, failed, elapsed),
+		PerRoute: make(map[string]*LoadReport, len(perRoute)),
+	}
+	for ri, route := range perRoute {
+		var idx []int
+		for i := ri; i < cfg.Requests; i += len(routes) {
+			idx = append(idx, i)
+		}
+		rep.PerRoute[route] = summarize(mode, cfg.Concurrency, idx, lat, failed, elapsed)
+	}
+	return rep
+}
+
+// summarize reduces the latency samples at idx — everything for the total
+// report, one route's stripe for a per-route one — against the run's
+// shared elapsed window.
+func summarize(mode string, concurrency int, idx []int, lat []time.Duration, failed []bool, elapsed time.Duration) *LoadReport {
+	sorted := make([]time.Duration, len(idx))
+	var failures int64
+	var sum time.Duration
+	for i, j := range idx {
+		sorted[i] = lat[j]
+		sum += lat[j]
+		if failed[j] {
+			failures++
+		}
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
 	q := func(p float64) float64 {
 		if len(sorted) == 0 {
 			return 0
@@ -142,18 +187,20 @@ func RunLoad(cfg LoadConfig, do func(query string, k int) error) *LoadReport {
 	}
 	rep := &LoadReport{
 		Mode:        mode,
-		Concurrency: cfg.Concurrency,
-		Requests:    int64(cfg.Requests),
-		Failures:    failures.Load(),
+		Concurrency: concurrency,
+		Requests:    int64(len(idx)),
+		Failures:    failures,
 		ElapsedMS:   ms(elapsed),
 		MeanMS:      ms(sum / time.Duration(max(1, len(sorted)))),
 		P50MS:       q(0.50),
 		P95MS:       q(0.95),
 		P99MS:       q(0.99),
-		MaxMS:       ms(sorted[len(sorted)-1]),
+	}
+	if len(sorted) > 0 {
+		rep.MaxMS = ms(sorted[len(sorted)-1])
 	}
 	if elapsed > 0 {
-		rep.QPS = float64(cfg.Requests) / elapsed.Seconds()
+		rep.QPS = float64(len(idx)) / elapsed.Seconds()
 	}
 	return rep
 }

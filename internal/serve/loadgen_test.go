@@ -58,6 +58,45 @@ func TestRunLoadOpenLoop(t *testing.T) {
 	}
 }
 
+func TestRunLoadMixedPartitionsByRoute(t *testing.T) {
+	routes := []string{"chunks", "traces/detailed", "traces/focused"}
+	var perRoute [3]atomic.Int64
+	rep := RunLoadMixed(LoadConfig{Concurrency: 4, Requests: 31, Queries: []string{"a", "b"}},
+		routes, func(route, q string, k int) error {
+			for i, r := range routes {
+				if r == route {
+					perRoute[i].Add(1)
+				}
+			}
+			if route == "traces/focused" {
+				return errors.New("boom")
+			}
+			return nil
+		})
+	if rep.Total.Requests != 31 {
+		t.Fatalf("total %+v", rep.Total)
+	}
+	// Round-robin fan-out: 31 requests over 3 routes → 11/10/10.
+	wantCounts := []int64{11, 10, 10}
+	var failSum, qpsSum = int64(0), 0.0
+	for i, r := range routes {
+		pr := rep.PerRoute[r]
+		if pr == nil || pr.Requests != wantCounts[i] || perRoute[i].Load() != wantCounts[i] {
+			t.Fatalf("route %s: report %+v, issued %d", r, pr, perRoute[i].Load())
+		}
+		failSum += pr.Failures
+		qpsSum += pr.QPS
+	}
+	if failSum != 10 || rep.Total.Failures != 10 {
+		t.Fatalf("failures per-route=%d total=%d, want 10", failSum, rep.Total.Failures)
+	}
+	// Per-route QPS is measured over the shared window, so it sums to the
+	// total throughput.
+	if diff := qpsSum - rep.Total.QPS; diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("per-route qps sums to %v, total %v", qpsSum, rep.Total.QPS)
+	}
+}
+
 func TestRunLoadDefaults(t *testing.T) {
 	rep := RunLoad(LoadConfig{Requests: 5}, func(q string, k int) error {
 		if q == "" || k <= 0 {

@@ -35,7 +35,7 @@ func testChunks(n int) []chunk.Chunk {
 	return out
 }
 
-func testServer(t testing.TB, n int, cfg Config) (*Server, []chunk.Chunk) {
+func testServer(t testing.TB, n int, cfg Config) (*Server, *rag.ChunkStore, []chunk.Chunk) {
 	t.Helper()
 	chunks := testChunks(n)
 	store := rag.BuildChunkStore(nil, chunks, 0)
@@ -44,11 +44,11 @@ func testServer(t testing.TB, n int, cfg Config) (*Server, []chunk.Chunk) {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { s.Close() })
-	return s, chunks
+	return s, store, chunks
 }
 
 func TestSearchEndToEnd(t *testing.T) {
-	s, chunks := testServer(t, 64, DefaultConfig())
+	s, _, chunks := testServer(t, 64, DefaultConfig())
 	c := NewClient("http://"+s.Addr(), nil)
 
 	hz, err := c.Healthz()
@@ -58,17 +58,31 @@ func TestSearchEndToEnd(t *testing.T) {
 	if hz.Status != "ok" || hz.Vectors != 64 || hz.Epoch != 0 {
 		t.Fatalf("healthz %+v", hz)
 	}
+	if rh, ok := hz.Routes[RouteChunks]; !ok || rh.Vectors != 64 || rh.Epoch != 0 {
+		t.Fatalf("healthz routes %+v", hz.Routes)
+	}
 
-	// Querying a chunk's own text must return that chunk first.
+	// Querying a chunk's own text must return that chunk first, on both
+	// the legacy alias and the named route.
 	resp, err := c.Search(chunks[17].Text, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(resp.Results) != 3 || resp.Results[0].ChunkID != chunks[17].ID {
+	if len(resp.Results) != 3 || resp.Results[0].ID != chunks[17].ID {
 		t.Fatalf("results %+v", resp.Results)
 	}
 	if resp.Results[0].Text != chunks[17].Text {
 		t.Fatal("chunk text not carried on the wire")
+	}
+	if resp.Results[0].Group != chunks[17].DocID {
+		t.Fatal("doc id not carried on the wire")
+	}
+	named, err := c.SearchRoute(RouteChunks, chunks[17].Text, 3, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if named.Route != RouteChunks || named.Results[0].ID != chunks[17].ID {
+		t.Fatalf("named route response %+v", named)
 	}
 
 	// Batch endpoint answers in query order.
@@ -77,8 +91,8 @@ func TestSearchEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	if len(bresp.Results) != 2 ||
-		bresp.Results[0][0].ChunkID != chunks[3].ID ||
-		bresp.Results[1][0].ChunkID != chunks[40].ID {
+		bresp.Results[0][0].ID != chunks[3].ID ||
+		bresp.Results[1][0].ID != chunks[40].ID {
 		t.Fatalf("batch results %+v", bresp.Results)
 	}
 
@@ -86,7 +100,7 @@ func TestSearchEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{"counter serve.requests", "histogram serve.batch.size", "gauge serve.index.vectors 64"} {
+	for _, want := range []string{"counter serve.chunks.requests", "histogram serve.chunks.batch.size", "gauge serve.chunks.index.vectors 64"} {
 		if !strings.Contains(mtext, want) {
 			t.Fatalf("/metrics missing %q in:\n%s", want, mtext)
 		}
@@ -97,7 +111,7 @@ func TestCoalescingUnderConcurrentClients(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.CacheCap = 0 // every request must reach the kernel
 	cfg.MaxDelay = 3 * time.Millisecond
-	s, chunks := testServer(t, 128, cfg)
+	s, _, chunks := testServer(t, 128, cfg)
 	c := NewClient("http://"+s.Addr(), nil)
 
 	const clients = 48
@@ -114,7 +128,7 @@ func TestCoalescingUnderConcurrentClients(t *testing.T) {
 		t.Fatalf("%d failed requests", rep.Failures)
 	}
 	snap := s.Registry().Snapshot()
-	batches, queued := snap.Counter("serve.batches"), snap.Counter("serve.batch.queries")
+	batches, queued := snap.Counter("serve.chunks.batches"), snap.Counter("serve.chunks.batch.queries")
 	if queued != int64(len(queries)) {
 		t.Fatalf("batched queries %d, want %d", queued, len(queries))
 	}
@@ -123,14 +137,14 @@ func TestCoalescingUnderConcurrentClients(t *testing.T) {
 		t.Fatalf("no coalescing under %d concurrent clients: %d batches for %d queries (mean %.2f)",
 			clients, batches, queued, mean)
 	}
-	if snap.Histogram("serve.batch.size").Total != batches {
+	if snap.Histogram("serve.chunks.batch.size").Total != batches {
 		t.Fatal("batch-size histogram out of sync with batch counter")
 	}
 	t.Logf("mean batch %.2f over %d batches, qps %.0f", mean, batches, rep.QPS)
 }
 
 func TestCacheHitMissAccounting(t *testing.T) {
-	s, chunks := testServer(t, 32, DefaultConfig())
+	s, _, chunks := testServer(t, 32, DefaultConfig())
 	c := NewClient("http://"+s.Addr(), nil)
 
 	first, err := c.Search(chunks[5].Text, 3)
@@ -147,7 +161,7 @@ func TestCacheHitMissAccounting(t *testing.T) {
 	if !second.Cached {
 		t.Fatal("repeat lookup not served from cache")
 	}
-	if len(first.Results) != len(second.Results) || first.Results[0].ChunkID != second.Results[0].ChunkID {
+	if len(first.Results) != len(second.Results) || first.Results[0].ID != second.Results[0].ID {
 		t.Fatal("cached result differs from computed one")
 	}
 	// Different k is a different cache entry.
@@ -155,7 +169,7 @@ func TestCacheHitMissAccounting(t *testing.T) {
 		t.Fatal(err)
 	}
 	snap := s.Registry().Snapshot()
-	if h, m := snap.Counter("serve.cache.hits"), snap.Counter("serve.cache.misses"); h != 1 || m != 2 {
+	if h, m := snap.Counter("serve.chunks.cache.hits"), snap.Counter("serve.chunks.cache.misses"); h != 1 || m != 2 {
 		t.Fatalf("hits=%d misses=%d, want 1/2", h, m)
 	}
 }
@@ -163,14 +177,13 @@ func TestCacheHitMissAccounting(t *testing.T) {
 func TestHotSwapUnderLoad(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.MaxDelay = 500 * time.Microsecond
-	s, chunks := testServer(t, 96, cfg)
+	s, store, chunks := testServer(t, 96, cfg)
 
 	// Two on-disk generations of the same corpus: the initial flat index
 	// and a second copy (what a rebuilt/retrained index deploy looks like).
 	dir := t.TempDir()
 	pathA := filepath.Join(dir, "a.vsf")
 	pathB := filepath.Join(dir, "b.vsf")
-	store := s.Snapshot().Store
 	if err := store.SaveIndex(pathA); err != nil {
 		t.Fatal(err)
 	}
@@ -201,7 +214,7 @@ func TestHotSwapUnderLoad(t *testing.T) {
 				}
 				// Consistency across swaps: both generations hold the same
 				// corpus, so the top hit is always the queried chunk.
-				if len(resp.Results) == 0 || resp.Results[0].ChunkID != q.ID {
+				if len(resp.Results) == 0 || resp.Results[0].ID != q.ID {
 					torn.Add(1)
 				}
 			}
@@ -231,14 +244,15 @@ func TestHotSwapUnderLoad(t *testing.T) {
 		t.Fatalf("%d inconsistent results across %d during hot swaps", n, requests.Load())
 	}
 	reg := s.Registry().Snapshot()
-	if reg.Counter("serve.swaps") != swaps || reg.Gauge("serve.index.epoch") != swaps {
-		t.Fatalf("swap accounting: swaps=%d epoch=%d", reg.Counter("serve.swaps"), reg.Gauge("serve.index.epoch"))
+	if reg.Counter("serve.chunks.swaps") != swaps || reg.Gauge("serve.chunks.index.epoch") != swaps {
+		t.Fatalf("swap accounting: swaps=%d epoch=%d",
+			reg.Counter("serve.chunks.swaps"), reg.Gauge("serve.chunks.index.epoch"))
 	}
 	t.Logf("%d requests, %d swaps, zero failures", requests.Load(), swaps)
 }
 
 func TestSwapRejectsBadInput(t *testing.T) {
-	s, chunks := testServer(t, 16, DefaultConfig())
+	s, _, chunks := testServer(t, 16, DefaultConfig())
 	c := NewClient("http://"+s.Addr(), nil)
 	if _, err := c.Swap(filepath.Join(t.TempDir(), "missing.vsf")); err == nil {
 		t.Fatal("swap from a missing file succeeded")
@@ -268,7 +282,7 @@ func TestGracefulShutdownDrainsInFlight(t *testing.T) {
 	// shutdown provably overlaps an in-flight request.
 	cfg.MaxDelay = 50 * time.Millisecond
 	cfg.MaxBatch = 64
-	s, chunks := testServer(t, 16, cfg)
+	s, _, chunks := testServer(t, 16, cfg)
 	c := NewClient("http://"+s.Addr(), nil)
 
 	done := make(chan error, 1)
@@ -297,11 +311,11 @@ func TestSearchDirectAPI(t *testing.T) {
 	s := New(store, DefaultConfig())
 	defer s.Close()
 	res, cached, epoch, err := s.Search(context.Background(), chunks[9].Text, 2)
-	if err != nil || cached || epoch != 0 || len(res) != 2 || res[0].Chunk.ID != chunks[9].ID {
+	if err != nil || cached || epoch != 0 || len(res) != 2 || res[0].ID != chunks[9].ID {
 		t.Fatalf("res=%v cached=%v epoch=%d err=%v", res, cached, epoch, err)
 	}
 	res2, cached2, epoch2, err := s.Search(context.Background(), chunks[9].Text, 2)
-	if err != nil || !cached2 || epoch2 != 0 || res2[0].Chunk.ID != chunks[9].ID {
+	if err != nil || !cached2 || epoch2 != 0 || res2[0].ID != chunks[9].ID {
 		t.Fatalf("repeat: cached=%v epoch=%d err=%v", cached2, epoch2, err)
 	}
 }
@@ -323,9 +337,9 @@ func TestCancelledLeaderDoesNotPoisonJoiners(t *testing.T) {
 		leaderDone <- err
 	}()
 	for { // wait until the leader's flight is registered
-		s.flights.mu.Lock()
-		n := len(s.flights.m)
-		s.flights.mu.Unlock()
+		s.chunks.flights.mu.Lock()
+		n := len(s.chunks.flights.m)
+		s.chunks.flights.mu.Unlock()
 		if n > 0 {
 			break
 		}
@@ -337,7 +351,7 @@ func TestCancelledLeaderDoesNotPoisonJoiners(t *testing.T) {
 	if err != nil {
 		t.Fatalf("healthy joiner poisoned by leader cancellation: %v", err)
 	}
-	if len(res) == 0 || res[0].Chunk.ID != chunks[2].ID {
+	if len(res) == 0 || res[0].ID != chunks[2].ID {
 		t.Fatalf("joiner results %v", res)
 	}
 	// The flight itself ran detached, so even the leader gets the result.
@@ -349,7 +363,7 @@ func TestCancelledLeaderDoesNotPoisonJoiners(t *testing.T) {
 func TestBatchEndpointBounded(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.MaxBatchQueries = 4
-	s, chunks := testServer(t, 16, cfg)
+	s, _, chunks := testServer(t, 16, cfg)
 	c := NewClient("http://"+s.Addr(), nil)
 	if _, err := c.SearchBatch([]string{chunks[0].Text, chunks[1].Text}, 2); err != nil {
 		t.Fatal(err)

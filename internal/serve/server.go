@@ -7,17 +7,36 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/batch"
+	"repro/internal/mcq"
 	"repro/internal/metrics"
 	"repro/internal/rag"
 	"repro/internal/vecstore"
 )
 
-// Config parameterises a Server.
+// Store is the retrieval backend behind one route: the rag serving facade
+// (RetrieveBatch over store-agnostic hits, the WithIndex snapshot hook,
+// Index/Len). rag.NewChunkFacade and rag.NewTraceFacade adapt the two
+// concrete store kinds.
+type Store = rag.Facade
+
+// RouteChunks is the name of the default chunk-store route, reachable both
+// at /v1/chunks/... and at the legacy single-store paths /v1/search,
+// /v1/search/batch and /admin/swap.
+const RouteChunks = "chunks"
+
+// TraceRoute returns the route name of one reasoning-trace mode
+// ("traces/detailed" etc.).
+func TraceRoute(mode mcq.ReasoningMode) string { return "traces/" + string(mode) }
+
+// Config parameterises a Server. Every mounted route gets its own
+// coalescer and cache built from the same configuration.
 type Config struct {
 	// MaxBatch caps the coalesced batch handed to RetrieveBatch
 	// (default 32).
@@ -25,20 +44,20 @@ type Config struct {
 	// MaxDelay is the admission window: how long the first request of a
 	// batch waits for batchmates (default 1ms).
 	MaxDelay time.Duration
-	// CacheCap is the query-cache capacity in entries; 0 disables the
-	// cache (default 4096 via DefaultConfig).
+	// CacheCap is the per-route query-cache capacity in entries; 0
+	// disables the caches (default 4096 via DefaultConfig).
 	CacheCap int
-	// CacheShards splits the cache to reduce lock contention (default 8).
+	// CacheShards splits each cache to reduce lock contention (default 8).
 	CacheShards int
 	// DefaultK is the retrieval depth when a request omits k (default 5).
 	DefaultK int
 	// MaxK bounds the retrieval depth a request may ask for (default 100).
 	MaxK int
-	// MaxBatchQueries bounds one /v1/search/batch request (default 1024):
+	// MaxBatchQueries bounds one batch-search request (default 1024):
 	// unlike coalesced singles, an explicit batch bypasses MaxBatch and
 	// would otherwise let one request run an unbounded RetrieveBatch.
 	MaxBatchQueries int
-	// OmitText drops chunk text from responses (ids and scores only),
+	// OmitText drops result text from responses (ids and scores only),
 	// shrinking payloads for recall-style load tests.
 	OmitText bool
 	// Registry receives the server's metrics; nil creates a private one.
@@ -71,30 +90,41 @@ func (c *Config) fill() {
 	}
 }
 
-// Snapshot is one immutable published state of the server: a store
-// serving one index generation. Epoch increments on every hot swap.
+// Snapshot is one immutable published state of a route: a store serving
+// one index generation. Epoch increments on every hot swap of that route
+// and is independent across routes.
 type Snapshot struct {
-	Store  *rag.ChunkStore
+	Store  Store
 	Epoch  uint64
 	Source string // where the index came from ("initial" or a VSF path)
 }
 
-// Server is the online retrieval server: an HTTP JSON front-end over a
-// rag.ChunkStore that coalesces concurrent single-query requests into
-// micro-batches for the vecstore batch kernel, fronts the index with a
-// sharded LRU + singleflight query cache, and hot-swaps index snapshots
-// with zero downtime.
+// Server is the online retrieval server: an HTTP JSON front-end over one
+// or more retrieval stores (the chunk store plus the per-mode trace
+// stores), each mounted as a route with its own coalescer, query cache,
+// epoch counter and metrics namespace — so a hot swap or purge on one
+// store cannot evict entries or stall requests on another.
 type Server struct {
 	cfg     Config
 	reg     *metrics.Registry
+	routes  map[string]*route
+	chunks  *route // the RouteChunks route, target of the legacy API
+	started atomic.Bool
+
+	httpSrv *http.Server
+	ln      net.Listener
+}
+
+// route is the per-store serving state. All fields are built once at
+// Mount; the snapshot pointer is the only thing that changes afterwards.
+type route struct {
+	name    string
+	cfg     Config
 	snap    atomic.Pointer[Snapshot]
 	co      *batch.Coalescer[searchJob, searchOut]
 	cache   *Cache
 	flights flightGroup
-
 	swapMu  sync.Mutex // serialises swaps (readers go through snap)
-	httpSrv *http.Server
-	ln      net.Listener
 
 	// metric handles resolved once so the hot path skips registry lookups
 	mRequests, mHits, mMisses, mShared *metrics.Counter
@@ -105,66 +135,173 @@ type Server struct {
 }
 
 type searchJob struct {
-	query string
-	k     int
+	query   string
+	k       int
+	exclude string // trace routes: suppress hits from this question id
 }
 
 // searchOut carries one job's results plus the epoch of the snapshot the
 // batch actually ran against (which can trail a concurrent swap).
 type searchOut struct {
-	results []rag.RetrievedChunk
+	results []rag.Hit
 	epoch   uint64
 }
 
-// New builds a server around store. Call Start to bind a socket, or mount
-// Handler on an existing one.
+// New builds a server with store mounted as the "chunks" route — the PR 3
+// single-store constructor. Mount more stores (MountTraceStores) before
+// Start, or use NewMulti to start from an empty route table.
 func New(store *rag.ChunkStore, cfg Config) *Server {
+	s := NewMulti(cfg)
+	if err := s.Mount(RouteChunks, rag.NewChunkFacade(store)); err != nil {
+		panic("serve: " + err.Error()) // unreachable: fresh server, fixed name
+	}
+	return s
+}
+
+// NewMulti builds a server with no routes. Mount stores, then Start.
+func NewMulti(cfg Config) *Server {
 	cfg.fill()
 	reg := cfg.Registry
 	if reg == nil {
 		reg = metrics.NewRegistry()
 	}
-	s := &Server{
-		cfg:             cfg,
-		reg:             reg,
-		mRequests:       reg.Counter("serve.requests"),
-		mHits:           reg.Counter("serve.cache.hits"),
-		mMisses:         reg.Counter("serve.cache.misses"),
-		mShared:         reg.Counter("serve.flight.shared"),
-		mBatches:        reg.Counter("serve.batches"),
-		mBatchedQueries: reg.Counter("serve.batch.queries"),
-		mErrors:         reg.Counter("serve.errors"),
-		mSwaps:          reg.Counter("serve.swaps"),
-		hLatency:        reg.Histogram("serve.latency"),
-		hSearch:         reg.Histogram("serve.search.latency"),
-		hBatch:          reg.SizeHistogram("serve.batch.size"),
-		gVectors:        reg.Gauge("serve.index.vectors"),
-		gEpoch:          reg.Gauge("serve.index.epoch"),
-		gCacheLen:       reg.Gauge("serve.cache.len"),
-	}
-	if cfg.CacheCap > 0 {
-		s.cache = NewCache(cfg.CacheCap, cfg.CacheShards)
-	}
-	s.snap.Store(&Snapshot{Store: store, Epoch: 0, Source: "initial"})
-	s.gVectors.Set(int64(store.Len()))
-	s.co = batch.New(batch.Config{MaxBatch: cfg.MaxBatch, MaxDelay: cfg.MaxDelay}, s.runBatch)
-	return s
+	return &Server{cfg: cfg, reg: reg, routes: make(map[string]*route)}
 }
 
-// runBatch is the coalescer's batch function: the whole batch is answered
-// from one snapshot through the multi-query scan kernel, so a hot swap
-// mid-batch cannot tear an individual batch across two indexes.
-func (s *Server) runBatch(jobs []searchJob) []searchOut {
-	snap := s.snap.Load()
+// Mount registers st under name ("chunks", "traces/detailed", …) before
+// the server starts. The route serves POST /v1/<name>/search, its /batch
+// variant, and POST /admin/<name>/swap, with metrics under
+// serve.<name>.… (path separators become dots).
+func (s *Server) Mount(name string, st Store) error {
+	if s.started.Load() {
+		return fmt.Errorf("serve: Mount(%q) after Start", name)
+	}
+	if !validRouteName(name) {
+		return fmt.Errorf("serve: invalid route name %q", name)
+	}
+	if st == nil {
+		return fmt.Errorf("serve: Mount(%q): nil store", name)
+	}
+	if _, ok := s.routes[name]; ok {
+		return fmt.Errorf("serve: route %q already mounted", name)
+	}
+	rt := newRoute(name, st, s.cfg, s.reg)
+	s.routes[name] = rt
+	if name == RouteChunks {
+		s.chunks = rt
+	}
+	return nil
+}
+
+// MountTraceStores mounts every non-empty per-mode trace store under its
+// TraceRoute name (the paper's three reasoning-trace databases behind the
+// same front-end as the chunk store). Empty stores are skipped: they have
+// nothing to serve, and every hot swap against them would be rejected by
+// the snapshot validation anyway.
+func (s *Server) MountTraceStores(stores map[mcq.ReasoningMode]*rag.TraceStore) error {
+	for _, mode := range mcq.AllModes {
+		ts, ok := stores[mode]
+		if !ok || ts.Len() == 0 {
+			continue
+		}
+		if err := s.Mount(TraceRoute(mode), rag.NewTraceFacade(ts)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Routes lists the mounted route names, sorted.
+func (s *Server) Routes() []string {
+	out := make([]string, 0, len(s.routes))
+	for name := range s.routes {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// validRouteName accepts lowercase path-style names ("chunks",
+// "traces/detailed"): they appear verbatim in URLs and, with "/" mapped
+// to ".", in metric names.
+func validRouteName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for _, seg := range strings.Split(name, "/") {
+		if seg == "" {
+			return false
+		}
+		for _, r := range seg {
+			if (r < 'a' || r > 'z') && (r < '0' || r > '9') && r != '_' && r != '-' {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// MetricPrefix returns the metrics namespace of a route — "serve.<name>."
+// with path separators mapped to dots — the prefix under which every
+// per-route counter, gauge and histogram is registered. External readers
+// (ragload's per-route accounting) must build names through this instead
+// of re-deriving the scheme.
+func MetricPrefix(route string) string {
+	return "serve." + strings.ReplaceAll(route, "/", ".") + "."
+}
+
+func newRoute(name string, st Store, cfg Config, reg *metrics.Registry) *route {
+	p := MetricPrefix(name)
+	rt := &route{
+		name:            name,
+		cfg:             cfg,
+		mRequests:       reg.Counter(p + "requests"),
+		mHits:           reg.Counter(p + "cache.hits"),
+		mMisses:         reg.Counter(p + "cache.misses"),
+		mShared:         reg.Counter(p + "flight.shared"),
+		mBatches:        reg.Counter(p + "batches"),
+		mBatchedQueries: reg.Counter(p + "batch.queries"),
+		mErrors:         reg.Counter(p + "errors"),
+		mSwaps:          reg.Counter(p + "swaps"),
+		hLatency:        reg.Histogram(p + "latency"),
+		hSearch:         reg.Histogram(p + "search.latency"),
+		hBatch:          reg.SizeHistogram(p + "batch.size"),
+		gVectors:        reg.Gauge(p + "index.vectors"),
+		gEpoch:          reg.Gauge(p + "index.epoch"),
+		gCacheLen:       reg.Gauge(p + "cache.len"),
+	}
+	if cfg.CacheCap > 0 {
+		rt.cache = NewCache(cfg.CacheCap, cfg.CacheShards)
+	}
+	rt.snap.Store(&Snapshot{Store: st, Epoch: 0, Source: "initial"})
+	rt.gVectors.Set(int64(st.Len()))
+	rt.co = batch.New(batch.Config{MaxBatch: cfg.MaxBatch, MaxDelay: cfg.MaxDelay}, rt.runBatch)
+	return rt
+}
+
+// runBatch is a route's coalescer batch function: the whole batch is
+// answered from one snapshot through the multi-query scan kernel, so a
+// hot swap mid-batch cannot tear an individual batch across two indexes.
+func (rt *route) runBatch(jobs []searchJob) []searchOut {
+	snap := rt.snap.Load()
 	queries := make([]string, len(jobs))
+	var excludes []string
 	maxK := 0
 	for i, j := range jobs {
 		queries[i] = j.query
 		if j.k > maxK {
 			maxK = j.k
 		}
+		if j.exclude != "" && excludes == nil {
+			excludes = make([]string, len(jobs))
+		}
 	}
-	res := s.retrieve(snap, queries, maxK)
+	if excludes != nil {
+		for i, j := range jobs {
+			excludes[i] = j.exclude
+		}
+	}
+	res := rt.retrieve(snap, queries, maxK, excludes)
 	// Each request gets the top-k prefix of the shared maxK retrieval —
 	// identical to what its own k would have returned.
 	out := make([]searchOut, len(jobs))
@@ -180,123 +317,220 @@ func (s *Server) runBatch(jobs []searchJob) []searchOut {
 // retrieve runs one timed, metered RetrieveBatch against a snapshot — the
 // shared core of the coalesced path and the explicit batch endpoint, so
 // both report identical batch accounting.
-func (s *Server) retrieve(snap *Snapshot, queries []string, k int) [][]rag.RetrievedChunk {
+func (rt *route) retrieve(snap *Snapshot, queries []string, k int, exclude []string) [][]rag.Hit {
 	start := time.Now()
-	res := snap.Store.RetrieveBatch(queries, k)
-	s.hSearch.Observe(time.Since(start))
-	s.mBatches.Inc()
-	s.mBatchedQueries.Add(int64(len(queries)))
-	s.hBatch.ObserveN(int64(len(queries)))
+	res := snap.Store.RetrieveBatch(queries, k, exclude)
+	rt.hSearch.Observe(time.Since(start))
+	rt.mBatches.Inc()
+	rt.mBatchedQueries.Add(int64(len(queries)))
+	rt.hBatch.ObserveN(int64(len(queries)))
 	return res
 }
 
-// Search answers one query through the cache and coalescer. cached reports
-// whether the result came from the query cache; epoch is the generation of
-// the snapshot that actually produced the results (it can trail the
-// currently published epoch across a concurrent swap).
-func (s *Server) Search(ctx context.Context, query string, k int) (results []rag.RetrievedChunk, cached bool, epoch uint64, err error) {
+// search answers one query through the route's cache and coalescer.
+func (rt *route) search(ctx context.Context, query string, k int, exclude string) (results []rag.Hit, cached bool, epoch uint64, err error) {
 	if k <= 0 {
-		k = s.cfg.DefaultK
+		k = rt.cfg.DefaultK
 	}
-	if k > s.cfg.MaxK {
-		k = s.cfg.MaxK
+	if k > rt.cfg.MaxK {
+		k = rt.cfg.MaxK
 	}
-	s.mRequests.Inc()
+	rt.mRequests.Inc()
 	start := time.Now()
-	defer func() { s.hLatency.Observe(time.Since(start)) }()
+	defer func() { rt.hLatency.Observe(time.Since(start)) }()
 
-	if s.cache == nil {
-		out, err := s.co.Do(ctx, searchJob{query: query, k: k})
+	if rt.cache == nil {
+		out, err := rt.co.Do(ctx, searchJob{query: query, k: k, exclude: exclude})
 		return out.results, false, out.epoch, err
 	}
 	// The epoch in the key makes entries generation-scoped: after a swap,
-	// fresh lookups miss even if a stale fill lands post-Purge (the old
-	// generation's key is never read again and ages out of the LRU).
-	snap := s.snap.Load()
-	key := fmt.Sprintf("%d\x1f%d\x1f%s", snap.Epoch, k, query)
-	if val, ok := s.cache.Get(key); ok {
-		s.mHits.Inc()
+	// fresh lookups miss even if a stale fill lands post-Purge. exclude is
+	// length-prefixed rather than delimited: it and query are both
+	// client-controlled free-form strings, so a bare separator between
+	// them would let distinct (exclude, query) pairs collide.
+	snap := rt.snap.Load()
+	keyEpoch := snap.Epoch
+	key := fmt.Sprintf("%d\x1f%d\x1f%d\x1f%s%s", keyEpoch, k, len(exclude), exclude, query)
+	if val, ok := rt.cache.Get(key); ok {
+		rt.mHits.Inc()
 		return val.Results, true, val.Epoch, nil
 	}
-	s.mMisses.Inc()
-	val, shared, err := s.flights.do(ctx, key, func() (CachedResult, error) {
+	rt.mMisses.Inc()
+	val, shared, err := rt.flights.do(ctx, key, func() (CachedResult, error) {
 		// Detach the batch dispatch from the leader's request context: a
 		// flight computes a result shared by every joiner, so one
 		// client's disconnect must not poison the rest (each caller still
 		// guards its own wait with its own ctx inside do and co.Do).
-		out, err := s.co.Do(context.WithoutCancel(ctx), searchJob{query: query, k: k})
+		out, err := rt.co.Do(context.WithoutCancel(ctx), searchJob{query: query, k: k, exclude: exclude})
 		if err != nil {
 			return CachedResult{}, err
 		}
 		res := CachedResult{Results: out.results, Epoch: out.epoch}
-		s.cache.Put(key, res)
+		// Insert only fills that still belong to the key's generation, and
+		// back the insert out if a swap purged the cache while it landed:
+		// either way an entry keyed under a dead epoch is never read again
+		// and would only squat LRU capacity until evicted. The post-Put
+		// re-check closes the Purge/Put race — if the swap's purge ran
+		// first, the published epoch has already moved on and we delete
+		// our own orphan; if it runs after, it removes the entry itself.
+		if out.epoch == keyEpoch {
+			rt.cache.Put(key, res)
+			if rt.snap.Load().Epoch != keyEpoch {
+				rt.cache.Delete(key)
+			}
+		}
 		return res, nil
 	})
 	if shared {
-		s.mShared.Inc()
+		rt.mShared.Inc()
 	}
 	return val.Results, false, val.Epoch, err
 }
 
-// SwapIndex atomically publishes a snapshot serving index. In-flight
-// requests finish against the old snapshot; the query cache is purged so
-// no pre-swap result is served afterwards.
-func (s *Server) SwapIndex(index vecstore.Index, source string) (*Snapshot, error) {
-	s.swapMu.Lock()
-	defer s.swapMu.Unlock()
-	cur := s.snap.Load()
-	store, err := cur.Store.WithIndex(index)
+// swapIndex atomically publishes a snapshot serving index on this route.
+// In-flight requests finish against the old snapshot; the route's query
+// cache is purged so no pre-swap result is served afterwards. Other
+// routes' caches and epochs are untouched.
+func (rt *route) swapIndex(index vecstore.Index, source string) (*Snapshot, error) {
+	rt.swapMu.Lock()
+	defer rt.swapMu.Unlock()
+	cur := rt.snap.Load()
+	st, err := cur.Store.WithIndex(index)
 	if err != nil {
 		return nil, err
 	}
-	snap := &Snapshot{Store: store, Epoch: cur.Epoch + 1, Source: source}
-	s.snap.Store(snap)
-	if s.cache != nil {
-		s.cache.Purge()
-		s.gCacheLen.Set(0)
+	snap := &Snapshot{Store: st, Epoch: cur.Epoch + 1, Source: source}
+	rt.snap.Store(snap)
+	if rt.cache != nil {
+		rt.cache.Purge()
+		rt.gCacheLen.Set(0)
 	}
-	s.mSwaps.Inc()
-	s.gEpoch.Set(int64(snap.Epoch))
-	s.gVectors.Set(int64(index.Len()))
+	rt.mSwaps.Inc()
+	rt.gEpoch.Set(int64(snap.Epoch))
+	rt.gVectors.Set(int64(index.Len()))
 	return snap, nil
 }
 
-// SwapFromFile loads a persisted index (any VSF generation) in the
-// calling goroutine — the expensive part, off the serving path — then
-// publishes it with SwapIndex.
+func (s *Server) route(name string) (*route, error) {
+	if rt, ok := s.routes[name]; ok {
+		return rt, nil
+	}
+	return nil, fmt.Errorf("serve: unknown route %q (mounted: %s)", name, strings.Join(s.Routes(), ", "))
+}
+
+// Search answers one query on the chunks route. cached reports whether
+// the result came from the query cache; epoch is the generation of the
+// snapshot that actually produced the results (it can trail the
+// currently published epoch across a concurrent swap).
+func (s *Server) Search(ctx context.Context, query string, k int) (results []rag.Hit, cached bool, epoch uint64, err error) {
+	return s.SearchRoute(ctx, RouteChunks, query, k, "")
+}
+
+// SearchRoute answers one query on a named route. exclude is the trace
+// routes' question self-exclusion id ("" for none; chunk routes ignore
+// it).
+func (s *Server) SearchRoute(ctx context.Context, routeName, query string, k int, exclude string) (results []rag.Hit, cached bool, epoch uint64, err error) {
+	rt, err := s.route(routeName)
+	if err != nil {
+		return nil, false, 0, err
+	}
+	return rt.search(ctx, query, k, exclude)
+}
+
+// SwapIndex hot-swaps the chunks route (see SwapRouteIndex).
+func (s *Server) SwapIndex(index vecstore.Index, source string) (*Snapshot, error) {
+	return s.SwapRouteIndex(RouteChunks, index, source)
+}
+
+// SwapRouteIndex atomically publishes a snapshot of one route serving
+// index; the other routes keep their epochs and warm caches.
+func (s *Server) SwapRouteIndex(routeName string, index vecstore.Index, source string) (*Snapshot, error) {
+	rt, err := s.route(routeName)
+	if err != nil {
+		return nil, err
+	}
+	return rt.swapIndex(index, source)
+}
+
+// SwapFromFile hot-swaps the chunks route from a VSF file (see
+// SwapRouteFromFile).
 func (s *Server) SwapFromFile(path string) (*Snapshot, error) {
+	return s.SwapRouteFromFile(RouteChunks, path)
+}
+
+// SwapRouteFromFile loads a persisted index (any VSF generation) in the
+// calling goroutine — the expensive part, off the serving path — then
+// publishes it on the route with swapIndex.
+func (s *Server) SwapRouteFromFile(routeName, path string) (*Snapshot, error) {
+	rt, err := s.route(routeName)
+	if err != nil {
+		return nil, err
+	}
+	return rt.swapFromFile(path)
+}
+
+// swapFromFile is the load-then-publish sequence shared by the
+// programmatic and HTTP swap paths.
+func (rt *route) swapFromFile(path string) (*Snapshot, error) {
 	index, err := vecstore.Load(path)
 	if err != nil {
 		return nil, fmt.Errorf("serve: swap load: %w", err)
 	}
-	return s.SwapIndex(index, path)
+	return rt.swapIndex(index, path)
 }
 
-// Snapshot returns the currently published snapshot.
-func (s *Server) Snapshot() *Snapshot { return s.snap.Load() }
+// Snapshot returns the currently published snapshot of the chunks route,
+// or nil when no chunk store is mounted.
+func (s *Server) Snapshot() *Snapshot {
+	if s.chunks == nil {
+		return nil
+	}
+	return s.chunks.snap.Load()
+}
+
+// RouteSnapshot returns the currently published snapshot of one route.
+func (s *Server) RouteSnapshot(routeName string) (*Snapshot, bool) {
+	rt, ok := s.routes[routeName]
+	if !ok {
+		return nil, false
+	}
+	return rt.snap.Load(), true
+}
 
 // Registry exposes the server's metrics registry.
 func (s *Server) Registry() *metrics.Registry { return s.reg }
 
-// Handler returns the HTTP API:
+// Handler returns the HTTP API. Per mounted route <name>:
 //
-//	POST /v1/search        {"query","k"} → {"results":[...],"cached","epoch"}
-//	POST /v1/search/batch  {"queries":[...],"k"} → {"results":[[...],...]}
-//	POST /admin/swap       {"path"} → {"epoch","vectors","source"}
-//	GET  /healthz          {"status","epoch","vectors","source"}
-//	GET  /metrics          text exposition of the registry
+//	POST /v1/<name>/search        {"query","k","exclude"} → {"results":[...],"cached","epoch","route"}
+//	POST /v1/<name>/search/batch  {"queries":[...],"k","exclude":[...]} → {"results":[[...],...]}
+//	POST /admin/<name>/swap       {"path"} → {"epoch","vectors","source","route"}
+//
+// plus the PR 3 single-store aliases for the chunks route (/v1/search,
+// /v1/search/batch, /admin/swap) and the shared endpoints:
+//
+//	GET  /healthz   {"status","epoch","vectors","source","routes":{...}}
+//	GET  /metrics   text exposition of the registry
 func (s *Server) Handler() http.Handler {
+	s.started.Store(true)
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/search", s.handleSearch)
-	mux.HandleFunc("/v1/search/batch", s.handleSearchBatch)
-	mux.HandleFunc("/admin/swap", s.handleSwap)
-	mux.HandleFunc("/healthz", s.handleHealthz)
-	mux.HandleFunc("/metrics", s.handleMetrics)
+	for name, rt := range s.routes {
+		mux.HandleFunc("POST /v1/"+name+"/search", rt.handleSearch)
+		mux.HandleFunc("POST /v1/"+name+"/search/batch", rt.handleSearchBatch)
+		mux.HandleFunc("POST /admin/"+name+"/swap", rt.handleSwap)
+	}
+	if rt := s.chunks; rt != nil {
+		mux.HandleFunc("POST /v1/search", rt.handleSearch)
+		mux.HandleFunc("POST /v1/search/batch", rt.handleSearchBatch)
+		mux.HandleFunc("POST /admin/swap", rt.handleSwap)
+	}
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
 }
 
 // Start binds addr ("127.0.0.1:0" for an ephemeral port) and serves in the
-// background until Shutdown.
+// background until Shutdown. Mount every store before Start.
 func (s *Server) Start(addr string) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -312,14 +546,16 @@ func (s *Server) Start(addr string) error {
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
 // Shutdown drains gracefully: the listener stops accepting, in-flight
-// requests run to completion (bounded by ctx), and only then does the
-// coalescer stop — the argo SIGTERM-drain pattern.
+// requests run to completion (bounded by ctx), and only then do the
+// route coalescers stop — the argo SIGTERM-drain pattern.
 func (s *Server) Shutdown(ctx context.Context) error {
 	var err error
 	if s.httpSrv != nil {
 		err = s.httpSrv.Shutdown(ctx)
 	}
-	s.co.Close()
+	for _, rt := range s.routes {
+		rt.co.Close()
+	}
 	return err
 }
 
@@ -332,173 +568,205 @@ func (s *Server) Close() error {
 
 // Wire types.
 
-// SearchRequest is the /v1/search body.
+// SearchRequest is the single-query search body. Exclude is honoured by
+// trace routes only: it suppresses traces distilled from that question id
+// (the cross-question ablation rule).
 type SearchRequest struct {
-	Query string `json:"query"`
-	K     int    `json:"k,omitempty"`
+	Query   string `json:"query"`
+	K       int    `json:"k,omitempty"`
+	Exclude string `json:"exclude,omitempty"`
 }
 
-// SearchResult is one retrieval hit on the wire.
+// SearchResult is one retrieval hit on the wire. ID/Group are chunk
+// id/doc id on chunk routes and trace id/source-question id on trace
+// routes; Text is the chunk text or the reasoning trace.
 type SearchResult struct {
-	ChunkID string  `json:"chunk_id"`
-	DocID   string  `json:"doc_id"`
-	Text    string  `json:"text,omitempty"`
-	Score   float32 `json:"score"`
+	ID    string  `json:"id"`
+	Group string  `json:"group"`
+	Text  string  `json:"text,omitempty"`
+	Score float32 `json:"score"`
 }
 
-// SearchResponse is the /v1/search reply.
+// SearchResponse is the single-query search reply.
 type SearchResponse struct {
 	Results []SearchResult `json:"results"`
 	Cached  bool           `json:"cached,omitempty"`
 	Epoch   uint64         `json:"epoch"`
+	Route   string         `json:"route,omitempty"`
 }
 
-// BatchSearchRequest is the /v1/search/batch body.
+// BatchSearchRequest is the batch search body. Exclude is empty or one
+// entry per query (trace routes only).
 type BatchSearchRequest struct {
 	Queries []string `json:"queries"`
 	K       int      `json:"k,omitempty"`
+	Exclude []string `json:"exclude,omitempty"`
 }
 
-// BatchSearchResponse is the /v1/search/batch reply, per-query results in
+// BatchSearchResponse is the batch search reply, per-query results in
 // request order.
 type BatchSearchResponse struct {
 	Results [][]SearchResult `json:"results"`
 	Epoch   uint64           `json:"epoch"`
+	Route   string           `json:"route,omitempty"`
 }
 
-// SwapRequest is the /admin/swap body.
+// SwapRequest is the swap body.
 type SwapRequest struct {
 	Path string `json:"path"`
 }
 
-// SwapResponse is the /admin/swap reply.
+// SwapResponse is the swap reply.
 type SwapResponse struct {
 	Epoch   uint64 `json:"epoch"`
 	Vectors int    `json:"vectors"`
 	Source  string `json:"source"`
+	Route   string `json:"route,omitempty"`
 }
 
-// Healthz is the /healthz reply.
-type Healthz struct {
-	Status  string `json:"status"`
+// RouteHealth is one route's health summary.
+type RouteHealth struct {
 	Epoch   uint64 `json:"epoch"`
 	Vectors int    `json:"vectors"`
 	Source  string `json:"source"`
 }
 
-func (s *Server) results(rcs []rag.RetrievedChunk) []SearchResult {
-	out := make([]SearchResult, len(rcs))
-	for i, rc := range rcs {
-		out[i] = SearchResult{ChunkID: rc.Chunk.ID, DocID: rc.Chunk.DocID, Score: rc.Score}
-		if !s.cfg.OmitText {
-			out[i].Text = rc.Chunk.Text
+// Healthz is the /healthz reply. The top-level epoch/vectors/source
+// mirror the chunks route for PR 3 compatibility; Routes carries every
+// mounted store.
+type Healthz struct {
+	Status  string                 `json:"status"`
+	Epoch   uint64                 `json:"epoch"`
+	Vectors int                    `json:"vectors"`
+	Source  string                 `json:"source"`
+	Routes  map[string]RouteHealth `json:"routes"`
+}
+
+func (rt *route) results(hits []rag.Hit) []SearchResult {
+	out := make([]SearchResult, len(hits))
+	for i, h := range hits {
+		out[i] = SearchResult{ID: h.ID, Group: h.Group, Score: h.Score}
+		if !rt.cfg.OmitText {
+			out[i].Text = h.Text
 		}
 	}
 	return out
 }
 
-func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+func (rt *route) handleSearch(w http.ResponseWriter, r *http.Request) {
 	var req SearchRequest
-	if !s.decode(w, r, &req) {
+	if !rt.decode(w, r, &req) {
 		return
 	}
 	if req.Query == "" {
-		s.mErrors.Inc()
+		rt.mErrors.Inc()
 		http.Error(w, "empty query", http.StatusBadRequest)
 		return
 	}
-	res, cached, epoch, err := s.Search(r.Context(), req.Query, req.K)
+	res, cached, epoch, err := rt.search(r.Context(), req.Query, req.K, req.Exclude)
 	if err != nil {
-		s.mErrors.Inc()
+		rt.mErrors.Inc()
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
 		return
 	}
-	writeJSON(w, SearchResponse{Results: s.results(res), Cached: cached, Epoch: epoch})
+	writeJSON(w, SearchResponse{Results: rt.results(res), Cached: cached, Epoch: epoch, Route: rt.name})
 }
 
 // handleSearchBatch serves an already-batched request straight through the
 // batch kernel — it is its own micro-batch, so it bypasses the coalescer
 // and cache.
-func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
+func (rt *route) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 	var req BatchSearchRequest
-	if !s.decode(w, r, &req) {
+	if !rt.decode(w, r, &req) {
 		return
 	}
 	if len(req.Queries) == 0 {
-		s.mErrors.Inc()
+		rt.mErrors.Inc()
 		http.Error(w, "empty queries", http.StatusBadRequest)
 		return
 	}
-	if len(req.Queries) > s.cfg.MaxBatchQueries {
-		s.mErrors.Inc()
-		http.Error(w, fmt.Sprintf("batch of %d exceeds limit %d", len(req.Queries), s.cfg.MaxBatchQueries),
+	if len(req.Queries) > rt.cfg.MaxBatchQueries {
+		rt.mErrors.Inc()
+		http.Error(w, fmt.Sprintf("batch of %d exceeds limit %d", len(req.Queries), rt.cfg.MaxBatchQueries),
 			http.StatusRequestEntityTooLarge)
+		return
+	}
+	if len(req.Exclude) != 0 && len(req.Exclude) != len(req.Queries) {
+		rt.mErrors.Inc()
+		http.Error(w, fmt.Sprintf("exclude has %d entries for %d queries", len(req.Exclude), len(req.Queries)),
+			http.StatusBadRequest)
 		return
 	}
 	k := req.K
 	if k <= 0 {
-		k = s.cfg.DefaultK
+		k = rt.cfg.DefaultK
 	}
-	if k > s.cfg.MaxK {
-		k = s.cfg.MaxK
+	if k > rt.cfg.MaxK {
+		k = rt.cfg.MaxK
 	}
-	s.mRequests.Add(int64(len(req.Queries)))
-	snap := s.snap.Load()
-	res := s.retrieve(snap, req.Queries, k)
-	out := BatchSearchResponse{Results: make([][]SearchResult, len(res)), Epoch: snap.Epoch}
-	for i, rcs := range res {
-		out.Results[i] = s.results(rcs)
+	rt.mRequests.Add(int64(len(req.Queries)))
+	snap := rt.snap.Load()
+	res := rt.retrieve(snap, req.Queries, k, req.Exclude)
+	out := BatchSearchResponse{Results: make([][]SearchResult, len(res)), Epoch: snap.Epoch, Route: rt.name}
+	for i, hits := range res {
+		out.Results[i] = rt.results(hits)
 	}
 	writeJSON(w, out)
 }
 
-func (s *Server) handleSwap(w http.ResponseWriter, r *http.Request) {
+func (rt *route) handleSwap(w http.ResponseWriter, r *http.Request) {
 	var req SwapRequest
-	if !s.decode(w, r, &req) {
+	if !rt.decode(w, r, &req) {
 		return
 	}
 	if req.Path == "" {
-		s.mErrors.Inc()
+		rt.mErrors.Inc()
 		http.Error(w, "empty path", http.StatusBadRequest)
 		return
 	}
-	snap, err := s.SwapFromFile(req.Path)
+	snap, err := rt.swapFromFile(req.Path)
 	if err != nil {
-		s.mErrors.Inc()
+		rt.mErrors.Inc()
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	writeJSON(w, SwapResponse{Epoch: snap.Epoch, Vectors: snap.Store.Len(), Source: snap.Source})
+	writeJSON(w, SwapResponse{Epoch: snap.Epoch, Vectors: snap.Store.Len(), Source: snap.Source, Route: rt.name})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	snap := s.snap.Load()
-	writeJSON(w, Healthz{Status: "ok", Epoch: snap.Epoch, Vectors: snap.Store.Len(), Source: snap.Source})
+	hz := Healthz{Status: "ok", Routes: make(map[string]RouteHealth, len(s.routes))}
+	for name, rt := range s.routes {
+		snap := rt.snap.Load()
+		hz.Routes[name] = RouteHealth{Epoch: snap.Epoch, Vectors: snap.Store.Len(), Source: snap.Source}
+	}
+	if s.chunks != nil {
+		snap := s.chunks.snap.Load()
+		hz.Epoch, hz.Vectors, hz.Source = snap.Epoch, snap.Store.Len(), snap.Source
+	}
+	writeJSON(w, hz)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	// The cache-size gauge is refreshed here rather than on every fill:
-	// Len locks all shards, which would re-serialize the miss path.
-	if s.cache != nil {
-		s.gCacheLen.Set(int64(s.cache.Len()))
+	// The cache-size gauges are refreshed here rather than on every fill:
+	// Len locks all shards, which would re-serialize the miss paths.
+	for _, rt := range s.routes {
+		if rt.cache != nil {
+			rt.gCacheLen.Set(int64(rt.cache.Len()))
+		}
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	s.reg.WriteTo(w) //nolint:errcheck // client went away
 }
 
-func (s *Server) decode(w http.ResponseWriter, r *http.Request, dst any) bool {
-	if r.Method != http.MethodPost {
-		http.Error(w, "POST only", http.StatusMethodNotAllowed)
-		return false
-	}
+func (rt *route) decode(w http.ResponseWriter, r *http.Request, dst any) bool {
 	body, err := io.ReadAll(io.LimitReader(r.Body, 16<<20))
 	if err != nil {
-		s.mErrors.Inc()
+		rt.mErrors.Inc()
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return false
 	}
 	if err := json.Unmarshal(body, dst); err != nil {
-		s.mErrors.Inc()
+		rt.mErrors.Inc()
 		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
 		return false
 	}
