@@ -281,6 +281,13 @@ func ablations(w io.Writer, a *core.Artifacts) error {
 	if err := ivfAblation(w, a); err != nil {
 		return err
 	}
+
+	// IVF-PQ encoding variants at identical code budget.
+	fmt.Fprintln(w, "### Index ablation: IVF-PQ encoding variant (chunk store, same M)")
+	fmt.Fprintln(w)
+	if err := ivfpqVariantAblation(w, a); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -304,6 +311,50 @@ func ivfAblation(w io.Writer, a *core.Artifacts) error {
 	for _, np := range []int{1, 2, 4, 8, 16, 64} {
 		ix.SetNProbe(np)
 		fmt.Fprintf(w, "| %d | %.3f |\n", np, ix.Recall(queries, 5))
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+// ivfpqVariantAblation sweeps the IVF-PQ encoding variants — raw codes,
+// per-cell residual codes, residual + learned OPQ rotation — over the
+// chunk embeddings at one fixed code budget (M bytes/vector), the
+// recall-at-same-memory comparison behind the residual/OPQ rows of
+// docs/ARCHITECTURE.md.
+func ivfpqVariantAblation(w io.Writer, a *core.Artifacts) error {
+	encDefault := embed.NewDefault()
+	vecs := make([][]float32, 0, len(a.Chunks))
+	for _, c := range a.Chunks {
+		vecs = append(vecs, encDefault.Encode(c.Text))
+	}
+	queries := make([][]float32, 0, 50)
+	for i, q := range a.Questions {
+		if i >= 50 {
+			break
+		}
+		queries = append(queries, encDefault.Encode(q.Question))
+	}
+	variants := []struct {
+		label string
+		cfg   vecstore.IVFPQConfig
+	}{
+		{"raw", vecstore.IVFPQConfig{}},
+		{"residual", vecstore.IVFPQConfig{Residual: true}},
+		{"residual+OPQ", vecstore.IVFPQConfig{Residual: true, OPQ: true, OPQIters: 4}},
+	}
+	fmt.Fprintln(w, "| variant | index | bytes/vec | recall@5 |")
+	fmt.Fprintln(w, "|---|---|---|---|")
+	for _, v := range variants {
+		cfg := v.cfg
+		cfg.Dim, cfg.NList, cfg.NProbe, cfg.M, cfg.Seed = 384, 64, 8, 48, 1
+		ix := vecstore.NewIVFPQ(cfg)
+		for i, vec := range vecs {
+			ix.Add(vec, a.Chunks[i].ID)
+		}
+		ix.Train()
+		st := vecstore.StatsOf(ix)
+		fmt.Fprintf(w, "| %s | %s | %.1f | %.3f |\n",
+			v.label, st.Kind, st.BytesPerVector(), ix.Recall(vecs, queries, 5))
 	}
 	fmt.Fprintln(w)
 	return nil

@@ -4,14 +4,17 @@
 // (-inprocess) that builds a corpus, starts a multi-store server on a
 // loopback socket, and measures the serving stack end to end — sequential
 // baseline vs. coalesced concurrent throughput, cache hit rate, hot index
-// swaps under load, and a mixed-route phase over the chunk and
-// reasoning-trace stores with per-route QPS and hit rates.
+// swaps under load, a mixed-route phase over the chunk and
+// reasoning-trace stores with per-route QPS and hit rates, and a zipfian
+// key-popularity phase (heavy-tailed cache workload, the baseline for the
+// eviction-policy sweep).
 //
 // Usage:
 //
 //	ragload -addr http://127.0.0.1:8080 -n 5000 -c 32      # drive a server
 //	ragload -addr ... -rate 500                            # open loop at 500 qps
 //	ragload -addr ... -routes chunks,traces/detailed       # mixed-route load
+//	ragload -addr ... -dist zipf -queries 4096             # heavy-tailed keys
 //	ragload -inprocess -scale 0.01 -json BENCH_serve.json  # end-to-end bench
 package main
 
@@ -41,14 +44,19 @@ func main() {
 	nq := flag.Int("queries", 0, "distinct query pool size (remote: 0 = one per request; inprocess: hot-set size for the cached/mixed phases, 0 = 64)")
 	swaps := flag.Int("swaps", 4, "hot swaps performed during the -inprocess swap phase (0 disables)")
 	routes := flag.String("routes", "chunks", "comma-separated routes to fan remote requests across (e.g. chunks,traces/detailed)")
+	dist := flag.String("dist", "uniform", "query-key distribution: uniform or zipf (remote mode; inprocess always adds a zipf phase)")
+	zipfS := flag.Float64("zipf-s", 1.1, "zipf exponent for -dist zipf and the inprocess zipf phase")
 	jsonPath := flag.String("json", "", "write the machine-readable report here")
 	flag.Parse()
 
+	if *dist != "uniform" && *dist != "zipf" {
+		log.Fatalf("-dist %q: want uniform or zipf", *dist)
+	}
 	var err error
 	if *inprocess {
-		err = runInProcess(*scale, *seed, *n, *c, *k, *nq, *swaps, *rate, *jsonPath)
+		err = runInProcess(*scale, *seed, *n, *c, *k, *nq, *swaps, *rate, *zipfS, *jsonPath)
 	} else {
-		err = runRemote(*addr, *routes, *n, *c, *nq, *k, *rate, *jsonPath)
+		err = runRemote(*addr, *routes, *n, *c, *nq, *k, *rate, *dist, *zipfS, *jsonPath)
 	}
 	if err != nil {
 		log.Fatal(err)
@@ -68,7 +76,7 @@ func queryPool(n int) []string {
 	return out
 }
 
-func runRemote(addr, routeList string, n, c, nq, k int, rate float64, jsonPath string) error {
+func runRemote(addr, routeList string, n, c, nq, k int, rate float64, dist string, zipfS float64, jsonPath string) error {
 	client := serve.NewClient(addr, nil)
 	if _, err := client.Healthz(); err != nil {
 		return fmt.Errorf("server not healthy: %w", err)
@@ -87,6 +95,7 @@ func runRemote(addr, routeList string, n, c, nq, k int, rate float64, jsonPath s
 	}
 	rep := serve.RunLoadMixed(serve.LoadConfig{
 		Concurrency: c, Requests: n, RatePerSec: rate, K: k, Queries: queryPool(nq),
+		Dist: dist, ZipfS: zipfS,
 	}, routes, func(route, q string, k int) error {
 		_, err := client.SearchRoute(route, q, k, "")
 		return err
@@ -109,7 +118,7 @@ func runRemote(addr, routeList string, n, c, nq, k int, rate float64, jsonPath s
 	return nil
 }
 
-func runInProcess(scale float64, seed uint64, n, c, k, nq, swaps int, rate float64, jsonPath string) error {
+func runInProcess(scale float64, seed uint64, n, c, k, nq, swaps int, rate, zipfS float64, jsonPath string) error {
 	if nq <= 0 {
 		nq = 64
 	}
@@ -120,7 +129,16 @@ func runInProcess(scale float64, seed uint64, n, c, k, nq, swaps int, rate float
 	if err != nil {
 		return err
 	}
-	srv := serve.New(a.ChunkStore, serve.DefaultConfig())
+	srvCfg := serve.DefaultConfig()
+	// A cache smaller than the zipf phase's key pool (but comfortably
+	// larger than the ≤64-key hot sets of the uniform phases, whose hit
+	// rates must stay comparable across PRs): the zipf working set then
+	// overflows the cache and forces evictions, making the recorded hit
+	// rate actually sensitive to the eviction policy — the point of the
+	// eviction-sweep baseline. At the default 4096 entries, 2000 requests
+	// can never evict and every policy would score identically.
+	srvCfg.CacheCap = 256
+	srv := serve.New(a.ChunkStore, srvCfg)
 	if err := srv.MountTraceStores(a.TraceStores); err != nil {
 		return err
 	}
@@ -231,6 +249,25 @@ func runInProcess(scale float64, seed uint64, n, c, k, nq, swaps int, rate float
 			route, rb.Load.QPS, rb.Load.P95MS, 100*rb.CacheHitRate, rb.Epoch)
 	}
 	fmt.Println()
+
+	// Phase 6 — zipfian key popularity: a pool much larger than the hot
+	// sets above, drawn with heavy-tailed rank frequencies, the realistic
+	// cache workload (and the baseline for the eviction-policy sweep).
+	before = srv.Registry().Snapshot()
+	zipfPool := queryPool(2*n + 2*nq + 8*nq)[2*n+2*nq:] // disjoint from all prior phases
+	rep.ZipfS = zipfS
+	rep.Zipf = serve.RunLoad(serve.LoadConfig{
+		Concurrency: c, Requests: n, K: k, Queries: zipfPool,
+		Dist: "zipf", ZipfS: zipfS, Seed: seed,
+	}, do)
+	after = srv.Registry().Snapshot()
+	hits = after.Counter(chunksPrefix+"cache.hits") - before.Counter(chunksPrefix+"cache.hits")
+	misses = after.Counter(chunksPrefix+"cache.misses") - before.Counter(chunksPrefix+"cache.misses")
+	if hits+misses > 0 {
+		rep.ZipfHitRate = float64(hits) / float64(hits+misses)
+	}
+	fmt.Printf("zipf(s=%.2f) key popularity over %d keys:\n%s\ncache hit rate %.1f%%\n\n",
+		zipfS, len(zipfPool), rep.Zipf, 100*rep.ZipfHitRate)
 
 	rep.P50MS, rep.P95MS, rep.P99MS = rep.Concurrent.P50MS, rep.Concurrent.P95MS, rep.Concurrent.P99MS
 	fmt.Println("server /metrics after all phases:")

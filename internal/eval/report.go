@@ -283,7 +283,9 @@ func RenderTopicBreakdown(row *Row, conds []llmsim.Condition, minN int) string {
 // a setup: which index family backs each store and what it costs per
 // vector. Together with the accuracy tables this is where the
 // recall/memory trade-off of swapping Flat for IVF/SQ8/PQ/IVF-PQ (via
-// ChunkStore.UseIVF/UsePQ/UseIVFPQ) becomes visible in an eval report.
+// ChunkStore.UseIVF/UsePQ/UseIVFPQ) becomes visible in an eval report;
+// IVF-PQ's encoding variant (residual codes, OPQ rotation) is part of the
+// rendered index kind, e.g. "IVF-PQ(nlist=64,nprobe=8,m=48,res+opq)".
 func RenderRetrievalStats(s *Setup) string {
 	var b strings.Builder
 	b.WriteString("Retrieval stores\n\n")

@@ -12,7 +12,7 @@
 // multi-query scan kernel (the query-embedding pool is built once per
 // store and capped at the batch size — the serving hot path calls this
 // per micro-batch), SaveIndex/vecstore.Load persist the store's vectors
-// (VSF2 for Flat, VSF3 for PQ), and IndexStats feeds the eval report's
+// (VSF2 for Flat, VSF3 for PQ, VSF4 for IVF-PQ), and IndexStats feeds the eval report's
 // retrieval-configuration table.
 //
 // For the online layer, Facade (with the NewChunkFacade/NewTraceFacade

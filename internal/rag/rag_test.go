@@ -171,6 +171,44 @@ func TestChunkStorePQSaveReload(t *testing.T) {
 	}
 }
 
+// TestChunkStoreIVFPQSaveReload persists a residual+OPQ IVF-PQ-backed
+// store as VSF4 and checks the reloaded store retrieves bit-identically —
+// the hot-swap path ragserve uses (vecstore.Load dispatches on magic).
+func TestChunkStoreIVFPQSaveReload(t *testing.T) {
+	fx := buildFixture(t, 3)
+	store := BuildChunkStore(nil, fx.chunks, 0)
+	store.UseIVFPQ(vecstore.IVFPQConfig{
+		NList: 8, NProbe: 8, M: embed.DefaultDim / 4, Seed: 1,
+		Residual: true, OPQ: true, OPQIters: 2,
+	})
+	if kind := store.IndexStats().Kind; !strings.Contains(kind, "res+opq") {
+		t.Fatalf("IndexStats kind %q missing variant after IVF-PQ swap", kind)
+	}
+	path := t.TempDir() + "/chunks.vsf4"
+	if err := store.SaveIndex(path); err != nil {
+		t.Fatal(err)
+	}
+	ix, err := vecstore.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ix.(*vecstore.IVFPQ); !ok {
+		t.Fatalf("Load returned %T for a VSF4 file", ix)
+	}
+	reloaded := WrapChunkStore(nil, ix, fx.chunks)
+	q := fx.chunks[0].Text
+	want := store.Retrieve(q, 3)
+	got := reloaded.Retrieve(q, 3)
+	if len(got) != len(want) {
+		t.Fatalf("%d results after reload, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Chunk.ID != want[i].Chunk.ID || got[i].Score != want[i].Score {
+			t.Fatalf("rank %d differs after reload", i)
+		}
+	}
+}
+
 func TestChunkStoreMemoryBytes(t *testing.T) {
 	fx := buildFixture(t, 2)
 	store := BuildChunkStore(nil, fx.chunks, 0)

@@ -81,7 +81,9 @@ func (s *ChunkStore) UsePQ(cfg vecstore.PQConfig) {
 }
 
 // UseIVFPQ swaps the exact index for a trained IVF-PQ index, compounding
-// the coarse-probe latency win with PQ's memory win.
+// the coarse-probe latency win with PQ's memory win. cfg.Residual encodes
+// per-cell residuals (higher recall at the same M) and cfg.OPQ layers a
+// learned rotation on top; see vecstore.IVFPQConfig.
 func (s *ChunkStore) UseIVFPQ(cfg vecstore.IVFPQConfig) {
 	if flat, ok := s.index.(*vecstore.Flat); ok {
 		s.index = flat.ToIVFPQ(cfg)
@@ -108,16 +110,19 @@ func (s *ChunkStore) MemoryBytes() int64 {
 }
 
 // SaveIndex persists the underlying vector index (VSF2 for Flat-backed
-// stores, VSF3 for PQ-backed ones). IVF-backed stores are saved as their
-// flat data and can be re-trained after load.
+// stores, VSF3 for PQ-backed ones, VSF4 for IVF-PQ — including residual
+// and OPQ trained state). Plain-IVF-backed stores are saved as their flat
+// data and can be re-trained after load.
 func (s *ChunkStore) SaveIndex(path string) error {
 	switch ix := s.index.(type) {
 	case *vecstore.Flat:
 		return ix.Save(path)
 	case *vecstore.PQ:
 		return ix.Save(path)
+	case *vecstore.IVFPQ:
+		return ix.Save(path)
 	default:
-		return fmt.Errorf("rag: SaveIndex supports Flat- or PQ-backed stores only (have %T)", ix)
+		return fmt.Errorf("rag: SaveIndex supports Flat-, PQ- or IVF-PQ-backed stores only (have %T)", ix)
 	}
 }
 
@@ -294,15 +299,17 @@ func (s *TraceStore) IndexStats() vecstore.IndexStats {
 }
 
 // SaveIndex persists the trace store's vector index (VSF2 for Flat, VSF3
-// for PQ).
+// for PQ, VSF4 for IVF-PQ).
 func (s *TraceStore) SaveIndex(path string) error {
 	switch ix := s.index.(type) {
 	case *vecstore.Flat:
 		return ix.Save(path)
 	case *vecstore.PQ:
 		return ix.Save(path)
+	case *vecstore.IVFPQ:
+		return ix.Save(path)
 	default:
-		return fmt.Errorf("rag: SaveIndex supports Flat- or PQ-backed stores only (have %T)", ix)
+		return fmt.Errorf("rag: SaveIndex supports Flat-, PQ- or IVF-PQ-backed stores only (have %T)", ix)
 	}
 }
 

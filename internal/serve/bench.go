@@ -28,6 +28,12 @@ type BenchReport struct {
 	P99MS        float64                `json:"latency_p99_ms"`
 	Mixed        *LoadReport            `json:"mixed"`
 	Routes       map[string]*RouteBench `json:"routes"`
+	// Zipf is the heavy-tailed-distribution phase: the hot-set closed
+	// loop re-run with zipf(ZipfS)-distributed query keys (see
+	// LoadConfig.Dist), the workload for the cache eviction-policy sweep.
+	Zipf        *LoadReport `json:"zipf,omitempty"`
+	ZipfS       float64     `json:"zipf_s,omitempty"`
+	ZipfHitRate float64     `json:"zipf_hit_rate,omitempty"`
 }
 
 // RouteBench is one route's record from the mixed-route phase.
@@ -58,6 +64,20 @@ func (r *BenchReport) Check() error {
 	if r.SwapPhase != nil {
 		if err := checkLoad("swap_phase", r.SwapPhase); err != nil {
 			return err
+		}
+	}
+	if r.Zipf != nil {
+		if err := checkLoad("zipf", r.Zipf); err != nil {
+			return err
+		}
+		if r.Zipf.Dist != "zipf" {
+			return fmt.Errorf("zipf: dist %q, want \"zipf\"", r.Zipf.Dist)
+		}
+		if r.ZipfS <= 0 {
+			return fmt.Errorf("zipf_s %v, want positive for a zipf phase", r.ZipfS)
+		}
+		if r.ZipfHitRate < 0 || r.ZipfHitRate > 1 {
+			return fmt.Errorf("zipf_hit_rate %v outside [0,1]", r.ZipfHitRate)
 		}
 	}
 	if r.Speedup <= 0 || r.MeanBatch <= 0 {

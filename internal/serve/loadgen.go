@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/rng"
 )
 
 // LoadConfig parameterises the load harness.
@@ -23,9 +25,22 @@ type LoadConfig struct {
 	RatePerSec float64
 	// K is the retrieval depth sent with every request.
 	K int
-	// Queries are cycled through in request order; repetition in this
-	// slice is what exercises the server's query cache.
+	// Queries are the request pool; which entry a request draws is
+	// governed by Dist. Repetition (from a small pool, or a skewed Dist)
+	// is what exercises the server's query cache.
 	Queries []string
+	// Dist selects the query-index distribution over Queries: "" or
+	// "uniform" cycles round-robin (every entry equally often, the
+	// historical behaviour); "zipf" samples rank r with probability
+	// ∝ 1/(r+1)^ZipfS — the heavy-tailed key popularity real retrieval
+	// traffic shows, and the workload the cache eviction-policy sweep
+	// needs. Earlier Queries entries are the hot head.
+	Dist string
+	// ZipfS is the zipf exponent when Dist == "zipf" (default 1.1).
+	ZipfS float64
+	// Seed drives the zipf sampler; the drawn sequence is deterministic
+	// per (Seed, Requests, len(Queries), ZipfS).
+	Seed uint64
 }
 
 func (c *LoadConfig) fill() {
@@ -38,12 +53,40 @@ func (c *LoadConfig) fill() {
 	if c.K <= 0 {
 		c.K = 5
 	}
+	if c.Dist == "" {
+		c.Dist = "uniform"
+	}
+	if c.ZipfS <= 0 {
+		c.ZipfS = 1.1
+	}
+}
+
+// queryOrder precomputes the query index drawn by each request, so the
+// concurrent issue loop stays deterministic regardless of scheduling.
+func (c *LoadConfig) queryOrder() []int {
+	idx := make([]int, c.Requests)
+	switch c.Dist {
+	case "uniform":
+		for i := range idx {
+			idx[i] = i % len(c.Queries)
+		}
+	case "zipf":
+		z := rng.NewZipf(len(c.Queries), c.ZipfS)
+		r := rng.New(c.Seed)
+		for i := range idx {
+			idx[i] = z.Sample(r)
+		}
+	default:
+		panic(fmt.Sprintf("serve: unknown load distribution %q", c.Dist))
+	}
+	return idx
 }
 
 // LoadReport is the harness's latency/throughput summary. Latencies are
 // client-observed (queueing + batching + search + transport).
 type LoadReport struct {
-	Mode        string  `json:"mode"` // "closed" or "open"
+	Mode        string  `json:"mode"`           // "closed" or "open"
+	Dist        string  `json:"dist,omitempty"` // query-key distribution: "uniform" or "zipf"
 	Concurrency int     `json:"concurrency"`
 	Requests    int64   `json:"requests"`
 	Failures    int64   `json:"failures"`
@@ -59,8 +102,12 @@ type LoadReport struct {
 // String renders the report as the table ragload prints.
 func (r *LoadReport) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "mode=%s concurrency=%d requests=%d failures=%d\n",
-		r.Mode, r.Concurrency, r.Requests, r.Failures)
+	dist := ""
+	if r.Dist != "" && r.Dist != "uniform" {
+		dist = " dist=" + r.Dist
+	}
+	fmt.Fprintf(&b, "mode=%s%s concurrency=%d requests=%d failures=%d\n",
+		r.Mode, dist, r.Concurrency, r.Requests, r.Failures)
 	fmt.Fprintf(&b, "elapsed %.1fms   throughput %.0f qps\n", r.ElapsedMS, r.QPS)
 	fmt.Fprintf(&b, "latency mean=%.3fms p50=%.3fms p95=%.3fms p99=%.3fms max=%.3fms",
 		r.MeanMS, r.P50MS, r.P95MS, r.P99MS, r.MaxMS)
@@ -95,10 +142,11 @@ func RunLoadMixed(cfg LoadConfig, routes []string, do func(route, query string, 
 	if len(routes) == 0 {
 		routes = []string{""}
 	}
+	qidx := cfg.queryOrder()
 	lat := make([]time.Duration, cfg.Requests)
 	failed := make([]bool, cfg.Requests)
 	issue := func(i int) {
-		q := cfg.Queries[i%len(cfg.Queries)]
+		q := cfg.Queries[qidx[i]]
 		start := time.Now()
 		err := do(routes[i%len(routes)], q, cfg.K)
 		lat[i] = time.Since(start)
@@ -151,7 +199,7 @@ func RunLoadMixed(cfg LoadConfig, routes []string, do func(route, query string, 
 		all[i] = i
 	}
 	rep := &MixedReport{
-		Total:    summarize(mode, cfg.Concurrency, all, lat, failed, elapsed),
+		Total:    summarize(mode, cfg.Dist, cfg.Concurrency, all, lat, failed, elapsed),
 		PerRoute: make(map[string]*LoadReport, len(perRoute)),
 	}
 	for ri, route := range perRoute {
@@ -159,7 +207,7 @@ func RunLoadMixed(cfg LoadConfig, routes []string, do func(route, query string, 
 		for i := ri; i < cfg.Requests; i += len(routes) {
 			idx = append(idx, i)
 		}
-		rep.PerRoute[route] = summarize(mode, cfg.Concurrency, idx, lat, failed, elapsed)
+		rep.PerRoute[route] = summarize(mode, cfg.Dist, cfg.Concurrency, idx, lat, failed, elapsed)
 	}
 	return rep
 }
@@ -167,7 +215,7 @@ func RunLoadMixed(cfg LoadConfig, routes []string, do func(route, query string, 
 // summarize reduces the latency samples at idx — everything for the total
 // report, one route's stripe for a per-route one — against the run's
 // shared elapsed window.
-func summarize(mode string, concurrency int, idx []int, lat []time.Duration, failed []bool, elapsed time.Duration) *LoadReport {
+func summarize(mode, dist string, concurrency int, idx []int, lat []time.Duration, failed []bool, elapsed time.Duration) *LoadReport {
 	sorted := make([]time.Duration, len(idx))
 	var failures int64
 	var sum time.Duration
@@ -187,6 +235,7 @@ func summarize(mode string, concurrency int, idx []int, lat []time.Duration, fai
 	}
 	rep := &LoadReport{
 		Mode:        mode,
+		Dist:        dist,
 		Concurrency: concurrency,
 		Requests:    int64(len(idx)),
 		Failures:    failures,

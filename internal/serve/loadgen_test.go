@@ -2,7 +2,9 @@ package serve
 
 import (
 	"errors"
+	"fmt"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -106,5 +108,63 @@ func TestRunLoadDefaults(t *testing.T) {
 	})
 	if rep.Failures != 0 || rep.Concurrency != 16 {
 		t.Fatalf("report %+v", rep)
+	}
+}
+
+// TestRunLoadZipfDistribution checks the heavy-tailed query-key mode: the
+// drawn frequencies must be rank-skewed (rank 0 strictly hottest, the
+// head dominating the tail), deterministic for a fixed seed, and the
+// report must record the distribution.
+func TestRunLoadZipfDistribution(t *testing.T) {
+	queries := make([]string, 64)
+	for i := range queries {
+		queries[i] = fmt.Sprintf("q%d", i)
+	}
+	count := func(seed uint64) map[string]int64 {
+		counts := make(map[string]int64)
+		var mu sync.Mutex
+		RunLoad(LoadConfig{Concurrency: 4, Requests: 2000, Queries: queries,
+			Dist: "zipf", ZipfS: 1.1, Seed: seed},
+			func(q string, k int) error {
+				mu.Lock()
+				counts[q]++
+				mu.Unlock()
+				return nil
+			})
+		return counts
+	}
+	counts := count(7)
+	if counts["q0"] <= counts["q1"] || counts["q1"] <= counts["q5"] {
+		t.Fatalf("zipf head not rank-skewed: q0=%d q1=%d q5=%d", counts["q0"], counts["q1"], counts["q5"])
+	}
+	var head, total int64
+	for q, c := range counts {
+		total += c
+		switch q {
+		case "q0", "q1", "q2", "q3", "q4", "q5", "q6", "q7":
+			head += c
+		}
+	}
+	if head*2 < total {
+		t.Fatalf("zipf head (top 8 of 64 keys) drew %d of %d requests, want a majority", head, total)
+	}
+	again := count(7)
+	for q, c := range counts {
+		if again[q] != c {
+			t.Fatalf("zipf draw not deterministic for fixed seed: %s %d vs %d", q, c, again[q])
+		}
+	}
+	rep := RunLoad(LoadConfig{Concurrency: 2, Requests: 10, Queries: queries, Dist: "zipf"},
+		func(q string, k int) error { return nil })
+	if rep.Dist != "zipf" {
+		t.Fatalf("report dist %q, want zipf", rep.Dist)
+	}
+	if !strings.Contains(rep.String(), "dist=zipf") {
+		t.Fatal("String() lost the distribution tag")
+	}
+	uni := RunLoad(LoadConfig{Concurrency: 2, Requests: 10, Queries: queries},
+		func(q string, k int) error { return nil })
+	if uni.Dist != "uniform" {
+		t.Fatalf("default dist %q, want uniform", uni.Dist)
 	}
 }

@@ -67,6 +67,22 @@ func factories() []indexFactory {
 			ix.Train()
 			return ix
 		}},
+		{"IVFPQ-residual", func(dim int, vecs [][]float32, keys []string) Index {
+			ix := NewIVFPQ(IVFPQConfig{Dim: dim, NList: 8, NProbe: 8, M: (dim + 3) / 4, Seed: 1, Residual: true})
+			for i, v := range vecs {
+				ix.Add(v, keys[i])
+			}
+			ix.Train()
+			return ix
+		}},
+		{"IVFPQ-opq", func(dim int, vecs [][]float32, keys []string) Index {
+			ix := NewIVFPQ(IVFPQConfig{Dim: dim, NList: 8, NProbe: 8, M: (dim + 3) / 4, Seed: 1, Residual: true, OPQ: true})
+			for i, v := range vecs {
+				ix.Add(v, keys[i])
+			}
+			ix.Train()
+			return ix
+		}},
 	}
 }
 
@@ -136,7 +152,7 @@ func TestConformanceSelfRetrieval(t *testing.T) {
 			// and HNSW is approximate; exact indexes must not miss at all.
 			limit := 0
 			switch f.name {
-			case "SQ8", "HNSW-wide", "PQ", "IVFPQ-fullprobe":
+			case "SQ8", "HNSW-wide", "PQ", "IVFPQ-fullprobe", "IVFPQ-residual", "IVFPQ-opq":
 				limit = 2
 			}
 			if miss > limit {
@@ -173,6 +189,59 @@ func TestConformanceDimMismatchPanics(t *testing.T) {
 				}
 			}()
 			ix.Search(make([]float32, 4), 1)
+		})
+	}
+}
+
+// TestConformanceBatchEdgeCases pins the batch path to the single-query
+// contract for every index type: k <= 0 yields one nil slice per query
+// (Search returns nil), an empty query slice yields an empty result
+// slice, and k > n clamps to exactly what Search returns. Indexes with a
+// native SearchBatch are exercised directly so the kernel path — not the
+// BatchSearch fallback — is what's pinned.
+func TestConformanceBatchEdgeCases(t *testing.T) {
+	vecs, keys := conformanceData(120, 12)
+	r := rng.New(781)
+	queries := randomUnit(r, 6, 12)
+	for _, f := range factories() {
+		t.Run(f.name, func(t *testing.T) {
+			ix := f.make(12, vecs, keys)
+			batch := func(qs [][]float32, k int) [][]Result {
+				if bs, ok := ix.(BatchSearcher); ok {
+					return bs.SearchBatch(qs, k)
+				}
+				return BatchSearch(ix, qs, k, 2)
+			}
+			for _, k := range []int{0, -3} {
+				res := batch(queries, k)
+				if len(res) != len(queries) {
+					t.Fatalf("k=%d: %d result slices for %d queries", k, len(res), len(queries))
+				}
+				for qi, rs := range res {
+					if len(rs) != 0 {
+						t.Fatalf("k=%d query %d: %d results, want none", k, qi, len(rs))
+					}
+				}
+			}
+			if res := batch(nil, 5); len(res) != 0 {
+				t.Fatalf("empty query slice: %d result slices", len(res))
+			}
+			if res := batch([][]float32{}, 5); len(res) != 0 {
+				t.Fatalf("zero-length query slice: %d result slices", len(res))
+			}
+			// k > n: per-query results must equal the single-query path.
+			res := batch(queries, 500)
+			for qi, q := range queries {
+				seq := ix.Search(q, 500)
+				if len(res[qi]) != len(seq) {
+					t.Fatalf("k>n query %d: batch %d vs sequential %d results", qi, len(res[qi]), len(seq))
+				}
+				for j := range seq {
+					if res[qi][j].ID != seq[j].ID || res[qi][j].Score != seq[j].Score {
+						t.Fatalf("k>n query %d rank %d: batch differs from sequential", qi, j)
+					}
+				}
+			}
 		})
 	}
 }

@@ -12,6 +12,9 @@
 //   - PQ: product quantization with LUT-based asymmetric distance (FAISS
 //     IndexPQ) — M bytes per vector instead of 2 per dimension,
 //   - IVFPQ: the coarse probe composed with PQ cells (FAISS IndexIVFPQ),
+//     with optional residual encoding (codes quantize x − anchor(cell),
+//     scored through per-cell shifted LUTs) and an optional learned OPQ
+//     rotation (FAISS OPQMatrix) ahead of the subspace split,
 //   - attached per-vector metadata payloads (ids, provenance),
 //   - binary persistence, and parallel single- and multi-query batch search.
 //

@@ -12,21 +12,33 @@ import (
 
 // Binary persistence for vector indexes (the chunk and trace stores are
 // saved once by the generation pipeline and loaded by every evaluation
-// run). Three on-disk versions exist — VSF1 (legacy jagged FP16), VSF2
-// (contiguous FP16, the current Flat format), and VSF3 (PQ: codebooks +
-// contiguous M-byte code block). The byte-level specification and the
-// read/write compatibility matrix live in docs/VSF_FORMAT.md; Load
-// dispatches on the magic, LoadFlat and LoadPQ insist on their own family.
+// run). Four on-disk versions exist — VSF1 (legacy jagged FP16), VSF2
+// (contiguous FP16, the current Flat format), VSF3 (PQ: codebooks +
+// contiguous M-byte code block), and VSF4 (IVF-PQ: coarse centroids, PQ
+// codebook, optional OPQ rotation, residual flag, and per-cell postings +
+// code blocks). The byte-level specification and the read/write
+// compatibility matrix live in docs/VSF_FORMAT.md; Load dispatches on the
+// magic, LoadFlat/LoadPQ/LoadIVFPQ insist on their own family.
 //
-// IVF/IVF-PQ indexes are persisted as their underlying flat data plus
-// quantizer parameters and rebuilt (retrained deterministically) at load;
-// training is cheap relative to embedding and keeps the format simple and
-// versionable.
+// Plain IVF indexes are still persisted as their underlying flat data
+// plus quantizer parameters and rebuilt (retrained deterministically) at
+// load. IVF-PQ gained its own format (VSF4) because its trained state —
+// learned rotation, residual codebook, cell assignment — is what the
+// recall acceptance pins; retraining at load would re-run OPQ alternation
+// on every server swap.
 
 var (
 	magicV1 = [4]byte{'V', 'S', 'F', '1'}
 	magicV2 = [4]byte{'V', 'S', 'F', '2'}
 	magicV3 = [4]byte{'V', 'S', 'F', '3'}
+	magicV4 = [4]byte{'V', 'S', 'F', '4'}
+)
+
+// VSF4 header flag bits.
+const (
+	vsf4FlagResidual = 1 << 0
+	vsf4FlagRotation = 1 << 1
+	vsf4FlagsKnown   = vsf4FlagResidual | vsf4FlagRotation
 )
 
 // ErrBadFormat is returned when a persisted index fails validation.
@@ -157,12 +169,14 @@ func LoadFlat(path string) (*Flat, error) {
 		return readFlat(r, true)
 	case magicV3:
 		return nil, fmt.Errorf("%w: %s is a PQ (VSF3) index; use Load or LoadPQ", ErrBadFormat, path)
+	case magicV4:
+		return nil, fmt.Errorf("%w: %s is an IVF-PQ (VSF4) index; use Load or LoadIVFPQ", ErrBadFormat, path)
 	}
 	return nil, fmt.Errorf("%w: magic %q", ErrBadFormat, m)
 }
 
 // Load reads any persisted index, dispatching on the format magic: VSF1
-// and VSF2 load as *Flat, VSF3 as *PQ.
+// and VSF2 load as *Flat, VSF3 as *PQ, VSF4 as *IVFPQ.
 func Load(path string) (Index, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -181,6 +195,8 @@ func Load(path string) (Index, error) {
 		return readFlat(r, true)
 	case magicV3:
 		return readPQ(r)
+	case magicV4:
+		return readIVFPQ(r)
 	}
 	return nil, fmt.Errorf("%w: magic %q", ErrBadFormat, m)
 }
@@ -447,4 +463,228 @@ func (ix *Flat) ToIVFPQ(cfg IVFPQConfig) *IVFPQ {
 	ivfpq.keys = append(ivfpq.keys, ix.keys...)
 	ivfpq.Train()
 	return ivfpq
+}
+
+// Save writes the IVF-PQ index to path atomically in the VSF4 format
+// (coarse centroids, PQ codebook, optional OPQ rotation, per-cell
+// postings and code blocks; see docs/VSF_FORMAT.md). Save panics if the
+// index is untrained.
+func (ix *IVFPQ) Save(path string) error {
+	if !ix.trained {
+		panic("vecstore: IVFPQ Save before Train")
+	}
+	return saveAtomic(path, func(w io.Writer) error { return writeIVFPQ(w, ix) })
+}
+
+func writeIVFPQ(w io.Writer, ix *IVFPQ) error {
+	if _, err := w.Write(magicV4[:]); err != nil {
+		return err
+	}
+	var flags uint32
+	if ix.residual {
+		flags |= vsf4FlagResidual
+	}
+	if ix.rot != nil {
+		flags |= vsf4FlagRotation
+	}
+	hdr := []uint32{
+		uint32(ix.dim), uint32(ix.cb.m), uint32(ix.cb.ksub),
+		uint32(ix.km.K), uint32(ix.nprobe), flags,
+	}
+	for _, v := range hdr {
+		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint64(len(ix.keys))); err != nil {
+		return err
+	}
+	if err := writeKeys(w, ix.keys); err != nil {
+		return err
+	}
+	for _, cent := range ix.km.Centroids {
+		if err := writeF32s(w, cent); err != nil {
+			return err
+		}
+	}
+	if ix.residual {
+		for _, anchor := range ix.anchors {
+			if err := writeF32s(w, anchor); err != nil {
+				return err
+			}
+		}
+	}
+	if err := writeF32s(w, ix.cb.cents); err != nil {
+		return err
+	}
+	if ix.rot != nil {
+		if err := writeF32s(w, ix.rot); err != nil {
+			return err
+		}
+	}
+	var idbuf []byte
+	for c := 0; c < ix.km.K; c++ {
+		ids := ix.cellIDs[c]
+		need := 4 * (len(ids) + 1)
+		if cap(idbuf) < need {
+			idbuf = make([]byte, need)
+		}
+		buf := idbuf[:need]
+		binary.LittleEndian.PutUint32(buf, uint32(len(ids)))
+		for j, id := range ids {
+			binary.LittleEndian.PutUint32(buf[4+4*j:], uint32(id))
+		}
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+		if _, err := w.Write(ix.cellCodes[c]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadIVFPQ reads an IVF-PQ index previously written by IVFPQ.Save
+// (VSF4). Other families are rejected; use Load for magic dispatch.
+func LoadIVFPQ(path string) (*IVFPQ, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<20)
+	m, err := readMagic(r)
+	if err != nil {
+		return nil, err
+	}
+	if m != magicV4 {
+		return nil, fmt.Errorf("%w: %s is not an IVF-PQ (VSF4) index (magic %q); use Load", ErrBadFormat, path, m)
+	}
+	return readIVFPQ(r)
+}
+
+// readIVFPQ consumes a VSF4 stream after the magic. As in VSF3, the
+// subspace geometry is recomputed from (dim, m); everything else — coarse
+// centroids, codebook, rotation, cell assignment — is restored exactly,
+// so a loaded index searches bit-identically to the one saved and accepts
+// further Add calls without retraining.
+func readIVFPQ(r io.Reader) (*IVFPQ, error) {
+	var dim, m, ksub, nlist, nprobe, flags uint32
+	for _, p := range []*uint32{&dim, &m, &ksub, &nlist, &nprobe, &flags} {
+		if err := binary.Read(r, binary.LittleEndian, p); err != nil {
+			return nil, fmt.Errorf("%w: IVF-PQ header: %v", ErrBadFormat, err)
+		}
+	}
+	if dim == 0 || dim > 1<<16 {
+		return nil, fmt.Errorf("%w: implausible dim %d", ErrBadFormat, dim)
+	}
+	if m == 0 || m > dim {
+		return nil, fmt.Errorf("%w: implausible IVF-PQ m %d for dim %d", ErrBadFormat, m, dim)
+	}
+	if ksub == 0 || ksub > pqKSubMax {
+		return nil, fmt.Errorf("%w: implausible IVF-PQ ksub %d", ErrBadFormat, ksub)
+	}
+	if nlist == 0 || nlist > 1<<22 {
+		return nil, fmt.Errorf("%w: implausible IVF-PQ nlist %d", ErrBadFormat, nlist)
+	}
+	if nprobe == 0 || nprobe > nlist {
+		return nil, fmt.Errorf("%w: IVF-PQ nprobe %d outside [1, nlist=%d]", ErrBadFormat, nprobe, nlist)
+	}
+	if flags&^uint32(vsf4FlagsKnown) != 0 {
+		return nil, fmt.Errorf("%w: unknown IVF-PQ flags %#x", ErrBadFormat, flags)
+	}
+	var count uint64
+	if err := binary.Read(r, binary.LittleEndian, &count); err != nil {
+		return nil, fmt.Errorf("%w: count: %v", ErrBadFormat, err)
+	}
+	if count > (1<<31)/uint64(m) {
+		return nil, fmt.Errorf("%w: implausible count %d", ErrBadFormat, count)
+	}
+	ix := NewIVFPQ(IVFPQConfig{
+		Dim: int(dim), NList: int(nlist), NProbe: int(nprobe), M: int(m),
+		Residual: flags&vsf4FlagResidual != 0,
+	})
+	ix.keys = make([]string, 0, count)
+	for i := uint64(0); i < count; i++ {
+		key, err := readKey(r, i)
+		if err != nil {
+			return nil, err
+		}
+		ix.keys = append(ix.keys, key)
+	}
+	ix.km.Centroids = make([][]float32, nlist)
+	for c := range ix.km.Centroids {
+		cent := make([]float32, dim)
+		if err := readF32s(r, cent); err != nil {
+			return nil, fmt.Errorf("%w: coarse centroid %d: %v", ErrBadFormat, c, err)
+		}
+		ix.km.Centroids[c] = cent
+	}
+	if ix.residual {
+		ix.anchors = make([][]float32, nlist)
+		for c := range ix.anchors {
+			anchor := make([]float32, dim)
+			if err := readF32s(r, anchor); err != nil {
+				return nil, fmt.Errorf("%w: residual anchor %d: %v", ErrBadFormat, c, err)
+			}
+			ix.anchors[c] = anchor
+		}
+	}
+	ix.cb = newPQCodebook(int(dim), int(m), int(ksub))
+	if err := readF32s(r, ix.cb.cents); err != nil {
+		return nil, fmt.Errorf("%w: IVF-PQ codebook: %v", ErrBadFormat, err)
+	}
+	if flags&vsf4FlagRotation != 0 {
+		ix.rot = make([]float32, int(dim)*int(dim))
+		if err := readF32s(r, ix.rot); err != nil {
+			return nil, fmt.Errorf("%w: OPQ rotation: %v", ErrBadFormat, err)
+		}
+	} else {
+		ix.rot = nil
+	}
+	ix.cellIDs = make([][]int, nlist)
+	ix.cellCodes = make([][]byte, nlist)
+	var total uint64
+	for c := uint32(0); c < nlist; c++ {
+		var cn uint32
+		if err := binary.Read(r, binary.LittleEndian, &cn); err != nil {
+			return nil, fmt.Errorf("%w: cell %d size: %v", ErrBadFormat, c, err)
+		}
+		total += uint64(cn)
+		if total > count {
+			return nil, fmt.Errorf("%w: cell sizes exceed count %d", ErrBadFormat, count)
+		}
+		idbytes := make([]byte, 4*uint64(cn))
+		if _, err := io.ReadFull(r, idbytes); err != nil {
+			return nil, fmt.Errorf("%w: cell %d postings: %v", ErrBadFormat, c, err)
+		}
+		ids := make([]int, cn)
+		for j := range ids {
+			id := binary.LittleEndian.Uint32(idbytes[4*j:])
+			if uint64(id) >= count {
+				return nil, fmt.Errorf("%w: cell %d posting %d exceeds count %d", ErrBadFormat, c, id, count)
+			}
+			ids[j] = int(id)
+		}
+		codes := make([]byte, uint64(cn)*uint64(m))
+		if _, err := io.ReadFull(r, codes); err != nil {
+			return nil, fmt.Errorf("%w: cell %d code block: %v", ErrBadFormat, c, err)
+		}
+		// Same discipline as VSF3: a code byte ≥ ksub must fail at load
+		// time, not index past the LUT at query time.
+		if int(ksub) < pqKSubMax {
+			for i, cc := range codes {
+				if uint32(cc) >= ksub {
+					return nil, fmt.Errorf("%w: IVF-PQ code %d in cell %d offset %d exceeds ksub %d", ErrBadFormat, cc, c, i, ksub)
+				}
+			}
+		}
+		ix.cellIDs[c] = ids
+		ix.cellCodes[c] = codes
+	}
+	if total != count {
+		return nil, fmt.Errorf("%w: cell sizes sum to %d, count is %d", ErrBadFormat, total, count)
+	}
+	ix.trained = true
+	return ix, nil
 }

@@ -106,6 +106,9 @@ func (ix *IVF) Train() {
 		if ix.nprobe < 1 {
 			ix.nprobe = 1
 		}
+	} else if ix.nprobe > ix.km.K {
+		// A SetNProbe before Train may exceed an auto-sized or shrunk K.
+		ix.nprobe = ix.km.K
 	}
 	full := make([][]float32, n)
 	for i := range full {

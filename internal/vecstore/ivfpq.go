@@ -8,20 +8,45 @@ import (
 )
 
 // IVFPQ composes the inverted-file coarse quantizer with product-quantized
-// cell storage (FAISS IndexIVFPQ, without the residual encoding — codes
-// quantize the raw vectors against one codebook shared by all cells, which
-// keeps LUT construction per query O(M·ksub) rather than per probed cell).
-// A query scans only the NProbe nearest cells, and each probed cell is an
-// M-byte-per-row LUT scan, so both the scanned-row count and the
-// bytes-per-row shrink relative to Flat. The recall/latency/memory
-// trade-off is pinned by the IVF-PQ recall regression test.
+// cell storage (FAISS IndexIVFPQ). Two encodings are supported:
+//
+//   - raw (the default): codes quantize the original vectors against one
+//     codebook shared by all cells, so one LUT per query serves every
+//     probed cell (LUT construction O(M·ksub) per query).
+//   - residual (Residual: true): codes quantize vec − anchor(cell), the
+//     FAISS discipline adapted to the spherical coarse quantizer. The
+//     anchor is the cell's arithmetic mean, not its unit-normalised
+//     routing centroid: the mean minimises within-cell residual energy
+//     (variance decomposition), whereas subtracting a unit centroid can
+//     *grow* weakly-clustered vectors (‖x−c‖² = 2−2·x·c > 1 whenever
+//     x·c < ½). Residuals are therefore strictly lower-energy than raw
+//     vectors, so the same M buys higher recall; the price is a
+//     per-probed-cell LUT shift (O(dim + M·ksub) per cell, see
+//     pqCodebook.shiftLUT) before the unchanged scan kernel runs.
+//
+// An optional OPQ rotation (OPQ: true) — a learned orthonormal matrix
+// applied to vectors at encode time and to queries before LUT
+// construction — decorrelates the subspace split first (see learnOPQ).
+// Rotation preserves inner products, so scores remain comparable with the
+// exact scan. A query scans only the NProbe nearest cells, and each
+// probed cell is an M-byte-per-row LUT scan, so both the scanned-row
+// count and the bytes-per-row shrink relative to Flat. The
+// recall/latency/memory trade-off is pinned by the IVF-PQ recall
+// regression tests.
 type IVFPQ struct {
-	dim    int
-	nprobe int
-	pqCfg  PQConfig
-	km     *KMeans // coarse quantizer (spherical, like IVF)
-	cb     *pqCodebook
-	keys   []string
+	dim      int
+	nprobe   int
+	pqCfg    PQConfig
+	km       *KMeans // coarse quantizer (spherical, like IVF)
+	cb       *pqCodebook
+	keys     []string
+	residual bool
+	// anchors[c] is the arithmetic mean of cell c's (rotated) vectors,
+	// the point residual codes are relative to. Only set under residual
+	// encoding; routing always uses the spherical km centroids.
+	anchors  [][]float32
+	rot      []float32 // OPQ rotation, row-major dim×dim; nil when unused
+	opqIters int
 	// staged buffers codes contiguously in insertion order until Train.
 	staged []uint16
 	// After Train: per-cell contiguous PQ code blocks and id postings. Row
@@ -38,6 +63,15 @@ type IVFPQConfig struct {
 	NProbe int    // cells scanned per query; 0 → max(1, NList/16)
 	M      int    // PQ subspaces (code bytes per vector); 0 → max(1, Dim/8)
 	Seed   uint64 // quantizer and codebook training seed
+	// Residual encodes vec − centroid(cell) instead of the raw vector:
+	// higher recall at the same M, at a per-probed-cell LUT-shift cost.
+	Residual bool
+	// OPQ learns an orthonormal rotation (applied to vectors at encode
+	// time and queries at LUT time) before the subspace split. Usually
+	// combined with Residual.
+	OPQ bool
+	// OPQIters caps the PQ-fit/rotation-update alternations; 0 → 8.
+	OPQIters int
 }
 
 // NewIVFPQ returns an untrained IVF-PQ index. Vectors may be added before
@@ -45,38 +79,73 @@ type IVFPQConfig struct {
 func NewIVFPQ(cfg IVFPQConfig) *IVFPQ {
 	pqCfg := PQConfig{Dim: cfg.Dim, M: cfg.M, Seed: cfg.Seed}
 	pqCfg.normalize()
-	return &IVFPQ{
-		dim:    cfg.Dim,
-		nprobe: cfg.NProbe,
-		pqCfg:  pqCfg,
-		km:     &KMeans{K: cfg.NList, Seed: cfg.Seed},
+	ix := &IVFPQ{
+		dim:      cfg.Dim,
+		nprobe:   cfg.NProbe,
+		pqCfg:    pqCfg,
+		km:       &KMeans{K: cfg.NList, Seed: cfg.Seed},
+		residual: cfg.Residual,
+		opqIters: cfg.OPQIters,
 	}
+	if cfg.OPQ {
+		ix.rot = identityRot(cfg.Dim) // replaced by the learned rotation at Train
+	}
+	return ix
 }
 
 // Add implements Index. Vectors added after training are encoded and
 // routed to their cell immediately; before training they are only
-// buffered.
+// buffered. The post-train path encodes into the tail of the cell's
+// contiguous code block (no per-insert code buffer).
 func (ix *IVFPQ) Add(vec []float32, key string) int {
 	if len(vec) != ix.dim {
 		panic(fmt.Sprintf("vecstore: Add dim %d to IVFPQ of dim %d", len(vec), ix.dim))
 	}
 	id := len(ix.keys)
 	ix.keys = append(ix.keys, key)
-	if ix.trained {
-		c := ix.km.Nearest(vec)
-		ix.cellIDs[c] = append(ix.cellIDs[c], id)
-		code := make([]byte, ix.cb.m)
-		ix.cb.encode(vec, code)
-		ix.cellCodes[c] = append(ix.cellCodes[c], code...)
-	} else {
+	if !ix.trained {
 		ix.staged = f16.AppendEncoded(ix.staged, vec)
+		return id
+	}
+	v := vec
+	var vp *[]float32
+	if ix.rot != nil {
+		vp = getTile(ix.dim)
+		applyRot(*vp, ix.rot, vec)
+		v = *vp
+	}
+	c := ix.km.Nearest(v)
+	ix.cellIDs[c] = append(ix.cellIDs[c], id)
+	enc := v
+	var rp *[]float32
+	if ix.residual {
+		rp = getTile(ix.dim)
+		anchor := ix.anchors[c]
+		for d, x := range v {
+			(*rp)[d] = x - anchor[d]
+		}
+		enc = *rp
+	}
+	codes := ix.cellCodes[c]
+	tail := len(codes)
+	for i := 0; i < ix.cb.m; i++ {
+		codes = append(codes, 0)
+	}
+	ix.cb.encode(enc, codes[tail:])
+	ix.cellCodes[c] = codes
+	if rp != nil {
+		putTile(rp)
+	}
+	if vp != nil {
+		putTile(vp)
 	}
 	return id
 }
 
-// Train fits the coarse quantizer and the shared PQ codebook on all
-// buffered vectors, then encodes every vector into its cell's contiguous
-// code block. It panics if the index is empty.
+// Train fits the coarse quantizer and the PQ codebook on all buffered
+// vectors (learning the OPQ rotation first when configured), then encodes
+// every vector — or its cell residual — into its cell's contiguous code
+// block. It panics if the index is empty.
 func (ix *IVFPQ) Train() {
 	n := len(ix.keys)
 	if n == 0 {
@@ -96,25 +165,77 @@ func (ix *IVFPQ) Train() {
 		if ix.nprobe < 1 {
 			ix.nprobe = 1
 		}
+	} else if ix.nprobe > ix.km.K {
+		// A SetNProbe before Train may exceed an auto-sized or shrunk K.
+		ix.nprobe = ix.km.K
 	}
 	full := make([][]float32, n)
 	for i := range full {
 		full[i] = f16.Decode(ix.staged[i*ix.dim : (i+1)*ix.dim])
 	}
-	ix.km.Train(full)
 	ksub := pqKSubMax
 	if ksub > n {
 		ksub = n
 	}
-	ix.cb = newPQCodebook(ix.dim, ix.pqCfg.M, ksub)
-	ix.cb.train(full, ix.pqCfg.TrainIters, ix.pqCfg.Seed)
-	// Assign cells, encode all rows in parallel, then pack per cell.
+	if ix.rot != nil {
+		ix.rot = learnOPQ(full, ix.dim, ix.pqCfg.M, ksub, ix.pqCfg.TrainIters, ix.opqIters, ix.pqCfg.Seed)
+		rotated := make([][]float32, n)
+		parallelFor(n, 0, func(i int) {
+			rotated[i] = make([]float32, ix.dim)
+			applyRot(rotated[i], ix.rot, full[i])
+		})
+		full = rotated
+	}
+	ix.km.Train(full)
 	assign := make([]int, n)
+	parallelFor(n, 0, func(id int) {
+		assign[id] = ix.km.Nearest(full[id])
+	})
+	// The codebook is fit on — and codes quantize — either the (rotated)
+	// vectors or their residuals against the per-cell mean anchor.
+	enc := full
+	if ix.residual {
+		ix.anchors = make([][]float32, ix.km.K)
+		cellN := make([]int, ix.km.K)
+		for c := range ix.anchors {
+			ix.anchors[c] = make([]float32, ix.dim)
+		}
+		for id, c := range assign {
+			cellN[c]++
+			a := ix.anchors[c]
+			for d, x := range full[id] {
+				a[d] += x
+			}
+		}
+		for c, cnt := range cellN {
+			if cnt == 0 {
+				// No mass to average; anchor at the routing centroid so a
+				// post-train Add landing here still gets a sane residual.
+				copy(ix.anchors[c], ix.km.Centroids[c])
+				continue
+			}
+			inv := 1 / float32(cnt)
+			for d := range ix.anchors[c] {
+				ix.anchors[c][d] *= inv
+			}
+		}
+		res := make([][]float32, n)
+		parallelFor(n, 0, func(id int) {
+			anchor := ix.anchors[assign[id]]
+			r := make([]float32, ix.dim)
+			for d, x := range full[id] {
+				r[d] = x - anchor[d]
+			}
+			res[id] = r
+		})
+		enc = res
+	}
+	ix.cb = newPQCodebook(ix.dim, ix.pqCfg.M, ksub)
+	ix.cb.train(enc, ix.pqCfg.TrainIters, ix.pqCfg.Seed)
 	counts := make([]int, ix.km.K)
 	codes := make([]byte, n*ix.cb.m)
 	parallelFor(n, 0, func(id int) {
-		assign[id] = ix.km.Nearest(full[id])
-		ix.cb.encode(full[id], codes[id*ix.cb.m:(id+1)*ix.cb.m])
+		ix.cb.encode(enc[id], codes[id*ix.cb.m:(id+1)*ix.cb.m])
 	})
 	for _, c := range assign {
 		counts[c]++
@@ -138,6 +259,7 @@ func (ix *IVFPQ) Train() {
 func (ix *IVFPQ) Trained() bool { return ix.trained }
 
 // SetNProbe adjusts the number of cells scanned per query (recall knob).
+// Values set before Train are re-clamped when Train sizes the cell count.
 func (ix *IVFPQ) SetNProbe(n int) {
 	if n < 1 {
 		n = 1
@@ -157,6 +279,26 @@ func (ix *IVFPQ) NList() int { return ix.km.K }
 // M returns the number of PQ subspaces (code bytes per vector).
 func (ix *IVFPQ) M() int { return ix.pqCfg.M }
 
+// Residual reports whether codes quantize per-cell residuals.
+func (ix *IVFPQ) Residual() bool { return ix.residual }
+
+// OPQ reports whether a learned rotation is applied before encoding.
+func (ix *IVFPQ) OPQ() bool { return ix.rot != nil }
+
+// Variant names the encoding variant for stats and reports: "" (raw),
+// "res", "opq", or "res+opq".
+func (ix *IVFPQ) Variant() string {
+	switch {
+	case ix.residual && ix.rot != nil:
+		return "res+opq"
+	case ix.residual:
+		return "res"
+	case ix.rot != nil:
+		return "opq"
+	}
+	return ""
+}
+
 // Len implements Index.
 func (ix *IVFPQ) Len() int { return len(ix.keys) }
 
@@ -166,8 +308,21 @@ func (ix *IVFPQ) Dim() int { return ix.dim }
 // Key returns the metadata key for id.
 func (ix *IVFPQ) Key(id int) string { return ix.keys[id] }
 
-// Search implements Index: one LUT is built for the query, then the nprobe
-// nearest cells are streamed through the PQ LUT kernel.
+// rotateQuery returns the query in code space (rotated when OPQ is
+// active), along with the pooled buffer to release, or nil.
+func (ix *IVFPQ) rotateQuery(query []float32) ([]float32, *[]float32) {
+	if ix.rot == nil {
+		return query, nil
+	}
+	qp := getTile(ix.dim)
+	applyRot(*qp, ix.rot, query)
+	return *qp, qp
+}
+
+// Search implements Index: one base LUT is built for the query, then the
+// nprobe nearest cells are streamed through the PQ LUT kernel. Under
+// residual encoding the base LUT is shifted by each probed cell's
+// centroid bias first (shiftLUT); the scan kernel itself is unchanged.
 func (ix *IVFPQ) Search(query []float32, k int) []Result {
 	if !ix.trained {
 		panic("vecstore: Search on untrained IVFPQ")
@@ -178,23 +333,41 @@ func (ix *IVFPQ) Search(query []float32, k int) []Result {
 	if k <= 0 {
 		return nil
 	}
-	probes := ix.km.NearestN(query, ix.nprobe)
+	q, qp := ix.rotateQuery(query)
+	probes := ix.km.NearestN(q, ix.nprobe)
 	lp := getTile(ix.cb.m * ix.cb.ksub)
 	lut := *lp
-	ix.cb.lutInto(lut, query)
+	ix.cb.lutInto(lut, q)
 	h := getTopK(k)
-	for _, c := range probes {
-		scanPQTopK(ix.cellCodes[c], ix.cb, lut, h, ix.cellIDs[c], 0)
+	if ix.residual {
+		cp := getTile(ix.cb.m * ix.cb.ksub)
+		cellLUT := *cp
+		for _, c := range probes {
+			if len(ix.cellIDs[c]) == 0 {
+				continue
+			}
+			ix.cb.shiftLUT(cellLUT, lut, q, ix.anchors[c])
+			scanPQTopK(ix.cellCodes[c], ix.cb, cellLUT, h, ix.cellIDs[c], 0)
+		}
+		putTile(cp)
+	} else {
+		for _, c := range probes {
+			scanPQTopK(ix.cellCodes[c], ix.cb, lut, h, ix.cellIDs[c], 0)
+		}
 	}
 	putTile(lp)
+	if qp != nil {
+		putTile(qp)
+	}
 	res := h.results(ix.keys)
 	putTopK(h)
 	return res
 }
 
-// SearchBatch implements BatchSearcher: LUTs are built once per query (the
-// batch amortisation), queries are grouped by probed cell, and cells are
-// scanned in parallel.
+// SearchBatch implements BatchSearcher: base LUTs are built once per query
+// (the batch amortisation), queries are grouped by probed cell, and cells
+// are scanned in parallel. Residual cells shift each interested query's
+// base LUT by the cell bias before scanning, exactly as Search does.
 func (ix *IVFPQ) SearchBatch(queries [][]float32, k int) [][]Result {
 	if !ix.trained {
 		panic("vecstore: Search on untrained IVFPQ")
@@ -208,11 +381,19 @@ func (ix *IVFPQ) SearchBatch(queries [][]float32, k int) [][]Result {
 	if k <= 0 || len(queries) == 0 {
 		return out
 	}
+	qs := queries
+	if ix.rot != nil {
+		qs = make([][]float32, len(queries))
+		parallelFor(len(queries), 0, func(qi int) {
+			qs[qi] = make([]float32, ix.dim)
+			applyRot(qs[qi], ix.rot, queries[qi])
+		})
+	}
 	// Probe assignment and LUT construction, fanned out over queries.
-	probes := make([][]int, len(queries))
-	luts, pooled := buildLUTs(ix.cb, queries)
-	parallelFor(len(queries), 0, func(qi int) {
-		probes[qi] = ix.km.NearestN(queries[qi], ix.nprobe)
+	probes := make([][]int, len(qs))
+	luts, pooled := buildLUTs(ix.cb, qs)
+	parallelFor(len(qs), 0, func(qi int) {
+		probes[qi] = ix.km.NearestN(qs[qi], ix.nprobe)
 	})
 	// Invert: cell → indices of the queries probing it.
 	perCell := make([][]int32, ix.km.K)
@@ -222,8 +403,8 @@ func (ix *IVFPQ) SearchBatch(queries [][]float32, k int) [][]Result {
 		}
 	}
 	work := make([]int, 0, ix.km.K)
-	for c, qs := range perCell {
-		if len(qs) > 0 && len(ix.cellIDs[c]) > 0 {
+	for c, cells := range perCell {
+		if len(cells) > 0 && len(ix.cellIDs[c]) > 0 {
 			work = append(work, c)
 		}
 	}
@@ -232,14 +413,27 @@ func (ix *IVFPQ) SearchBatch(queries [][]float32, k int) [][]Result {
 	partial := make([][]*topK, len(work))
 	parallelFor(len(work), 0, func(wi int) {
 		c := work[wi]
-		qs := perCell[c]
-		qluts := make([][]float32, len(qs))
-		hs := make([]*topK, len(qs))
-		for i, qi := range qs {
-			qluts[i] = luts[qi]
+		interested := perCell[c]
+		hs := make([]*topK, len(interested))
+		for i := range hs {
 			hs[i] = getTopK(k)
 		}
-		scanPQBatchTopK(ix.cellCodes[c], ix.cb, qluts, hs, ix.cellIDs[c], 0)
+		if ix.residual {
+			cp := getTile(ix.cb.m * ix.cb.ksub)
+			cellLUT := *cp
+			anchor := ix.anchors[c]
+			for i, qi := range interested {
+				ix.cb.shiftLUT(cellLUT, luts[qi], qs[qi], anchor)
+				scanPQTopK(ix.cellCodes[c], ix.cb, cellLUT, hs[i], ix.cellIDs[c], 0)
+			}
+			putTile(cp)
+		} else {
+			qluts := make([][]float32, len(interested))
+			for i, qi := range interested {
+				qluts[i] = luts[qi]
+			}
+			scanPQBatchTopK(ix.cellCodes[c], ix.cb, qluts, hs, ix.cellIDs[c], 0)
+		}
 		partial[wi] = hs
 	})
 	releaseLUTs(pooled)
@@ -272,7 +466,9 @@ func (ix *IVFPQ) SearchBatch(queries [][]float32, k int) [][]Result {
 }
 
 // searchReference is the retained reference scalar scan over the probed
-// cells, one row at a time (see pq_test.go).
+// cells, one row at a time with no pooling or parallelism (see
+// pq_test.go). It reuses the same rotation / base-LUT / shiftLUT helpers
+// as Search, so the kernel must reproduce it bit-for-bit.
 func (ix *IVFPQ) searchReference(query []float32, k int) []Result {
 	if !ix.trained {
 		panic("vecstore: Search on untrained IVFPQ")
@@ -283,33 +479,55 @@ func (ix *IVFPQ) searchReference(query []float32, k int) []Result {
 	if k <= 0 {
 		return nil
 	}
-	probes := ix.km.NearestN(query, ix.nprobe)
+	q := query
+	if ix.rot != nil {
+		q = make([]float32, ix.dim)
+		applyRot(q, ix.rot, query)
+	}
+	probes := ix.km.NearestN(q, ix.nprobe)
 	lut := make([]float32, ix.cb.m*ix.cb.ksub)
-	ix.cb.lutInto(lut, query)
+	ix.cb.lutInto(lut, q)
+	cellLUT := lut
+	if ix.residual {
+		cellLUT = make([]float32, len(lut))
+	}
 	h := newTopK(k)
 	m := ix.cb.m
 	for _, c := range probes {
+		if ix.residual {
+			if len(ix.cellIDs[c]) == 0 {
+				continue
+			}
+			ix.cb.shiftLUT(cellLUT, lut, q, ix.anchors[c])
+		}
 		block := ix.cellCodes[c]
 		for row, id := range ix.cellIDs[c] {
-			h.push(id, lutScore(block[row*m:(row+1)*m], lut, ix.cb.ksub))
+			h.push(id, lutScore(block[row*m:(row+1)*m], cellLUT, ix.cb.ksub))
 		}
 	}
 	return h.results(ix.keys)
 }
 
-// MemoryBytes reports code storage (M bytes/vector) plus the codebook;
-// before Train it reports the FP16 staging buffer.
+// MemoryBytes reports code storage (M bytes/vector) plus the PQ codebook,
+// coarse centroids, residual anchors, and OPQ rotation; before Train it
+// reports the FP16 staging buffer.
 func (ix *IVFPQ) MemoryBytes() int64 {
 	if !ix.trained {
 		return int64(2 * len(ix.staged))
 	}
-	return int64(len(ix.keys)*ix.cb.m) + int64(4*len(ix.cb.cents))
+	b := int64(len(ix.keys)*ix.cb.m) + int64(4*len(ix.cb.cents)) +
+		int64(4*ix.km.K*ix.dim) + int64(4*len(ix.rot))
+	if ix.anchors != nil {
+		b += int64(4 * ix.km.K * ix.dim)
+	}
+	return b
 }
 
 // Recall measures IVF-PQ ranking fidelity against an exact FP16 scan of
 // the original full-precision vectors, when those are provided. Used by
 // the recall regression test to pin the coarse-probe + quantization
-// trade-off.
+// trade-off. Rotation is an internal detail (it preserves inner
+// products), so originals are compared unrotated.
 func (ix *IVFPQ) Recall(originals [][]float32, queries [][]float32, k int) float64 {
 	if len(queries) == 0 || len(originals) != ix.Len() {
 		return 0

@@ -137,6 +137,70 @@ func (cb *pqCodebook) train(vecs [][]float32, iters int, seed uint64) {
 	})
 }
 
+// opqTrainIters is the default number of PQ-fit / rotation-update
+// alternations when learning an OPQ rotation.
+const opqTrainIters = 8
+
+// learnOPQ fits an orthonormal rotation that decorrelates and balances
+// the subspace split before product quantization (OPQ, Ge et al.): it
+// alternates (1) fitting a PQ codebook to the rotated training sample and
+// (2) solving the orthogonal-Procrustes problem min_R Σ‖R·x − x̂‖² for the
+// current reconstructions x̂ (polar factor of Σ x̂·xᵀ, see kmeans.go). The
+// rotation is learned against a plain-PQ proxy — the FAISS OPQMatrix
+// discipline — and then applied ahead of whatever index (PQ or residual
+// IVF-PQ) uses it. Returns the identity when no update improves on it
+// (degenerate data). Deterministic for a fixed seed.
+func learnOPQ(vecs [][]float32, dim, m, ksub, pqIters, opqIters int, seed uint64) []float32 {
+	if opqIters <= 0 {
+		opqIters = opqTrainIters
+	}
+	sample := vecs
+	if limit := ksub * pqTrainSampleFactor; len(vecs) > limit {
+		sample = samplePQTrainSet(vecs, limit, seed)
+	}
+	rot := identityRot(dim)
+	rotated := make([][]float32, len(sample))
+	for i := range rotated {
+		rotated[i] = make([]float32, dim)
+	}
+	recon := make([]float32, dim)
+	code := make([]byte, m)
+	corr := make([]float32, dim*dim)
+	// Each iteration is one fit/update pair; the codebook informing the
+	// last rotation update is discarded, because the caller refits its own
+	// codebook on the finally-rotated data.
+	for iter := 0; iter < opqIters; iter++ {
+		parallelFor(len(sample), 0, func(i int) {
+			applyRot(rotated[i], rot, sample[i])
+		})
+		cb := newPQCodebook(dim, m, ksub)
+		cb.train(rotated, pqIters, seed+uint64(iter))
+		// corr = Σ x̂·xᵀ over the sample (x̂ in rotated space, x original).
+		for i := range corr {
+			corr[i] = 0
+		}
+		for i, x := range sample {
+			cb.encode(rotated[i], code)
+			cb.decodeInto(recon, code)
+			for r, xr := range recon {
+				if xr == 0 {
+					continue
+				}
+				row := corr[r*dim : (r+1)*dim]
+				for c, xc := range x {
+					row[c] += xr * xc
+				}
+			}
+		}
+		next := polarOrthonormal(corr, dim)
+		if next == nil {
+			break // rank-deficient update; keep the current rotation
+		}
+		rot = next
+	}
+	return rot
+}
+
 // samplePQTrainSet picks n distinct vectors by a seeded partial
 // Fisher-Yates shuffle (deterministic, order-independent of callers).
 func samplePQTrainSet(vecs [][]float32, n int, seed uint64) [][]float32 {
@@ -191,6 +255,27 @@ func (cb *pqCodebook) lutInto(lut, q []float32) {
 				sum += x * cent[j]
 			}
 			lut[s*cb.ksub+c] = sum
+		}
+	}
+}
+
+// shiftLUT writes into dst the per-cell LUT for residual IVF-PQ: entry
+// (s,c) of the base residual LUT plus the cell bias q[subspace s]·cent
+// [subspace s]. Summing a row's shifted entries therefore yields
+// q·centroid(cell) + q·residual̂ — the asymmetric score of the full
+// reconstruction — while keeping the scan kernel below the LUT untouched.
+// The bias is accumulated sequentially over the subspace's dimensions
+// (the lutInto discipline), so every scoring path that reuses this helper
+// agrees bit-for-bit.
+func (cb *pqCodebook) shiftLUT(dst, base, q, cent []float32) {
+	for s := 0; s < cb.m; s++ {
+		var bias float32
+		for d := cb.bounds[s]; d < cb.bounds[s+1]; d++ {
+			bias += q[d] * cent[d]
+		}
+		off := s * cb.ksub
+		for c := 0; c < cb.ksub; c++ {
+			dst[off+c] = base[off+c] + bias
 		}
 	}
 }

@@ -279,6 +279,87 @@ func BenchmarkIVFPQSearch(b *testing.B) {
 	reportBytesPerVector(b, ix)
 }
 
+// buildBenchIVFPQ builds the IVF-PQ bench fixture at the acceptance
+// operating point (nlist=256, nprobe=8, M=48) for one encoding variant.
+func buildBenchIVFPQ(b *testing.B, cfg IVFPQConfig) (*IVFPQ, [][]float32, float64) {
+	b.Helper()
+	r := rng.New(1)
+	cfg.Dim, cfg.NList, cfg.NProbe, cfg.M, cfg.Seed = benchDim, 256, 8, benchPQM, 1
+	ix := NewIVFPQ(cfg)
+	const n = 20_000
+	for _, v := range randomUnit(r, n, benchDim) {
+		ix.Add(v, "")
+	}
+	ix.Train()
+	queries := randomUnit(r, 64, benchDim)
+	scanned := float64(n) * float64(ix.NProbe()) / float64(ix.NList())
+	return ix, queries, scanned
+}
+
+// BenchmarkIVFPQResidualSearch measures the residual-encoding LUT-cost
+// trade-off: the same scan as BenchmarkIVFPQSearch plus one O(dim+M·ksub)
+// LUT shift per probed cell. Compare ns/vector with BenchmarkIVFPQSearch
+// for the per-cell overhead residual recall is bought with.
+func BenchmarkIVFPQResidualSearch(b *testing.B) {
+	ix, queries, scanned := buildBenchIVFPQ(b, IVFPQConfig{Residual: true})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ix.Search(queries[i%len(queries)], 10)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/scanned, "ns/vector")
+	reportBytesPerVector(b, ix)
+}
+
+// BenchmarkIVFPQResidualSearchBatch amortises base-LUT construction across
+// the batch; the per-(cell,query) shift is the remaining residual cost.
+func BenchmarkIVFPQResidualSearchBatch(b *testing.B) {
+	ix, queries, scanned := buildBenchIVFPQ(b, IVFPQConfig{Residual: true})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ix.SearchBatch(queries, 10)
+	}
+	b.ReportMetric(
+		float64(b.Elapsed().Nanoseconds())/float64(b.N)/scanned/float64(len(queries)),
+		"ns/vector")
+}
+
+// BenchmarkIVFPQAdd is the post-train insert hot path: route, residual
+// subtract, encode into the tail of the cell's contiguous block. Compare
+// allocs/op with BenchmarkIVFPQAddNaive (the pre-fix per-insert buffer).
+func BenchmarkIVFPQAdd(b *testing.B) {
+	ix, queries, _ := buildBenchIVFPQ(b, IVFPQConfig{Residual: true})
+	vecs := randomUnit(rng.New(3), 256, benchDim)
+	_ = queries
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Add(vecs[i%len(vecs)], "")
+	}
+}
+
+// BenchmarkIVFPQAddNaive is the frozen pre-fix Add path — a fresh
+// make([]byte, m) per insert, encoded against the shared codebook, then
+// copied into the cell block — retained so the allocation win of the
+// in-place tail encode stays measurable against its true baseline.
+func BenchmarkIVFPQAddNaive(b *testing.B) {
+	ix, _, _ := buildBenchIVFPQ(b, IVFPQConfig{})
+	vecs := randomUnit(rng.New(3), 256, benchDim)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vec := vecs[i%len(vecs)]
+		id := len(ix.keys)
+		ix.keys = append(ix.keys, "")
+		c := ix.km.Nearest(vec)
+		ix.cellIDs[c] = append(ix.cellIDs[c], id)
+		code := make([]byte, ix.cb.m)
+		ix.cb.encode(vec, code)
+		ix.cellCodes[c] = append(ix.cellCodes[c], code...)
+	}
+}
+
 func BenchmarkIVFSearch(b *testing.B) {
 	r := rng.New(1)
 	ix := NewIVF(IVFConfig{Dim: benchDim, NList: 256, NProbe: 8, Seed: 1})

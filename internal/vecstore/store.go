@@ -285,7 +285,11 @@ func StatsOf(ix Index) IndexStats {
 	case *PQ:
 		st.Kind = fmt.Sprintf("PQ(m=%d)", v.M())
 	case *IVFPQ:
-		st.Kind = fmt.Sprintf("IVF-PQ(nlist=%d,nprobe=%d,m=%d)", v.NList(), v.NProbe(), v.M())
+		variant := ""
+		if vr := v.Variant(); vr != "" {
+			variant = "," + vr
+		}
+		st.Kind = fmt.Sprintf("IVF-PQ(nlist=%d,nprobe=%d,m=%d%s)", v.NList(), v.NProbe(), v.M(), variant)
 	case *HNSW:
 		st.Kind = "HNSW(FP16)"
 	}
