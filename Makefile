@@ -19,10 +19,11 @@ verify:
 
 # Race gate for the concurrency-heavy packages: the multi-store serving
 # layer (coalescers, per-route caches, hot swap under load — including
-# TestSwapSearchRaceConsistency's swap/search hammering), the gateways,
-# and the parallel pipeline.
+# TestSwapSearchRaceConsistency's swap/search hammering), the router's
+# scatter/gather + breaker + health prober, the gateways, and the
+# parallel pipeline.
 race:
-	$(GO) test -race ./internal/serve ./internal/batch ./internal/argo ./internal/pipeline ./internal/rag
+	$(GO) test -race ./internal/serve ./internal/router ./internal/batch ./internal/argo ./internal/pipeline ./internal/rag
 
 # Documentation gate: vet plus a package-comment check — every internal
 # package must open with a `// Package <name> ...` comment somewhere in
@@ -54,7 +55,9 @@ bench-all:
 # End-to-end serving benchmark: ragload drives an in-process ragserve
 # (sequential baseline vs. coalesced concurrency, cache hit rate, hot
 # swaps under load, and a mixed-route phase across the chunk + trace
-# stores) and writes the machine-readable report with per-route records.
+# stores), then a 3-shard router fleet with a mid-phase shard kill
+# (degraded-recall + breaker trip/recovery), and writes the
+# machine-readable report with per-route and router records.
 # BENCH_serve.json is schema-checked by the root bench test inside
 # `make verify` (serve.BenchReport.Check), so a malformed emit fails CI.
 bench-serve:

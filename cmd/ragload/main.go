@@ -5,9 +5,12 @@
 // loopback socket, and measures the serving stack end to end — sequential
 // baseline vs. coalesced concurrent throughput, cache hit rate, hot index
 // swaps under load, a mixed-route phase over the chunk and
-// reasoning-trace stores with per-route QPS and hit rates, and a zipfian
+// reasoning-trace stores with per-route QPS and hit rates, a zipfian
 // key-popularity phase (heavy-tailed cache workload, the baseline for the
-// eviction-policy sweep).
+// eviction-policy sweep), and a router phase: the corpus partitioned
+// across a 3-shard fleet behind the scatter/gather router, with one shard
+// killed cold mid-run to measure degraded-recall throughput and breaker
+// trip/recovery (zero 5xx expected).
 //
 // Usage:
 //
@@ -26,9 +29,15 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/chunk"
 	"repro/internal/core"
+	"repro/internal/rag"
+	"repro/internal/retry"
+	"repro/internal/router"
 	"repro/internal/serve"
 )
 
@@ -269,6 +278,15 @@ func runInProcess(scale float64, seed uint64, n, c, k, nq, swaps int, rate, zipf
 	fmt.Printf("zipf(s=%.2f) key popularity over %d keys:\n%s\ncache hit rate %.1f%%\n\n",
 		zipfS, len(zipfPool), rep.Zipf, 100*rep.ZipfHitRate)
 
+	// Phase 7 — router fleet: the same corpus partitioned across three
+	// in-process shards behind the scatter/gather router, with a cold
+	// shard kill mid-way through the degraded sub-phase. Zero failures
+	// expected: outages degrade responses, they never 5xx.
+	rep.Router, err = runRouterPhase(a.Chunks, n, c, k)
+	if err != nil {
+		return err
+	}
+
 	rep.P50MS, rep.P95MS, rep.P99MS = rep.Concurrent.P50MS, rep.Concurrent.P95MS, rep.Concurrent.P99MS
 	fmt.Println("server /metrics after all phases:")
 	fmt.Print(srv.Registry().Render())
@@ -282,6 +300,105 @@ func runInProcess(scale float64, seed uint64, n, c, k, nq, swaps int, rate, zipf
 		fmt.Printf("\nreport written to %s\n", jsonPath)
 	}
 	return nil
+}
+
+// routerShards is the fleet size of the router bench phase.
+const routerShards = 3
+
+// runRouterPhase partitions chunks modulo routerShards, starts one
+// fault-injectable ragserve backend per shard plus a router over them, and
+// measures three sub-phases: sequential baseline, concurrent healthy
+// fan-out, and a closed loop during which shard1 is killed cold. It then
+// revives the shard and waits for the router's half-open probe to restore
+// full-recall responses.
+func runRouterPhase(chunks []chunk.Chunk, n, c, k int) (*serve.RouterBench, error) {
+	fmt.Printf("router fleet (%d shards over %d chunks):\n", routerShards, len(chunks))
+	parts := make([][]chunk.Chunk, routerShards)
+	for i, ch := range chunks {
+		parts[i%routerShards] = append(parts[i%routerShards], ch)
+	}
+	gates := make([]*serve.FaultGate, routerShards)
+	urls := make([]string, routerShards)
+	for i, part := range parts {
+		s := serve.New(rag.BuildChunkStore(nil, part, 0), serve.DefaultConfig())
+		gate, err := s.StartFaulty("127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		defer s.Close()
+		gates[i], urls[i] = gate, "http://"+s.Addr()
+	}
+	r, err := router.New(router.Config{
+		Shards:        urls,
+		Retry:         retry.Policy{MaxRetries: 1, BaseBackoff: time.Millisecond},
+		Breaker:       router.BreakerConfig{Threshold: 3, Cooldown: 100 * time.Millisecond},
+		ProbeInterval: 50 * time.Millisecond,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := r.Start("127.0.0.1:0"); err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	client := router.NewClient("http://"+r.Addr(), nil)
+
+	rb := &serve.RouterBench{Shards: routerShards}
+	var degraded atomic.Int64
+	do := func(q string, kk int) error {
+		resp, err := client.Search(q, kk)
+		if err != nil {
+			return err
+		}
+		if resp.Degraded {
+			degraded.Add(1)
+		}
+		return nil
+	}
+
+	rb.Sequential = serve.RunLoad(serve.LoadConfig{Concurrency: 1, Requests: n, K: k, Queries: queryPool(n)}, do)
+	fmt.Printf("  sequential:\n  %s\n", rb.Sequential)
+	rb.Concurrent = serve.RunLoad(serve.LoadConfig{Concurrency: c, Requests: n, K: k, Queries: queryPool(2 * n)[n:]}, do)
+	rb.QPS = rb.Concurrent.QPS
+	fmt.Printf("  concurrent (%d clients):\n  %s\n", c, rb.Concurrent)
+
+	// Degraded sub-phase: shard1 drops cold one third of the way in and
+	// stays down. Every response past the kill must still be a 200 — the
+	// exact top-k over shard0+shard2 with degraded:true.
+	degraded.Store(0)
+	var issued atomic.Int64
+	var killOnce sync.Once
+	killAt := int64(n / 3)
+	if killAt < 1 {
+		killAt = 1
+	}
+	rb.Degraded = serve.RunLoad(serve.LoadConfig{Concurrency: c, Requests: n, K: k, Queries: queryPool(3 * n)[2*n:]},
+		func(q string, kk int) error {
+			if issued.Add(1) == killAt {
+				killOnce.Do(func() { gates[1].Set(serve.FaultDown) })
+			}
+			return do(q, kk)
+		})
+	rb.DegradedQPS = rb.Degraded.QPS
+	rb.DegradedResponses = degraded.Load()
+	rb.BreakerTrips = r.BreakerTrips()
+	fmt.Printf("  one shard killed at request %d:\n  %s\n  degraded responses: %d, failures: %d, breaker trips: %d\n",
+		killAt, rb.Degraded, rb.DegradedResponses, rb.Degraded.Failures, rb.BreakerTrips)
+
+	// Revive the shard: the health prober's half-open probe must close the
+	// breaker and bring back full-recall responses.
+	gates[1].Clear()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := client.Search("breaker recovery probe", k)
+		if err == nil && !resp.Degraded {
+			rb.Recovered = true
+			break
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	fmt.Printf("  shard revived, breaker closed again: %v\n\n", rb.Recovered)
+	return rb, nil
 }
 
 func writeJSON(path string, v any) error {

@@ -11,6 +11,7 @@
 //	ragserve -save-index /tmp/idx.vsf             # keep a chunk swap target
 //	ragserve -save-traces /tmp/tr                 # keep trace swap targets
 //	ragserve -traces=false                        # chunk route only
+//	ragserve -shard 1/3 -traces=false             # shard 1 of a 3-backend ragrouter fleet
 //
 // Hot swap while serving (per route; /admin/swap aliases the chunk route):
 //
@@ -33,7 +34,9 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/chunk"
 	"repro/internal/core"
+	"repro/internal/rag"
 	"repro/internal/serve"
 	"repro/internal/vecstore"
 )
@@ -48,20 +51,21 @@ func main() {
 	maxDelay := flag.Duration("max-delay", time.Millisecond, "coalescer admission window")
 	cacheCap := flag.Int("cache", 4096, "per-route query cache entries (0 disables)")
 	traces := flag.Bool("traces", true, "serve the three reasoning-trace stores as /v1/traces/<mode> routes")
+	shard := flag.String("shard", "", `serve only chunk shard i of n ("i/n", 0-based): keep chunks at position%n == i, the ragrouter corpus partition (use -traces=false for shard fleets)`)
 	saveIndex := flag.String("save-index", "", "also persist the chunk serving index to this VSF path (handy as a swap target)")
 	saveTraces := flag.String("save-traces", "", "also persist the trace indexes to traces_<mode>.vsf under this directory")
 	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown window")
 	flag.Parse()
 
-	if err := run(*addr, *artifacts, *indexKind, *saveIndex, *saveTraces, *scale, *seed,
+	if err := run(*addr, *artifacts, *indexKind, *saveIndex, *saveTraces, *shard, *scale, *seed,
 		*maxBatch, *cacheCap, *maxDelay, *drain, *traces); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(addr, artifactDir, indexKind, saveIndex, saveTraces string, scale float64, seed uint64,
+func run(addr, artifactDir, indexKind, saveIndex, saveTraces, shard string, scale float64, seed uint64,
 	maxBatch, cacheCap int, maxDelay, drain time.Duration, traces bool) error {
-	a, err := buildArtifacts(artifactDir, scale, seed, indexKind)
+	a, err := buildArtifacts(artifactDir, shard, scale, seed, indexKind)
 	if err != nil {
 		return err
 	}
@@ -120,7 +124,7 @@ func run(addr, artifactDir, indexKind, saveIndex, saveTraces string, scale float
 	return nil
 }
 
-func buildArtifacts(artifactDir string, scale float64, seed uint64, indexKind string) (*core.Artifacts, error) {
+func buildArtifacts(artifactDir, shard string, scale float64, seed uint64, indexKind string) (*core.Artifacts, error) {
 	var a *core.Artifacts
 	var err error
 	if artifactDir != "" {
@@ -135,6 +139,11 @@ func buildArtifacts(artifactDir string, scale float64, seed uint64, indexKind st
 	if err != nil {
 		return nil, err
 	}
+	if shard != "" {
+		if err := shardChunks(a, shard); err != nil {
+			return nil, err
+		}
+	}
 	switch indexKind {
 	case "flat":
 	case "ivf":
@@ -147,4 +156,27 @@ func buildArtifacts(artifactDir string, scale float64, seed uint64, indexKind st
 		return nil, fmt.Errorf("unknown -index %q (flat | ivf | pq | ivfpq)", indexKind)
 	}
 	return a, nil
+}
+
+// shardChunks restricts the chunk corpus to shard i of n ("i/n"): the
+// chunks at position%n == i, re-embedded into a fresh store. Position, not
+// id hash, so the ragrouter fleet's shards are disjoint and their union is
+// exactly the full corpus — the property the router's exact cross-shard
+// merge rests on. All shards use the same deterministic default encoder,
+// so a document scores bit-identically wherever it lives.
+func shardChunks(a *core.Artifacts, spec string) error {
+	var i, n int
+	if _, err := fmt.Sscanf(spec, "%d/%d", &i, &n); err != nil || n <= 0 || i < 0 || i >= n {
+		return fmt.Errorf(`bad -shard %q: want "i/n" with 0 <= i < n`, spec)
+	}
+	part := make([]chunk.Chunk, 0, len(a.Chunks)/n+1)
+	for j, c := range a.Chunks {
+		if j%n == i {
+			part = append(part, c)
+		}
+	}
+	fmt.Printf("shard %d/%d: %d of %d chunks\n", i, n, len(part), len(a.Chunks))
+	a.Chunks = part
+	a.ChunkStore = rag.BuildChunkStore(nil, part, 0)
+	return nil
 }

@@ -287,3 +287,75 @@ func TestServerShutdownDrainsInFlight(t *testing.T) {
 		t.Fatalf("in-flight request dropped across shutdown: %v", err)
 	}
 }
+
+// TestCloseAbortsBackoffWithinOneTick is the regression test for the two
+// historical time.Sleep sites in the retry machinery (the backoff between
+// attempts and the rate-limiter wait): a gateway closed mid-backoff must
+// stop retrying immediately instead of sleeping out the remaining
+// schedule — with a 30s base backoff, anything under a couple of seconds
+// proves the sleep was interrupted.
+func TestCloseAbortsBackoffWithinOneTick(t *testing.T) {
+	attempted := make(chan struct{}, 16)
+	handler := func(_ context.Context, batch []Request) []Response {
+		out := make([]Response, len(batch))
+		for i, req := range batch {
+			out[i] = Response{ID: req.ID, Err: "transient", Retry: true}
+		}
+		select {
+		case attempted <- struct{}{}:
+		default:
+		}
+		return out
+	}
+	g := NewGateway(Config{MaxBatch: 1, MaxRetries: 5, BaseBackoff: 30 * time.Second}, handler)
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := g.Call(context.Background(), Request{ID: "doomed"})
+		done <- err
+	}()
+	<-attempted // first attempt ran; the gateway is now in its 30s backoff
+	start := time.Now()
+	g.Close()
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("Close blocked %v on a pending backoff", elapsed)
+	}
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("retry-aborted call returned nil error")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("call still pending after Close")
+	}
+}
+
+// TestCloseAbortsRateLimiterWait covers the bucket.wait sleep site: a
+// gateway rate-limited to one dispatch per minute must still close
+// promptly while a batch is queued behind the empty token bucket.
+func TestCloseAbortsRateLimiterWait(t *testing.T) {
+	g := NewGateway(Config{MaxBatch: 1, RatePerSec: 1.0 / 60, Burst: 1}, echoHandler)
+	// First call spends the burst token.
+	if _, err := g.Call(context.Background(), Request{ID: "r0"}); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := g.Call(context.Background(), Request{ID: "r1"})
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the batch reach the bucket wait
+	start := time.Now()
+	g.Close()
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("Close blocked %v on the rate-limiter wait", elapsed)
+	}
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("aborted rate-limited call returned nil error")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("call still pending after Close")
+	}
+}

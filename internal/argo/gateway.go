@@ -11,7 +11,9 @@
 //     reuses for the same admission-window batching;
 //   - token-bucket rate limiting across batches;
 //   - bounded retries with exponential backoff and deterministic jitter for
-//     transient failures;
+//     transient failures (the schedule is the shared internal/retry.Policy,
+//     which the router's shard fan-out reuses), aborted immediately when
+//     the gateway closes;
 //   - an optional net/http JSON transport (server.go) so the same handler
 //     can sit behind a real socket.
 package argo
@@ -24,6 +26,7 @@ import (
 	"time"
 
 	"repro/internal/batch"
+	"repro/internal/retry"
 )
 
 // Request is one unit of model work. Payload is opaque to the gateway.
@@ -98,9 +101,17 @@ var ErrGatewayClosed = errors.New("argo: gateway closed")
 // on top.
 type Gateway struct {
 	cfg     Config
+	policy  retry.Policy
 	handler BatchHandler
 	co      *batch.Coalescer[Request, Response]
 	limiter *bucket
+
+	// ctx gates every wait inside the retry machinery (backoff sleeps,
+	// rate-limiter waits): Close cancels it first, so a closing gateway
+	// stops retrying within one tick instead of sleeping out the whole
+	// backoff schedule before the coalescer can drain.
+	ctx    context.Context
+	cancel context.CancelFunc
 
 	mu    sync.Mutex
 	stats Stats
@@ -109,17 +120,30 @@ type Gateway struct {
 // NewGateway starts a gateway around handler.
 func NewGateway(cfg Config, handler BatchHandler) *Gateway {
 	cfg.fill()
+	ctx, cancel := context.WithCancel(context.Background())
 	g := &Gateway{
-		cfg:     cfg,
+		cfg: cfg,
+		// cfg.fill already resolved the retry knobs (including the
+		// negative-means-zero rule), so the policy is used as-is, without
+		// retry.Policy.Fill re-mapping an explicit 0 back to the default.
+		policy:  retry.Policy{MaxRetries: cfg.MaxRetries, BaseBackoff: cfg.BaseBackoff},
 		handler: handler,
 		limiter: newBucket(cfg.RatePerSec, cfg.Burst),
+		ctx:     ctx,
+		cancel:  cancel,
 	}
 	g.co = batch.New(batch.Config{MaxBatch: cfg.MaxBatch, MaxDelay: cfg.MaxDelay}, g.serveBatch)
 	return g
 }
 
-// Close drains and stops the gateway. Calls after Close fail.
-func (g *Gateway) Close() { g.co.Close() }
+// Close drains and stops the gateway. Calls after Close fail. Pending
+// retry chains abort at their next backoff tick: the current handler
+// attempt finishes (the drain guarantee), but no further attempts run and
+// their requests fail with a retry-aborted error.
+func (g *Gateway) Close() {
+	g.cancel()
+	g.co.Close()
+}
 
 // Stats returns a snapshot of the gateway counters.
 func (g *Gateway) Stats() Stats {
@@ -170,8 +194,21 @@ func (g *Gateway) CallAll(ctx context.Context, reqs []Request) ([]Response, erro
 // serveBatch is the coalescer's batch function: one rate-limiter token per
 // coalesced batch, then the retry loop.
 func (g *Gateway) serveBatch(reqs []Request) []Response {
-	g.limiter.wait()
+	if err := g.limiter.wait(g.ctx); err != nil {
+		return g.failAll(reqs, err)
+	}
 	return g.serveAttempt(reqs, 0)
+}
+
+// failAll answers every request with the same terminal error — the shape a
+// batch takes when the gateway is cancelled mid-wait.
+func (g *Gateway) failAll(reqs []Request, err error) []Response {
+	out := make([]Response, len(reqs))
+	for i, req := range reqs {
+		g.countFailure()
+		out[i] = Response{ID: req.ID, Err: "argo: aborted: " + err.Error()}
+	}
+	return out
 }
 
 // serveAttempt invokes the handler once, resolves terminal responses, and
@@ -192,7 +229,7 @@ func (g *Gateway) serveAttempt(reqs []Request, attempt int) []Response {
 	}
 	g.mu.Unlock()
 
-	responses := g.handler(context.Background(), reqs)
+	responses := g.handler(g.ctx, reqs)
 	byID := make(map[string]Response, len(responses))
 	for _, resp := range responses {
 		byID[resp.ID] = resp
@@ -224,10 +261,17 @@ func (g *Gateway) serveAttempt(reqs []Request, attempt int) []Response {
 		g.stats.Retries += int64(len(retryReqs))
 		g.mu.Unlock()
 		// Exponential backoff with deterministic jitter from the attempt
-		// number (no wall-clock randomness, keeping runs reproducible).
-		delay := g.cfg.BaseBackoff << uint(attempt)
-		delay += time.Duration(attempt*7%5) * g.cfg.BaseBackoff / 4
-		time.Sleep(delay)
+		// number (no wall-clock randomness, keeping runs reproducible) —
+		// the schedule now lives in the shared retry.Policy. The sleep
+		// aborts the moment the gateway's context is cancelled, so Close
+		// never waits out the remaining schedule.
+		if err := retry.Sleep(g.ctx, g.policy.Backoff(attempt)); err != nil {
+			failed := g.failAll(retryReqs, err)
+			for j, i := range retryIdx {
+				out[i] = failed[j]
+			}
+			return out
+		}
 		retried := g.serveAttempt(retryReqs, attempt+1)
 		for j, i := range retryIdx {
 			out[i] = retried[j]
@@ -263,10 +307,12 @@ func newBucket(ratePerSec float64, burst int) *bucket {
 	}
 }
 
-// wait blocks until a token is available.
-func (b *bucket) wait() {
+// wait blocks until a token is available or ctx is cancelled (the second
+// of the two historical time.Sleep sites that used to ride out their full
+// delay even while the gateway was closing).
+func (b *bucket) wait(ctx context.Context) error {
 	if b == nil {
-		return
+		return nil
 	}
 	for {
 		b.mu.Lock()
@@ -282,13 +328,15 @@ func (b *bucket) wait() {
 		if b.tokens > 0 {
 			b.tokens--
 			b.mu.Unlock()
-			return
+			return nil
 		}
 		sleep := b.interval - now.Sub(b.last)
 		b.mu.Unlock()
 		if sleep < time.Microsecond {
 			sleep = time.Microsecond
 		}
-		time.Sleep(sleep)
+		if err := retry.Sleep(ctx, sleep); err != nil {
+			return err
+		}
 	}
 }

@@ -1,0 +1,103 @@
+// Package retry is the shared bounded-retry policy of the repo's two
+// network tiers: the argo model-API gateway and the router shard fan-out.
+// Both need the same semantics — exponential backoff with deterministic
+// jitter (no wall-clock randomness, so runs stay reproducible) and sleeps
+// that abort the moment the caller's context is cancelled, so a closing
+// gateway or a departed client never waits out a full backoff schedule.
+package retry
+
+import (
+	"context"
+	"time"
+)
+
+// Policy bounds a retry loop: how many re-attempts after the first try,
+// and how the delay between them grows.
+type Policy struct {
+	// MaxRetries is the number of re-attempts after the initial one
+	// (default 3). 0 after Fill means "use the default"; use a negative
+	// value for "never retry".
+	MaxRetries int
+	// BaseBackoff is the delay before the first retry (default 1ms); it
+	// doubles per attempt, plus deterministic jitter.
+	BaseBackoff time.Duration
+	// MaxBackoff caps a single delay; 0 leaves it uncapped.
+	MaxBackoff time.Duration
+}
+
+// Fill applies the defaults, returning the effective policy. A negative
+// MaxRetries normalises to 0 (no retries).
+func (p Policy) Fill() Policy {
+	if p.MaxRetries == 0 {
+		p.MaxRetries = 3
+	} else if p.MaxRetries < 0 {
+		p.MaxRetries = 0
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = time.Millisecond
+	}
+	return p
+}
+
+// Backoff returns the delay before retry number attempt+1 (attempt counts
+// from 0): BaseBackoff << attempt plus a deterministic jitter derived from
+// the attempt number — the exact schedule the argo gateway has always used,
+// now shared with the router.
+func (p Policy) Backoff(attempt int) time.Duration {
+	if attempt < 0 {
+		attempt = 0
+	}
+	// Clamp the shift so a pathological attempt count cannot overflow.
+	shift := uint(attempt)
+	if shift > 30 {
+		shift = 30
+	}
+	delay := p.BaseBackoff << shift
+	delay += time.Duration(attempt*7%5) * p.BaseBackoff / 4
+	if p.MaxBackoff > 0 && delay > p.MaxBackoff {
+		delay = p.MaxBackoff
+	}
+	return delay
+}
+
+// Sleep blocks for d or until ctx is done, whichever comes first, and
+// reports why it woke: nil after a full sleep, ctx.Err() on cancellation.
+func Sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Do runs fn up to 1+MaxRetries times, sleeping the backoff schedule
+// between attempts. retryable decides whether an error is worth another
+// attempt (nil means every error is); terminal errors and exhaustion both
+// surface the last error. A cancelled ctx aborts the backoff sleep
+// immediately and returns the attempt's error (which usually already
+// carries the cancellation).
+func (p Policy) Do(ctx context.Context, fn func(ctx context.Context) error, retryable func(error) bool) error {
+	p = p.Fill()
+	var err error
+	for attempt := 0; ; attempt++ {
+		err = fn(ctx)
+		if err == nil {
+			return nil
+		}
+		if attempt >= p.MaxRetries || (retryable != nil && !retryable(err)) {
+			return err
+		}
+		if ctx.Err() != nil {
+			return err
+		}
+		if serr := Sleep(ctx, p.Backoff(attempt)); serr != nil {
+			return err
+		}
+	}
+}

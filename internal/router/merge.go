@@ -1,0 +1,63 @@
+package router
+
+import "repro/internal/serve"
+
+// MergeTopK merges per-shard result lists into the exact global top-k.
+//
+// Each input list must already be in the stores' total order — score
+// descending, id ascending on ties — which every shard guarantees because
+// it is the order the vecstore scan kernels emit (see scan.go's
+// mergeHeaps: the per-segment heap merge relies on the same total order,
+// and this function is that associative merge lifted across the network).
+// Scores are comparable across shards: every shard embeds queries with
+// the same deterministic encoder and scores against its own disjoint
+// slice of the corpus, so a document's score is bit-identical wherever it
+// lives. The merged prefix of any subset S of shards therefore equals the
+// exact top-k over the union of S's corpora.
+//
+// A duplicate id (possible only from a misconfigured shard map that
+// assigned one document twice) is kept once, at its first — i.e. best —
+// position in the total order.
+func MergeTopK(lists [][]serve.SearchResult, k int) []serve.SearchResult {
+	if k <= 0 {
+		return nil
+	}
+	heads := make([]int, len(lists))
+	var seen map[string]bool
+	out := make([]serve.SearchResult, 0, k)
+	for len(out) < k {
+		best := -1
+		for i, l := range lists {
+			if heads[i] >= len(l) {
+				continue
+			}
+			if best < 0 || less(l[heads[i]], lists[best][heads[best]]) {
+				best = i
+			}
+		}
+		if best < 0 {
+			break // every list exhausted: k exceeds the union size
+		}
+		r := lists[best][heads[best]]
+		heads[best]++
+		if seen[r.ID] {
+			continue
+		}
+		if seen == nil {
+			seen = make(map[string]bool, k)
+		}
+		seen[r.ID] = true
+		out = append(out, r)
+	}
+	return out
+}
+
+// less is the total order of merged results: score descending, id
+// ascending on exact ties — the same order the scan kernels emit, so the
+// cross-shard merge is exact and ties break deterministically.
+func less(a, b serve.SearchResult) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	return a.ID < b.ID
+}

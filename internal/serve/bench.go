@@ -34,6 +34,37 @@ type BenchReport struct {
 	Zipf        *LoadReport `json:"zipf,omitempty"`
 	ZipfS       float64     `json:"zipf_s,omitempty"`
 	ZipfHitRate float64     `json:"zipf_hit_rate,omitempty"`
+	// Router is the distributed-serving phase: the same corpus partitioned
+	// across an in-process shard fleet behind the scatter/gather router,
+	// including a fault-injected sub-phase with one shard killed cold.
+	Router *RouterBench `json:"router,omitempty"`
+}
+
+// RouterBench is the router phase's record. It lives here with plain
+// fields — not router types — because serve cannot import internal/router
+// (the router is built on serve), yet the phase must ride in the same
+// BENCH_serve.json schema the root test gates.
+type RouterBench struct {
+	Shards     int         `json:"shards"`
+	Sequential *LoadReport `json:"sequential"`
+	Concurrent *LoadReport `json:"concurrent"`
+	// Degraded is the one-shard-killed sub-phase: a closed loop during
+	// which one shard drops cold and stays down. Its Failures must be
+	// zero — an outage degrades responses, it never 5xxes them.
+	Degraded *LoadReport `json:"degraded"`
+	// QPS / DegradedQPS are the concurrent fan-out throughput with the
+	// fleet healthy and with a shard down, the router's headline numbers.
+	QPS         float64 `json:"qps"`
+	DegradedQPS float64 `json:"degraded_qps"`
+	// DegradedResponses counts replies that carried degraded:true during
+	// the fault sub-phase (exact top-k over the surviving shards).
+	DegradedResponses int64 `json:"degraded_responses"`
+	// BreakerTrips sums circuit-breaker trips across shards over the run.
+	BreakerTrips int64 `json:"breaker_trips"`
+	// Recovered reports that after the killed shard was revived, the
+	// health prober's half-open probe closed its breaker and full-recall
+	// (non-degraded) responses resumed before the run ended.
+	Recovered bool `json:"recovered"`
 }
 
 // RouteBench is one route's record from the mixed-route phase.
@@ -107,6 +138,43 @@ func (r *BenchReport) Check() error {
 	}
 	if routed != r.Mixed.Requests {
 		return fmt.Errorf("per-route requests sum to %d, mixed phase issued %d", routed, r.Mixed.Requests)
+	}
+	if r.Router != nil {
+		if err := r.Router.check(); err != nil {
+			return fmt.Errorf("router: %w", err)
+		}
+	}
+	return nil
+}
+
+// check validates the router phase: shape, the zero-5xx degradation
+// contract, and the breaker trip/recovery evidence.
+func (rb *RouterBench) check() error {
+	if rb.Shards < 2 {
+		return fmt.Errorf("shards=%d, want a fleet of at least 2", rb.Shards)
+	}
+	for _, p := range []struct {
+		name string
+		rep  *LoadReport
+	}{{"sequential", rb.Sequential}, {"concurrent", rb.Concurrent}, {"degraded", rb.Degraded}} {
+		if err := checkLoad(p.name, p.rep); err != nil {
+			return err
+		}
+	}
+	if rb.QPS <= 0 || rb.DegradedQPS <= 0 {
+		return fmt.Errorf("qps=%v degraded_qps=%v, want both positive", rb.QPS, rb.DegradedQPS)
+	}
+	if rb.Degraded.Failures != 0 {
+		return fmt.Errorf("degraded sub-phase had %d failures: a shard outage must degrade responses, never error them", rb.Degraded.Failures)
+	}
+	if rb.DegradedResponses <= 0 {
+		return fmt.Errorf("degraded_responses=%d: the fault sub-phase produced no degraded replies", rb.DegradedResponses)
+	}
+	if rb.BreakerTrips < 1 {
+		return fmt.Errorf("breaker_trips=%d: the killed shard never tripped its breaker", rb.BreakerTrips)
+	}
+	if !rb.Recovered {
+		return fmt.Errorf("recovered=false: the revived shard never re-entered service via the half-open probe")
 	}
 	return nil
 }

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -10,7 +11,7 @@ import (
 )
 
 // Client is a minimal JSON client for a ragserve endpoint, shared by the
-// ragload generator and the serving tests.
+// ragload generator, the router's shard fan-out and the serving tests.
 type Client struct {
 	base string
 	hc   *http.Client
@@ -26,19 +27,52 @@ func NewClient(baseURL string, httpClient *http.Client) *Client {
 	return &Client{base: baseURL, hc: httpClient}
 }
 
+// BaseURL returns the endpoint the client targets.
+func (c *Client) BaseURL() string { return c.base }
+
+// HTTPClient returns the underlying *http.Client, so sibling clients (the
+// router's) can share the pooled transport defaults.
+func (c *Client) HTTPClient() *http.Client { return c.hc }
+
+// StatusError is a non-200 reply, carried as a typed error so callers
+// (the router's retry classifier) can tell a 5xx worth retrying from a
+// 4xx that is the caller's own fault.
+type StatusError struct {
+	Path   string
+	Status int
+	Msg    string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("serve: %s: status %d: %s", e.Path, e.Status, e.Msg)
+}
+
 func (c *Client) post(path string, req, resp any) error {
+	return c.postCtx(context.Background(), path, req, resp)
+}
+
+// postCtx is the transport core: the request carries ctx, so a caller's
+// deadline or cancellation propagates into the connection — the router's
+// per-shard deadlines reach the backend end to end instead of stopping at
+// the client library.
+func (c *Client) postCtx(ctx context.Context, path string, req, resp any) error {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return err
 	}
-	r, err := c.hc.Post(c.base+path, "application/json", bytes.NewReader(body))
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	r, err := c.hc.Do(hreq)
 	if err != nil {
 		return err
 	}
 	defer r.Body.Close()
 	if r.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(r.Body, 4<<10))
-		return fmt.Errorf("serve: %s: status %d: %s", path, r.StatusCode, bytes.TrimSpace(msg))
+		return &StatusError{Path: path, Status: r.StatusCode, Msg: string(bytes.TrimSpace(msg))}
 	}
 	return json.NewDecoder(r.Body).Decode(resp)
 }
@@ -95,16 +129,42 @@ func (c *Client) SwapRoute(route, path string) (SwapResponse, error) {
 	return out, err
 }
 
+// SearchRouteCtx is SearchRoute under a caller context: the router's
+// per-shard deadline rides the request all the way to the backend.
+func (c *Client) SearchRouteCtx(ctx context.Context, route, query string, k int, exclude string) (SearchResponse, error) {
+	var out SearchResponse
+	err := c.postCtx(ctx, "/v1/"+route+"/search", SearchRequest{Query: query, K: k, Exclude: exclude}, &out)
+	return out, err
+}
+
+// SearchRouteBatchCtx is SearchRouteBatch under a caller context — the
+// router's scatter path, one call per shard per micro-batch.
+func (c *Client) SearchRouteBatchCtx(ctx context.Context, route string, queries []string, k int, exclude []string) (BatchSearchResponse, error) {
+	var out BatchSearchResponse
+	err := c.postCtx(ctx, "/v1/"+route+"/search/batch", BatchSearchRequest{Queries: queries, K: k, Exclude: exclude}, &out)
+	return out, err
+}
+
 // Healthz fetches the health summary.
 func (c *Client) Healthz() (Healthz, error) {
+	return c.HealthzCtx(context.Background())
+}
+
+// HealthzCtx fetches the health summary under a caller context (the
+// router's health prober runs it on a short deadline).
+func (c *Client) HealthzCtx(ctx context.Context) (Healthz, error) {
 	var out Healthz
-	r, err := c.hc.Get(c.base + "/healthz")
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+	if err != nil {
+		return out, err
+	}
+	r, err := c.hc.Do(req)
 	if err != nil {
 		return out, err
 	}
 	defer r.Body.Close()
 	if r.StatusCode != http.StatusOK {
-		return out, fmt.Errorf("serve: healthz status %d", r.StatusCode)
+		return out, &StatusError{Path: "/healthz", Status: r.StatusCode}
 	}
 	err = json.NewDecoder(r.Body).Decode(&out)
 	return out, err

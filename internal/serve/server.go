@@ -631,9 +631,11 @@ type RouteHealth struct {
 	Source  string `json:"source"`
 }
 
-// Healthz is the /healthz reply. The top-level epoch/vectors/source
-// mirror the chunks route for PR 3 compatibility; Routes carries every
-// mounted store.
+// Healthz is the /healthz reply. Status is "ok", or "degraded" when any
+// mounted route has zero vectors loaded (an empty shard serves nothing,
+// and an upstream prober must be able to tell). The top-level
+// epoch/vectors/source mirror the chunks route for PR 3 compatibility;
+// Routes carries every mounted store.
 type Healthz struct {
 	Status  string                 `json:"status"`
 	Epoch   uint64                 `json:"epoch"`
@@ -734,10 +736,18 @@ func (rt *route) handleSwap(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	// A mounted route with zero vectors answers every search with nothing —
+	// alive but useless. Report "degraded" instead of "ok" so an upstream
+	// health prober (the router's) can tell an empty shard from a healthy
+	// one without issuing probe queries.
 	hz := Healthz{Status: "ok", Routes: make(map[string]RouteHealth, len(s.routes))}
 	for name, rt := range s.routes {
 		snap := rt.snap.Load()
-		hz.Routes[name] = RouteHealth{Epoch: snap.Epoch, Vectors: snap.Store.Len(), Source: snap.Source}
+		vectors := snap.Store.Len()
+		if vectors == 0 {
+			hz.Status = "degraded"
+		}
+		hz.Routes[name] = RouteHealth{Epoch: snap.Epoch, Vectors: vectors, Source: snap.Source}
 	}
 	if s.chunks != nil {
 		snap := s.chunks.snap.Load()
