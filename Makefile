@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: verify bench bench-all bench-serve docs fmt race
+.PHONY: verify bench bench-all bench-serve docs fmt race fuzz-smoke
 
 verify:
 	@unformatted="$$(gofmt -l .)"; \
@@ -15,15 +15,23 @@ verify:
 	$(GO) build ./...
 	$(MAKE) docs
 	$(GO) test ./...
+	$(MAKE) fuzz-smoke
 	$(MAKE) race
 
 # Race gate for the concurrency-heavy packages: the multi-store serving
 # layer (coalescers, per-route caches, hot swap under load — including
-# TestSwapSearchRaceConsistency's swap/search hammering), the router's
-# scatter/gather + breaker + health prober, the gateways, and the
-# parallel pipeline.
+# TestSwapSearchRaceConsistency's swap/search hammering and the live
+# ingest Add+Search+compact hammer), the mutable vecstore layer
+# (memtable + Live rotation), the router's scatter/gather + breaker +
+# health prober, the gateways, and the parallel pipeline.
 race:
-	$(GO) test -race ./internal/serve ./internal/router ./internal/batch ./internal/argo ./internal/pipeline ./internal/rag
+	$(GO) test -race ./internal/serve ./internal/router ./internal/batch ./internal/argo ./internal/pipeline ./internal/rag ./internal/vecstore
+
+# Short native-fuzz pass over the VSF loader's magic dispatch and header
+# parsing (FuzzLoad); the checked-in corpus under testdata/fuzz pins the
+# historical crashers (truncations, count/dim/keylen bombs) on every run.
+fuzz-smoke:
+	$(GO) test ./internal/vecstore -run '^$$' -fuzz 'FuzzLoad' -fuzztime 10s
 
 # Documentation gate: vet plus a package-comment check — every internal
 # package must open with a `// Package <name> ...` comment somewhere in

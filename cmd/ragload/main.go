@@ -7,10 +7,13 @@
 // swaps under load, a mixed-route phase over the chunk and
 // reasoning-trace stores with per-route QPS and hit rates, a zipfian
 // key-popularity phase (heavy-tailed cache workload, the baseline for the
-// eviction-policy sweep), and a router phase: the corpus partitioned
-// across a 3-shard fleet behind the scatter/gather router, with one shard
-// killed cold mid-run to measure degraded-recall throughput and breaker
-// trip/recovery (zero 5xx expected).
+// eviction-policy sweep), a live-ingestion phase (a mixed read/write
+// closed loop against a mutable route with background memtable
+// compactions and a post-quiesce audit that no acked insert was lost),
+// and a router phase: the corpus partitioned across a 3-shard fleet
+// behind the scatter/gather router, with one shard killed cold mid-run to
+// measure degraded-recall throughput and breaker trip/recovery (zero 5xx
+// expected).
 //
 // Usage:
 //
@@ -28,6 +31,7 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -39,6 +43,7 @@ import (
 	"repro/internal/retry"
 	"repro/internal/router"
 	"repro/internal/serve"
+	"repro/internal/vecstore"
 )
 
 func main() {
@@ -147,8 +152,19 @@ func runInProcess(scale float64, seed uint64, n, c, k, nq, swaps int, rate, zipf
 	// eviction-sweep baseline. At the default 4096 entries, 2000 requests
 	// can never evict and every policy would score identically.
 	srvCfg.CacheCap = 256
+	// The ingest phase's compaction trigger: background drains publish a
+	// few times mid-loop instead of once at the end.
+	srvCfg.CompactAt = 256
 	srv := serve.New(a.ChunkStore, srvCfg)
 	if err := srv.MountTraceStores(a.TraceStores); err != nil {
+		return err
+	}
+	// A separate live-mounted route shares the already-built chunk index
+	// (no re-embedding) and takes the ingest phase's writes, keeping the
+	// chunks route's read-only numbers comparable across PRs.
+	liveStore := rag.WrapChunkStore(nil, a.ChunkStore.Index(), a.Chunks)
+	liveStore.EnableLive()
+	if err := srv.Mount(liveRoute, rag.NewChunkFacade(liveStore)); err != nil {
 		return err
 	}
 	if err := srv.Start("127.0.0.1:0"); err != nil {
@@ -278,7 +294,17 @@ func runInProcess(scale float64, seed uint64, n, c, k, nq, swaps int, rate, zipf
 	fmt.Printf("zipf(s=%.2f) key popularity over %d keys:\n%s\ncache hit rate %.1f%%\n\n",
 		zipfS, len(zipfPool), rep.Zipf, 100*rep.ZipfHitRate)
 
-	// Phase 7 — router fleet: the same corpus partitioned across three
+	// Phase 7 — live ingestion: a mixed read/write closed loop on the live
+	// route (every insertEvery-th request inserts a batch while the rest
+	// search), background compactions publishing mid-loop, then a forced
+	// final drain and a visibility audit of every acked insert. Zero
+	// failures and zero lost inserts expected.
+	rep.Ingest, err = runIngestPhase(srv, client, n, c, k)
+	if err != nil {
+		return err
+	}
+
+	// Phase 8 — router fleet: the same corpus partitioned across three
 	// in-process shards behind the scatter/gather router, with a cold
 	// shard kill mid-way through the degraded sub-phase. Zero failures
 	// expected: outages degrade responses, they never 5xx.
@@ -300,6 +326,95 @@ func runInProcess(scale float64, seed uint64, n, c, k, nq, swaps int, rate, zipf
 		fmt.Printf("\nreport written to %s\n", jsonPath)
 	}
 	return nil
+}
+
+// liveRoute is the mutable route the ingest phase writes to.
+const liveRoute = "live"
+
+// ingest phase workload shape: every insertEvery-th request of the closed
+// loop is an insert of insertBatch fresh chunks; the rest are searches.
+const (
+	insertEvery = 8
+	insertBatch = 4
+)
+
+// runIngestPhase measures live ingestion: a closed loop mixing searches
+// and inserts on the live route, background compactions triggered by
+// memtable fill, a forced final drain, and an audit that every acked
+// insert is retrievable by its own text (the deterministic encoder ranks
+// an exact-text match first, so a lost row is a k=1 miss).
+func runIngestPhase(srv *serve.Server, client *serve.Client, n, c, k int) (*serve.IngestBench, error) {
+	fmt.Println("live ingestion (mixed read/write):")
+	prefix := serve.MetricPrefix(liveRoute)
+	before := srv.Registry().Snapshot()
+
+	var (
+		reqSeq    atomic.Int64
+		insertSeq atomic.Int64
+		mu        sync.Mutex
+		acked     []string // texts of acked inserts, audit targets
+		insertNS  []int64  // per-insert-request latency
+	)
+	ib := &serve.IngestBench{}
+	ib.Load = serve.RunLoad(serve.LoadConfig{Concurrency: c, Requests: n, K: k, Queries: queryPool(n)},
+		func(q string, kk int) error {
+			if reqSeq.Add(1)%insertEvery != 0 {
+				_, err := client.SearchRoute(liveRoute, q, kk, "")
+				return err
+			}
+			batch := make([]serve.AddChunk, insertBatch)
+			for i := range batch {
+				id := insertSeq.Add(1)
+				batch[i] = serve.AddChunk{
+					ID:    fmt.Sprintf("ingest-%06d", id),
+					DocID: "ingest",
+					Text:  fmt.Sprintf("live ingestion payload %d with checksum %d and offset %d", id, id*7%101, id*3%89),
+				}
+			}
+			start := time.Now()
+			resp, err := client.AddRoute(liveRoute, batch)
+			if err != nil {
+				return err
+			}
+			elapsed := time.Since(start).Nanoseconds()
+			mu.Lock()
+			for i := 0; i < resp.Added; i++ {
+				acked = append(acked, batch[i].Text)
+			}
+			insertNS = append(insertNS, elapsed)
+			mu.Unlock()
+			return nil
+		})
+	ib.Inserts = int64(len(acked))
+
+	// Force the tail of the memtable down, then audit visibility.
+	if _, err := client.CompactRoute(liveRoute); err != nil {
+		return nil, fmt.Errorf("final compaction: %w", err)
+	}
+	for _, text := range acked {
+		resp, err := client.SearchRoute(liveRoute, text, 1, "")
+		if err != nil {
+			return nil, fmt.Errorf("audit search: %w", err)
+		}
+		if len(resp.Results) != 1 || resp.Results[0].Text != text {
+			ib.Lost++
+		}
+	}
+
+	after := srv.Registry().Snapshot()
+	ib.Compactions = after.Counter(prefix+"compactions") - before.Counter(prefix+"compactions")
+	if snap, ok := srv.RouteSnapshot(liveRoute); ok {
+		if lv, isLive := snap.Store.Index().(*vecstore.Live); isLive {
+			ib.MemRows = lv.MemLen()
+		}
+	}
+	sort.Slice(insertNS, func(i, j int) bool { return insertNS[i] < insertNS[j] })
+	if len(insertNS) > 0 {
+		ib.InsertP99MS = float64(insertNS[len(insertNS)*99/100]) / 1e6
+	}
+	fmt.Printf("%s\ninserts %d (lost %d), compactions %d, memtable left %d, insert p99 %.3fms\n\n",
+		ib.Load, ib.Inserts, ib.Lost, ib.Compactions, ib.MemRows, ib.InsertP99MS)
+	return ib, nil
 }
 
 // routerShards is the fleet size of the router bench phase.

@@ -12,11 +12,18 @@
 //	ragserve -save-traces /tmp/tr                 # keep trace swap targets
 //	ragserve -traces=false                        # chunk route only
 //	ragserve -shard 1/3 -traces=false             # shard 1 of a 3-backend ragrouter fleet
+//	ragserve -live -compact-at 1024               # accept inserts on the chunk route
 //
 // Hot swap while serving (per route; /admin/swap aliases the chunk route):
 //
 //	curl -X POST localhost:8080/admin/chunks/swap -d '{"path":"/tmp/idx.vsf"}'
 //	curl -X POST localhost:8080/admin/traces/detailed/swap -d '{"path":"/tmp/tr/traces_detailed.vsf"}'
+//
+// Live ingestion (with -live; memtable drains into the base automatically
+// at -compact-at rows, or on demand):
+//
+//	curl -X POST localhost:8080/v1/chunks/add -d '{"chunks":[{"chunk_id":"new-1","text":"..."}]}'
+//	curl -X POST localhost:8080/admin/chunks/compact
 //
 // SIGINT/SIGTERM drains gracefully: the listener closes immediately,
 // in-flight requests finish within the -drain window.
@@ -51,6 +58,8 @@ func main() {
 	maxDelay := flag.Duration("max-delay", time.Millisecond, "coalescer admission window")
 	cacheCap := flag.Int("cache", 4096, "per-route query cache entries (0 disables)")
 	traces := flag.Bool("traces", true, "serve the three reasoning-trace stores as /v1/traces/<mode> routes")
+	live := flag.Bool("live", false, "accept live inserts on the chunk route (POST /v1/chunks/add) via a memtable layer")
+	compactAt := flag.Int("compact-at", 1024, "with -live: memtable rows that trigger a background compaction into the base index (0 = manual /admin/chunks/compact only)")
 	shard := flag.String("shard", "", `serve only chunk shard i of n ("i/n", 0-based): keep chunks at position%n == i, the ragrouter corpus partition (use -traces=false for shard fleets)`)
 	saveIndex := flag.String("save-index", "", "also persist the chunk serving index to this VSF path (handy as a swap target)")
 	saveTraces := flag.String("save-traces", "", "also persist the trace indexes to traces_<mode>.vsf under this directory")
@@ -58,13 +67,13 @@ func main() {
 	flag.Parse()
 
 	if err := run(*addr, *artifacts, *indexKind, *saveIndex, *saveTraces, *shard, *scale, *seed,
-		*maxBatch, *cacheCap, *maxDelay, *drain, *traces); err != nil {
+		*maxBatch, *cacheCap, *compactAt, *maxDelay, *drain, *traces, *live); err != nil {
 		log.Fatal(err)
 	}
 }
 
 func run(addr, artifactDir, indexKind, saveIndex, saveTraces, shard string, scale float64, seed uint64,
-	maxBatch, cacheCap int, maxDelay, drain time.Duration, traces bool) error {
+	maxBatch, cacheCap, compactAt int, maxDelay, drain time.Duration, traces, live bool) error {
 	a, err := buildArtifacts(artifactDir, shard, scale, seed, indexKind)
 	if err != nil {
 		return err
@@ -96,6 +105,13 @@ func run(addr, artifactDir, indexKind, saveIndex, saveTraces, shard string, scal
 	cfg.MaxBatch = maxBatch
 	cfg.MaxDelay = maxDelay
 	cfg.CacheCap = cacheCap
+	if live {
+		// Mutable chunk route: a memtable layer accepts POST /v1/chunks/add
+		// while searches keep running; the background compactor drains it
+		// into the base index once it reaches -compact-at rows.
+		store.EnableLive()
+		cfg.CompactAt = compactAt
+	}
 	srv := serve.New(store, cfg)
 	if traces {
 		if err := srv.MountTraceStores(a.TraceStores); err != nil {

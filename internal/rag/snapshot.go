@@ -21,12 +21,16 @@ import (
 // match the encoder's.
 func (s *ChunkStore) WithIndex(index vecstore.Index) (*ChunkStore, error) {
 	if err := validateIndex(index, s.enc.Dim(), func(k string) bool {
-		_, ok := s.byKey[k]
-		return ok
+		if _, ok := s.byKey[k]; ok {
+			return true
+		}
+		// Live inserts register metadata in the shared overlay, so an index
+		// holding post-build rows (a compaction successor) validates too.
+		return s.live != nil && s.live.has(k)
 	}); err != nil {
 		return nil, err
 	}
-	return &ChunkStore{enc: s.enc, index: index, byKey: s.byKey, pool: s.pool}, nil
+	return &ChunkStore{enc: s.enc, index: index, byKey: s.byKey, live: s.live, pool: s.pool}, nil
 }
 
 // keyed is implemented by every vecstore index; it lets WithIndex probe

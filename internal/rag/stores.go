@@ -21,6 +21,10 @@ type ChunkStore struct {
 	enc   *embed.Encoder
 	index vecstore.Index
 	byKey map[string]chunk.Chunk
+	// live is the mutable metadata overlay for chunks inserted after build
+	// (see live.go); nil until EnableLive, and shared — like byKey — across
+	// WithIndex snapshots so inserts are visible through every generation.
+	live *liveChunks
 	// pool is the query-embedding pool, built once at construction: the
 	// serving hot path calls RetrieveBatch per micro-batch, so a fresh
 	// pool per call would be one allocation per batch for no reason
@@ -150,6 +154,9 @@ func (s *ChunkStore) collect(res []vecstore.Result) []RetrievedChunk {
 	out := make([]RetrievedChunk, 0, len(res))
 	for _, r := range res {
 		c, ok := s.byKey[r.Key]
+		if !ok && s.live != nil {
+			c, ok = s.live.get(r.Key)
+		}
 		if !ok {
 			continue
 		}
@@ -158,9 +165,12 @@ func (s *ChunkStore) collect(res []vecstore.Result) []RetrievedChunk {
 	return out
 }
 
-// Chunk looks a chunk up by id.
+// Chunk looks a chunk up by id (build-time corpus or live inserts).
 func (s *ChunkStore) Chunk(id string) (chunk.Chunk, bool) {
 	c, ok := s.byKey[id]
+	if !ok && s.live != nil {
+		c, ok = s.live.get(id)
+	}
 	return c, ok
 }
 

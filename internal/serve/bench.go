@@ -38,6 +38,30 @@ type BenchReport struct {
 	// across an in-process shard fleet behind the scatter/gather router,
 	// including a fault-injected sub-phase with one shard killed cold.
 	Router *RouterBench `json:"router,omitempty"`
+	// Ingest is the live-ingestion phase: a mixed read/write closed loop
+	// against a live-mounted route, with background compactions mid-run
+	// and a post-quiesce visibility audit of every acked insert.
+	Ingest *IngestBench `json:"ingest"`
+}
+
+// IngestBench is the live-ingestion phase's record: a closed loop in
+// which a fraction of workers insert fresh chunks via /v1/<route>/add
+// while the rest search, compactions triggered by memtable fill run in
+// the background, and after the loop quiesces every acked insert is
+// audited for visibility (its text searched at k=1 — the deterministic
+// encoder scores an exact-text match at ~1, so a lost row is a miss).
+type IngestBench struct {
+	Load *LoadReport `json:"load"`
+	// Inserts counts chunks acked by the add endpoint; Lost counts acked
+	// inserts not retrievable in the audit. The contract is Lost == 0.
+	Inserts int64 `json:"inserts"`
+	Lost    int64 `json:"lost"`
+	// Compactions is how many memtable drains published during the phase;
+	// MemRows is the memtable size left after the final forced drain.
+	Compactions int64 `json:"compactions"`
+	MemRows     int   `json:"mem_rows"`
+	// InsertP99MS is the p99 latency of add requests alone.
+	InsertP99MS float64 `json:"insert_p99_ms"`
 }
 
 // RouterBench is the router phase's record. It lives here with plain
@@ -143,6 +167,39 @@ func (r *BenchReport) Check() error {
 		if err := r.Router.check(); err != nil {
 			return fmt.Errorf("router: %w", err)
 		}
+	}
+	if r.Ingest == nil {
+		return fmt.Errorf("missing ingest phase")
+	}
+	if err := r.Ingest.check(); err != nil {
+		return fmt.Errorf("ingest: %w", err)
+	}
+	return nil
+}
+
+// check validates the ingest phase: shape, the zero-failure mixed loop,
+// and the no-lost-acked-inserts contract.
+func (ib *IngestBench) check() error {
+	if err := checkLoad("load", ib.Load); err != nil {
+		return err
+	}
+	if ib.Load.Failures != 0 {
+		return fmt.Errorf("mixed read/write loop had %d failures", ib.Load.Failures)
+	}
+	if ib.Inserts <= 0 {
+		return fmt.Errorf("inserts=%d: the phase inserted nothing", ib.Inserts)
+	}
+	if ib.Lost != 0 {
+		return fmt.Errorf("lost=%d acked inserts not retrievable after quiesce", ib.Lost)
+	}
+	if ib.Compactions < 1 {
+		return fmt.Errorf("compactions=%d: no memtable drain published during the phase", ib.Compactions)
+	}
+	if ib.MemRows != 0 {
+		return fmt.Errorf("mem_rows=%d left after the final drain", ib.MemRows)
+	}
+	if ib.InsertP99MS < 0 {
+		return fmt.Errorf("insert_p99_ms=%v negative", ib.InsertP99MS)
 	}
 	return nil
 }

@@ -121,6 +121,21 @@ func (c *Client) SearchTrace(mode, query string, k int, exclude string) (SearchR
 	return c.SearchRoute("traces/"+mode, query, k, exclude)
 }
 
+// AddRoute inserts a batch of chunks on a live-mounted route.
+func (c *Client) AddRoute(route string, chunks []AddChunk) (AddResponse, error) {
+	var out AddResponse
+	err := c.post("/v1/"+route+"/add", AddRequest{Chunks: chunks}, &out)
+	return out, err
+}
+
+// CompactRoute asks the server to synchronously drain a live route's
+// memtable into its base index.
+func (c *Client) CompactRoute(route string) (CompactResponse, error) {
+	var out CompactResponse
+	err := c.post("/admin/"+route+"/compact", struct{}{}, &out)
+	return out, err
+}
+
 // SwapRoute asks the server to hot-swap one route's index from a VSF
 // file; the other routes keep their epochs and warm caches.
 func (c *Client) SwapRoute(route, path string) (SwapResponse, error) {

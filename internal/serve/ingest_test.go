@@ -1,0 +1,324 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/chunk"
+	"repro/internal/rag"
+	"repro/internal/vecstore"
+)
+
+// liveTestServer is testServer with the chunk store mounted live (mutable)
+// so the add/compact endpoints work.
+func liveTestServer(t testing.TB, n int, cfg Config) (*Server, *rag.ChunkStore, []chunk.Chunk) {
+	t.Helper()
+	chunks := testChunks(n)
+	store := rag.BuildChunkStore(nil, chunks, 0)
+	store.EnableLive()
+	s := New(store, cfg)
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s, store, chunks
+}
+
+// freshChunk makes an insert-able chunk whose text is distinct from the
+// build corpus; searching its own text must rank it first (the encoder is
+// deterministic, so an exact-text query scores ~1).
+func freshChunk(i int) AddChunk {
+	return AddChunk{
+		ID:    fmt.Sprintf("live%04d", i),
+		DocID: "live",
+		Text:  fmt.Sprintf("freshly ingested quasar spectroscopy batch %d with drift term %d", i, i*5%17),
+	}
+}
+
+// TestAddThenSearchSeesInsert is the cache-key regression test: a cached
+// top-k computed BEFORE an insert must not mask the inserted chunk. An
+// in-place insert bumps no epoch — only the write generation folded into
+// the cache key makes the post-insert lookup miss and recompute.
+func TestAddThenSearchSeesInsert(t *testing.T) {
+	s, _, _ := liveTestServer(t, 32, DefaultConfig())
+	c := NewClient("http://"+s.Addr(), nil)
+
+	nc := freshChunk(0)
+	// Prime the cache with the exact query that should later return the
+	// inserted chunk.
+	before, err := c.SearchRoute(RouteChunks, nc.Text, 3, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(before.Results) > 0 && before.Results[0].ID == nc.ID {
+		t.Fatal("insert visible before inserting")
+	}
+	// Confirm the priming query is actually served from cache on repeat —
+	// otherwise this test wouldn't prove anything about masking.
+	primed, err := c.SearchRoute(RouteChunks, nc.Text, 3, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !primed.Cached {
+		t.Fatal("priming query not cached; regression test vehicle broken")
+	}
+
+	add, err := c.AddRoute(RouteChunks, []AddChunk{nc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if add.Added != 1 || add.Vectors != 33 || add.MemRows != 1 || add.WriteGen == 0 {
+		t.Fatalf("add response %+v", add)
+	}
+
+	after, err := c.SearchRoute(RouteChunks, nc.Text, 3, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Cached {
+		t.Fatal("post-insert search served from the pre-insert cache")
+	}
+	if len(after.Results) == 0 || after.Results[0].ID != nc.ID {
+		t.Fatalf("inserted chunk not first for its own text: %+v", after.Results)
+	}
+	if after.Results[0].Text != nc.Text {
+		t.Fatal("inserted chunk text not carried on the wire")
+	}
+}
+
+// TestAddValidation pins the write endpoint's rejections: non-live routes,
+// empty batches, oversized batches, duplicate ids (in-batch, vs the build
+// corpus, and vs a previous insert) — all without partial inserts.
+func TestAddValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxBatchQueries = 4
+	s, _, chunks := liveTestServer(t, 16, cfg)
+	c := NewClient("http://"+s.Addr(), nil)
+
+	wantStatus := func(err error, code int, what string) {
+		t.Helper()
+		se, ok := err.(*StatusError)
+		if !ok {
+			t.Fatalf("%s: err %v, want StatusError %d", what, err, code)
+		}
+		if se.Status != code {
+			t.Fatalf("%s: status %d, want %d", what, se.Status, code)
+		}
+	}
+	_, err := c.AddRoute(RouteChunks, nil)
+	wantStatus(err, 400, "empty batch")
+	_, err = c.AddRoute(RouteChunks, []AddChunk{freshChunk(1), freshChunk(2), freshChunk(3), freshChunk(4), freshChunk(5)})
+	wantStatus(err, 413, "oversized batch")
+	_, err = c.AddRoute(RouteChunks, []AddChunk{freshChunk(6), freshChunk(6)})
+	wantStatus(err, 400, "in-batch duplicate")
+	_, err = c.AddRoute(RouteChunks, []AddChunk{{ID: chunks[0].ID, Text: "shadowing the corpus"}})
+	wantStatus(err, 400, "corpus-duplicate id")
+	_, err = c.AddRoute(RouteChunks, []AddChunk{{ID: "noText"}})
+	wantStatus(err, 400, "empty text")
+	if _, err := c.AddRoute(RouteChunks, []AddChunk{freshChunk(7)}); err != nil {
+		t.Fatalf("valid insert rejected: %v", err)
+	}
+	_, err = c.AddRoute(RouteChunks, []AddChunk{freshChunk(7)})
+	wantStatus(err, 400, "re-inserting an inserted id")
+
+	// A route mounted over a non-live store must refuse writes.
+	plain := NewMulti(DefaultConfig())
+	if err := plain.Mount(RouteChunks, rag.NewChunkFacade(rag.BuildChunkStore(nil, testChunks(8), 0))); err != nil {
+		t.Fatal(err)
+	}
+	if err := plain.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { plain.Close() })
+	pc := NewClient("http://"+plain.Addr(), nil)
+	_, err = pc.AddRoute(RouteChunks, []AddChunk{freshChunk(8)})
+	wantStatus(err, 400, "non-live route")
+}
+
+// TestCompactEndpoint drains the memtable over HTTP and checks the swap
+// was published (epoch bump, memtable empty, Stats kind still Live) and
+// that compacted inserts stay retrievable.
+func TestCompactEndpoint(t *testing.T) {
+	s, store, _ := liveTestServer(t, 24, DefaultConfig())
+	c := NewClient("http://"+s.Addr(), nil)
+
+	var inserted []AddChunk
+	for i := 0; i < 5; i++ {
+		inserted = append(inserted, freshChunk(i))
+	}
+	if _, err := c.AddRoute(RouteChunks, inserted); err != nil {
+		t.Fatal(err)
+	}
+	cr, err := c.CompactRoute(RouteChunks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cr.Compacted || cr.Epoch != 1 || cr.MemRows != 0 || cr.Vectors != 29 {
+		t.Fatalf("compact response %+v", cr)
+	}
+	// Compacting an empty memtable is a clean no-op, not an error.
+	cr2, err := c.CompactRoute(RouteChunks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cr2.Compacted || cr2.Epoch != 1 {
+		t.Fatalf("empty compact response %+v", cr2)
+	}
+	for _, nc := range inserted {
+		resp, err := c.SearchRoute(RouteChunks, nc.Text, 1, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(resp.Results) != 1 || resp.Results[0].ID != nc.ID {
+			t.Fatalf("compacted insert %q not retrievable: %+v", nc.ID, resp.Results)
+		}
+	}
+	// The published index is still a Live layer over the grown base.
+	snap := s.Snapshot()
+	lv, ok := snap.Store.Index().(*vecstore.Live)
+	if !ok {
+		t.Fatalf("post-compaction index is %T, want *vecstore.Live", snap.Store.Index())
+	}
+	if lv.Base().Len() != 29 || lv.MemLen() != 0 {
+		t.Fatalf("post-compaction base=%d mem=%d", lv.Base().Len(), lv.MemLen())
+	}
+	_ = store
+}
+
+// TestAutoCompaction checks the CompactAt trigger: once the memtable
+// reaches the threshold, a background compaction publishes without any
+// admin call.
+func TestAutoCompaction(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CompactAt = 8
+	s, _, _ := liveTestServer(t, 16, cfg)
+	c := NewClient("http://"+s.Addr(), nil)
+
+	var batch []AddChunk
+	for i := 0; i < 10; i++ {
+		batch = append(batch, freshChunk(i))
+	}
+	if _, err := c.AddRoute(RouteChunks, batch); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		snap := s.Snapshot()
+		lv := snap.Store.Index().(*vecstore.Live)
+		if snap.Epoch >= 1 && lv.MemLen() == 0 && snap.Source == "compaction" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("auto compaction never published: epoch=%d mem=%d", snap.Epoch, lv.MemLen())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// Inserts stay visible across the background publish.
+	for _, nc := range batch {
+		resp, err := c.SearchRoute(RouteChunks, nc.Text, 1, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(resp.Results) != 1 || resp.Results[0].ID != nc.ID {
+			t.Fatalf("insert %q lost across auto compaction", nc.ID)
+		}
+	}
+}
+
+// TestIngestConcurrentAddSearchCompact is the serving-layer race hammer:
+// programmatic writers, searchers and a compactor loop hit one route
+// concurrently; afterwards every acked insert must be retrievable by its
+// own text. Runs under `make race` via the serve package.
+func TestIngestConcurrentAddSearchCompact(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CompactAt = 16 // exercise the add-triggered background path too
+	s, _, chunks := liveTestServer(t, 32, cfg)
+
+	const writers, perWriter, searchers = 3, 40, 2
+	ackedTexts := make([][]string, writers)
+	stop := make(chan struct{})
+	var bg sync.WaitGroup
+
+	for g := 0; g < searchers; g++ {
+		bg.Add(1)
+		go func(g int) {
+			defer bg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, _, _, err := s.SearchRoute(context.Background(), RouteChunks, chunks[(g+i)%len(chunks)].Text, 5, ""); err != nil {
+					t.Errorf("search: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	bg.Add(1)
+	go func() {
+		defer bg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := s.CompactRoute(RouteChunks); err != nil {
+				t.Errorf("compact: %v", err)
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				nc := chunk.Chunk{
+					ID:   fmt.Sprintf("w%d-%03d", w, i),
+					Text: fmt.Sprintf("concurrent ingest stream %d item %d payload %d", w, i, (w*perWriter+i)*3%23),
+				}
+				if _, err := s.AddChunks(RouteChunks, []chunk.Chunk{nc}); err != nil {
+					t.Errorf("add: %v", err)
+					return
+				}
+				ackedTexts[w] = append(ackedTexts[w], nc.Text)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	bg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// Final drain, then audit every acked insert.
+	if _, err := s.CompactRoute(RouteChunks); err != nil {
+		t.Fatal(err)
+	}
+	snap := s.Snapshot()
+	if want := 32 + writers*perWriter; snap.Store.Len() != want {
+		t.Fatalf("store has %d vectors after quiesce, want %d", snap.Store.Len(), want)
+	}
+	for w, texts := range ackedTexts {
+		for i, text := range texts {
+			res, _, _, err := s.SearchRoute(context.Background(), RouteChunks, text, 1, "")
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantID := fmt.Sprintf("w%d-%03d", w, i)
+			if len(res) != 1 || res[0].ID != wantID {
+				t.Fatalf("acked insert %s not retrievable by its text", wantID)
+			}
+		}
+	}
+}

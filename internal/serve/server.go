@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/batch"
+	"repro/internal/chunk"
 	"repro/internal/mcq"
 	"repro/internal/metrics"
 	"repro/internal/rag"
@@ -60,6 +61,10 @@ type Config struct {
 	// OmitText drops result text from responses (ids and scores only),
 	// shrinking payloads for recall-style load tests.
 	OmitText bool
+	// CompactAt triggers background compaction on a live (mutable) route
+	// once its memtable reaches this many rows; 0 disables automatic
+	// compaction (the /admin/<route>/compact endpoint still works).
+	CompactAt int
 	// Registry receives the server's metrics; nil creates a private one.
 	Registry *metrics.Registry
 }
@@ -126,12 +131,24 @@ type route struct {
 	flights flightGroup
 	swapMu  sync.Mutex // serialises swaps (readers go through snap)
 
+	// Write path (live ingestion). writeMu serialises inserts with each
+	// other and with a compaction's publish step: writers load the
+	// snapshot INSIDE writeMu, so an insert can never land in a memtable
+	// that a concurrent compaction has already rotated out — the no-lost-
+	// acked-inserts invariant. writeGen counts accepted insert batches and
+	// is folded into cache keys (see search), so cached top-k from before
+	// an insert cannot mask it. compacting admits one compaction at a time.
+	writeMu    sync.Mutex
+	writeGen   atomic.Uint64
+	compacting atomic.Bool
+
 	// metric handles resolved once so the hot path skips registry lookups
-	mRequests, mHits, mMisses, mShared *metrics.Counter
-	mBatches, mBatchedQueries          *metrics.Counter
-	mErrors, mSwaps                    *metrics.Counter
-	hLatency, hSearch, hBatch          *metrics.Histogram
-	gVectors, gEpoch, gCacheLen        *metrics.Gauge
+	mRequests, mHits, mMisses, mShared     *metrics.Counter
+	mBatches, mBatchedQueries              *metrics.Counter
+	mErrors, mSwaps                        *metrics.Counter
+	mInserts, mInsertBatches, mCompactions *metrics.Counter
+	hLatency, hSearch, hBatch              *metrics.Histogram
+	gVectors, gEpoch, gCacheLen, gMemRows  *metrics.Gauge
 }
 
 type searchJob struct {
@@ -263,12 +280,16 @@ func newRoute(name string, st Store, cfg Config, reg *metrics.Registry) *route {
 		mBatchedQueries: reg.Counter(p + "batch.queries"),
 		mErrors:         reg.Counter(p + "errors"),
 		mSwaps:          reg.Counter(p + "swaps"),
+		mInserts:        reg.Counter(p + "inserts"),
+		mInsertBatches:  reg.Counter(p + "insert.batches"),
+		mCompactions:    reg.Counter(p + "compactions"),
 		hLatency:        reg.Histogram(p + "latency"),
 		hSearch:         reg.Histogram(p + "search.latency"),
 		hBatch:          reg.SizeHistogram(p + "batch.size"),
 		gVectors:        reg.Gauge(p + "index.vectors"),
 		gEpoch:          reg.Gauge(p + "index.epoch"),
 		gCacheLen:       reg.Gauge(p + "cache.len"),
+		gMemRows:        reg.Gauge(p + "index.memrows"),
 	}
 	if cfg.CacheCap > 0 {
 		rt.cache = NewCache(cfg.CacheCap, cfg.CacheShards)
@@ -344,13 +365,20 @@ func (rt *route) search(ctx context.Context, query string, k int, exclude string
 		return out.results, false, out.epoch, err
 	}
 	// The epoch in the key makes entries generation-scoped: after a swap,
-	// fresh lookups miss even if a stale fill lands post-Purge. exclude is
-	// length-prefixed rather than delimited: it and query are both
-	// client-controlled free-form strings, so a bare separator between
-	// them would let distinct (exclude, query) pairs collide.
+	// fresh lookups miss even if a stale fill lands post-Purge. The write
+	// generation makes them insert-scoped: a live insert bumps writeGen
+	// without an epoch change, so without it a cached top-k from before
+	// the insert would keep masking the new row until the next swap.
+	// writeGen is read BEFORE the snapshot: any insert counted by keyGen
+	// completed its memtable append before bumping the generation, so the
+	// fill (which scans after this point) observes at least those rows.
+	// exclude is length-prefixed rather than delimited: it and query are
+	// both client-controlled free-form strings, so a bare separator
+	// between them would let distinct (exclude, query) pairs collide.
+	keyGen := rt.writeGen.Load()
 	snap := rt.snap.Load()
 	keyEpoch := snap.Epoch
-	key := fmt.Sprintf("%d\x1f%d\x1f%d\x1f%s%s", keyEpoch, k, len(exclude), exclude, query)
+	key := fmt.Sprintf("%d\x1f%d\x1f%d\x1f%d\x1f%s%s", keyEpoch, keyGen, k, len(exclude), exclude, query)
 	if val, ok := rt.cache.Get(key); ok {
 		rt.mHits.Inc()
 		return val.Results, true, val.Epoch, nil
@@ -375,7 +403,7 @@ func (rt *route) search(ctx context.Context, query string, k int, exclude string
 		// our own orphan; if it runs after, it removes the entry itself.
 		if out.epoch == keyEpoch {
 			rt.cache.Put(key, res)
-			if rt.snap.Load().Epoch != keyEpoch {
+			if rt.snap.Load().Epoch != keyEpoch || rt.writeGen.Load() != keyGen {
 				rt.cache.Delete(key)
 			}
 		}
@@ -479,6 +507,104 @@ func (rt *route) swapFromFile(path string) (*Snapshot, error) {
 	return rt.swapIndex(index, path)
 }
 
+// addChunks inserts a batch on a live route. The snapshot is loaded while
+// writeMu is held: a concurrent compaction publishes its rotated snapshot
+// under the same lock, so an insert either lands in the memtable before
+// rotation copies it forward, or in the fresh memtable after — never in a
+// memtable that has already been discarded.
+func (rt *route) addChunks(chunks []chunk.Chunk) (AddResponse, error) {
+	rt.writeMu.Lock()
+	snap := rt.snap.Load()
+	ing, ok := snap.Store.(rag.Ingestor)
+	if !ok {
+		rt.writeMu.Unlock()
+		return AddResponse{}, fmt.Errorf("serve: route %q does not accept inserts (not mounted live)", rt.name)
+	}
+	added, err := ing.AddChunks(chunks)
+	if err != nil {
+		rt.writeMu.Unlock()
+		return AddResponse{}, err
+	}
+	gen := rt.writeGen.Add(1)
+	vectors := snap.Store.Len()
+	memRows := 0
+	if lv, ok := snap.Store.Index().(*vecstore.Live); ok {
+		memRows = lv.MemLen()
+	}
+	rt.writeMu.Unlock()
+
+	rt.mInserts.Add(int64(added))
+	rt.mInsertBatches.Inc()
+	rt.gVectors.Set(int64(vectors))
+	rt.gMemRows.Set(int64(memRows))
+	if rt.cfg.CompactAt > 0 && memRows >= rt.cfg.CompactAt {
+		go rt.compact() //nolint:errcheck // surfaced via metrics; next add retries
+	}
+	return AddResponse{Added: added, Vectors: vectors, MemRows: memRows, Epoch: snap.Epoch, WriteGen: gen, Route: rt.name}, nil
+}
+
+// compact drains the route's memtable into its base index and publishes
+// the result. The expensive encode (CompactBase) runs outside every lock,
+// concurrent with searches and further inserts; only the rotate+publish
+// step takes writeMu. If an admin swap replaced the snapshot while the
+// encode ran, the compaction is dropped rather than resurrect the old
+// corpus. Returns whether a compaction was published.
+func (rt *route) compact() (bool, error) {
+	if !rt.compacting.CompareAndSwap(false, true) {
+		return false, nil // one at a time; the trigger after the next add retries
+	}
+	defer rt.compacting.Store(false)
+	snap := rt.snap.Load()
+	lv, ok := snap.Store.Index().(*vecstore.Live)
+	if !ok {
+		return false, fmt.Errorf("serve: route %q has no live index to compact", rt.name)
+	}
+	n := lv.MemLen()
+	if n == 0 {
+		return false, nil
+	}
+	newBase, err := lv.CompactBase(n)
+	if err != nil {
+		return false, fmt.Errorf("serve: compact %q: %w", rt.name, err)
+	}
+	rt.writeMu.Lock()
+	defer rt.writeMu.Unlock()
+	if rt.snap.Load() != snap {
+		return false, nil // an admin swap won the race; drop this compaction
+	}
+	next := lv.Rotate(newBase, n)
+	if _, err := rt.swapIndex(next, "compaction"); err != nil {
+		return false, fmt.Errorf("serve: compact %q publish: %w", rt.name, err)
+	}
+	rt.mCompactions.Inc()
+	rt.gMemRows.Set(int64(next.MemLen()))
+	return true, nil
+}
+
+// AddChunks inserts chunks on a live-mounted route (programmatic
+// counterpart of POST /v1/<route>/add). The target store must implement
+// rag.Ingestor — a chunk store with EnableLive called before Mount.
+func (s *Server) AddChunks(routeName string, chunks []chunk.Chunk) (AddResponse, error) {
+	rt, err := s.route(routeName)
+	if err != nil {
+		return AddResponse{}, err
+	}
+	return rt.addChunks(chunks)
+}
+
+// CompactRoute synchronously drains a live route's memtable into its base
+// index and publishes the compacted snapshot (programmatic counterpart of
+// POST /admin/<route>/compact). Returns whether a compaction was
+// published — false when the memtable was empty or another compaction was
+// already running.
+func (s *Server) CompactRoute(routeName string) (bool, error) {
+	rt, err := s.route(routeName)
+	if err != nil {
+		return false, err
+	}
+	return rt.compact()
+}
+
 // Snapshot returns the currently published snapshot of the chunks route,
 // or nil when no chunk store is mounted.
 func (s *Server) Snapshot() *Snapshot {
@@ -504,7 +630,12 @@ func (s *Server) Registry() *metrics.Registry { return s.reg }
 //
 //	POST /v1/<name>/search        {"query","k","exclude"} → {"results":[...],"cached","epoch","route"}
 //	POST /v1/<name>/search/batch  {"queries":[...],"k","exclude":[...]} → {"results":[[...],...]}
+//	POST /v1/<name>/add           {"chunks":[{"chunk_id","doc_id","text"},...]} → {"added","vectors","mem_rows","epoch","write_gen","route"}
 //	POST /admin/<name>/swap       {"path"} → {"epoch","vectors","source","route"}
+//	POST /admin/<name>/compact    (no body) → {"compacted","epoch","vectors","mem_rows","route"}
+//
+// The add endpoint works only on routes mounted over a live (mutable)
+// store and rejects others with 400; compact is a no-op on them.
 //
 // plus the PR 3 single-store aliases for the chunks route (/v1/search,
 // /v1/search/batch, /admin/swap) and the shared endpoints:
@@ -517,7 +648,9 @@ func (s *Server) Handler() http.Handler {
 	for name, rt := range s.routes {
 		mux.HandleFunc("POST /v1/"+name+"/search", rt.handleSearch)
 		mux.HandleFunc("POST /v1/"+name+"/search/batch", rt.handleSearchBatch)
+		mux.HandleFunc("POST /v1/"+name+"/add", rt.handleAdd)
 		mux.HandleFunc("POST /admin/"+name+"/swap", rt.handleSwap)
+		mux.HandleFunc("POST /admin/"+name+"/compact", rt.handleCompact)
 	}
 	if rt := s.chunks; rt != nil {
 		mux.HandleFunc("POST /v1/search", rt.handleSearch)
@@ -622,6 +755,40 @@ type SwapResponse struct {
 	Vectors int    `json:"vectors"`
 	Source  string `json:"source"`
 	Route   string `json:"route,omitempty"`
+}
+
+// AddChunk is one chunk to insert on a live route.
+type AddChunk struct {
+	ID    string `json:"chunk_id"`
+	DocID string `json:"doc_id,omitempty"`
+	Text  string `json:"text"`
+}
+
+// AddRequest is the live-insert body.
+type AddRequest struct {
+	Chunks []AddChunk `json:"chunks"`
+}
+
+// AddResponse is the live-insert reply. WriteGen is the route's write
+// generation after this insert; MemRows is the memtable size after it
+// (before any compaction the insert may have triggered).
+type AddResponse struct {
+	Added    int    `json:"added"`
+	Vectors  int    `json:"vectors"`
+	MemRows  int    `json:"mem_rows"`
+	Epoch    uint64 `json:"epoch"`
+	WriteGen uint64 `json:"write_gen"`
+	Route    string `json:"route,omitempty"`
+}
+
+// CompactResponse is the admin-compact reply. Compacted is false when the
+// memtable was empty or another compaction was in flight.
+type CompactResponse struct {
+	Compacted bool   `json:"compacted"`
+	Epoch     uint64 `json:"epoch"`
+	Vectors   int    `json:"vectors"`
+	MemRows   int    `json:"mem_rows"`
+	Route     string `json:"route,omitempty"`
 }
 
 // RouteHealth is one route's health summary.
@@ -733,6 +900,51 @@ func (rt *route) handleSwap(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, SwapResponse{Epoch: snap.Epoch, Vectors: snap.Store.Len(), Source: snap.Source, Route: rt.name})
+}
+
+func (rt *route) handleAdd(w http.ResponseWriter, r *http.Request) {
+	var req AddRequest
+	if !rt.decode(w, r, &req) {
+		return
+	}
+	if len(req.Chunks) == 0 {
+		rt.mErrors.Inc()
+		http.Error(w, "empty chunks", http.StatusBadRequest)
+		return
+	}
+	if len(req.Chunks) > rt.cfg.MaxBatchQueries {
+		rt.mErrors.Inc()
+		http.Error(w, fmt.Sprintf("insert of %d exceeds limit %d", len(req.Chunks), rt.cfg.MaxBatchQueries),
+			http.StatusRequestEntityTooLarge)
+		return
+	}
+	chunks := make([]chunk.Chunk, len(req.Chunks))
+	for i, c := range req.Chunks {
+		chunks[i] = chunk.Chunk{ID: c.ID, DocID: c.DocID, Text: c.Text}
+	}
+	resp, err := rt.addChunks(chunks)
+	if err != nil {
+		rt.mErrors.Inc()
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, resp)
+}
+
+// handleCompact triggers a synchronous compaction; the body is ignored.
+func (rt *route) handleCompact(w http.ResponseWriter, _ *http.Request) {
+	compacted, err := rt.compact()
+	if err != nil {
+		rt.mErrors.Inc()
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	snap := rt.snap.Load()
+	memRows := 0
+	if lv, ok := snap.Store.Index().(*vecstore.Live); ok {
+		memRows = lv.MemLen()
+	}
+	writeJSON(w, CompactResponse{Compacted: compacted, Epoch: snap.Epoch, Vectors: snap.Store.Len(), MemRows: memRows, Route: rt.name})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {

@@ -83,6 +83,28 @@ func factories() []indexFactory {
 			ix.Train()
 			return ix
 		}},
+		{"Memtable", func(dim int, vecs [][]float32, keys []string) Index {
+			mt := NewMemtable(dim)
+			for i, v := range vecs {
+				mt.Add(v, keys[i])
+			}
+			return mt
+		}},
+		{"Live-Flat-split", func(dim int, vecs [][]float32, keys []string) Index {
+			// The mutable layer with the corpus split across its two tiers:
+			// the first half is the immutable base, the second half arrives
+			// through live Add — both tiers exact, so the full contract holds.
+			base := NewFlat(dim)
+			cut := len(vecs) / 2
+			for i := 0; i < cut; i++ {
+				base.Add(vecs[i], keys[i])
+			}
+			lv := NewLive(base, nil)
+			for i := cut; i < len(vecs); i++ {
+				lv.Add(vecs[i], keys[i])
+			}
+			return lv
+		}},
 	}
 }
 

@@ -152,7 +152,7 @@ func readCodes(r io.Reader, dst []uint16) error {
 // the current contiguous VSF2 format and the legacy jagged VSF1 format.
 // VSF3 (PQ) files are rejected; use Load or LoadPQ for those.
 func LoadFlat(path string) (*Flat, error) {
-	f, err := os.Open(path)
+	f, remain, err := openSized(path)
 	if err != nil {
 		return nil, err
 	}
@@ -164,9 +164,9 @@ func LoadFlat(path string) (*Flat, error) {
 	}
 	switch m {
 	case magicV2:
-		return readFlat(r, false)
+		return readFlat(r, remain, false)
 	case magicV1:
-		return readFlat(r, true)
+		return readFlat(r, remain, true)
 	case magicV3:
 		return nil, fmt.Errorf("%w: %s is a PQ (VSF3) index; use Load or LoadPQ", ErrBadFormat, path)
 	case magicV4:
@@ -178,7 +178,7 @@ func LoadFlat(path string) (*Flat, error) {
 // Load reads any persisted index, dispatching on the format magic: VSF1
 // and VSF2 load as *Flat, VSF3 as *PQ, VSF4 as *IVFPQ.
 func Load(path string) (Index, error) {
-	f, err := os.Open(path)
+	f, remain, err := openSized(path)
 	if err != nil {
 		return nil, err
 	}
@@ -190,15 +190,32 @@ func Load(path string) (Index, error) {
 	}
 	switch m {
 	case magicV2:
-		return readFlat(r, false)
+		return readFlat(r, remain, false)
 	case magicV1:
-		return readFlat(r, true)
+		return readFlat(r, remain, true)
 	case magicV3:
-		return readPQ(r)
+		return readPQ(r, remain)
 	case magicV4:
-		return readIVFPQ(r)
+		return readIVFPQ(r, remain)
 	}
 	return nil, fmt.Errorf("%w: magic %q", ErrBadFormat, m)
+}
+
+// openSized opens path and reports how many payload bytes follow the
+// 4-byte magic. The readers bound every header-driven allocation by this
+// budget, so a corrupt count or dim in a small file fails validation
+// instead of driving a multi-gigabyte make (the fuzz-found failure mode).
+func openSized(path string) (*os.File, int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, 0, err
+	}
+	return f, fi.Size() - 4, nil
 }
 
 func readMagic(r io.Reader) ([4]byte, error) {
@@ -210,7 +227,8 @@ func readMagic(r io.Reader) ([4]byte, error) {
 }
 
 // readFlat consumes a VSF1 (legacy=true) or VSF2 stream after the magic.
-func readFlat(r io.Reader, legacy bool) (*Flat, error) {
+// remain is the payload byte budget (file size minus magic).
+func readFlat(r io.Reader, remain int64, legacy bool) (*Flat, error) {
 	var dim uint32
 	if err := binary.Read(r, binary.LittleEndian, &dim); err != nil {
 		return nil, fmt.Errorf("%w: dim: %v", ErrBadFormat, err)
@@ -224,6 +242,13 @@ func readFlat(r io.Reader, legacy bool) (*Flat, error) {
 	}
 	if count > (1<<31)/uint64(dim) {
 		return nil, fmt.Errorf("%w: implausible count %d", ErrBadFormat, count)
+	}
+	// Every record costs at least a 4-byte key length plus dim FP16 codes
+	// (both formats), so a count the file cannot physically back fails
+	// here instead of sizing allocations from 12 corrupt header bytes.
+	remain -= 12
+	if need := int64(count) * int64(4+2*dim); need > remain {
+		return nil, fmt.Errorf("%w: count %d needs >= %d payload bytes, file has %d", ErrBadFormat, count, need, remain)
 	}
 	ix := NewFlat(int(dim))
 	if legacy {
@@ -315,7 +340,7 @@ func writePQ(w io.Writer, ix *PQ) error {
 // LoadPQ reads a PQ index previously written by PQ.Save (VSF3). Flat files
 // (VSF1/VSF2) are rejected; use Load or LoadFlat for those.
 func LoadPQ(path string) (*PQ, error) {
-	f, err := os.Open(path)
+	f, remain, err := openSized(path)
 	if err != nil {
 		return nil, err
 	}
@@ -328,13 +353,14 @@ func LoadPQ(path string) (*PQ, error) {
 	if m != magicV3 {
 		return nil, fmt.Errorf("%w: %s is not a PQ (VSF3) index (magic %q); use Load or LoadFlat", ErrBadFormat, path, m)
 	}
-	return readPQ(r)
+	return readPQ(r, remain)
 }
 
 // readPQ consumes a VSF3 stream after the magic. The subspace geometry
 // (bounds, centroid block offsets) is not stored — it is a pure function
-// of dim and m, recomputed by newPQCodebook.
-func readPQ(r io.Reader) (*PQ, error) {
+// of dim and m, recomputed by newPQCodebook. remain is the payload byte
+// budget (file size minus magic).
+func readPQ(r io.Reader, remain int64) (*PQ, error) {
 	var dim, m, ksub uint32
 	for _, p := range []*uint32{&dim, &m, &ksub} {
 		if err := binary.Read(r, binary.LittleEndian, p); err != nil {
@@ -356,6 +382,12 @@ func readPQ(r io.Reader) (*PQ, error) {
 	}
 	if count > (1<<31)/uint64(m) {
 		return nil, fmt.Errorf("%w: implausible count %d", ErrBadFormat, count)
+	}
+	// Records cost at least 4+m bytes each (key length + codes) and the
+	// codebook exactly 4*ksub*dim; reject headers the file cannot back.
+	remain -= 20
+	if need := int64(count)*int64(4+m) + 4*int64(ksub)*int64(dim); need > remain {
+		return nil, fmt.Errorf("%w: count %d needs >= %d payload bytes, file has %d", ErrBadFormat, count, need, remain)
 	}
 	ix := NewPQ(PQConfig{Dim: int(dim), M: int(m)})
 	ix.keys = make([]string, 0, count)
@@ -547,7 +579,7 @@ func writeIVFPQ(w io.Writer, ix *IVFPQ) error {
 // LoadIVFPQ reads an IVF-PQ index previously written by IVFPQ.Save
 // (VSF4). Other families are rejected; use Load for magic dispatch.
 func LoadIVFPQ(path string) (*IVFPQ, error) {
-	f, err := os.Open(path)
+	f, remain, err := openSized(path)
 	if err != nil {
 		return nil, err
 	}
@@ -560,15 +592,16 @@ func LoadIVFPQ(path string) (*IVFPQ, error) {
 	if m != magicV4 {
 		return nil, fmt.Errorf("%w: %s is not an IVF-PQ (VSF4) index (magic %q); use Load", ErrBadFormat, path, m)
 	}
-	return readIVFPQ(r)
+	return readIVFPQ(r, remain)
 }
 
 // readIVFPQ consumes a VSF4 stream after the magic. As in VSF3, the
 // subspace geometry is recomputed from (dim, m); everything else — coarse
 // centroids, codebook, rotation, cell assignment — is restored exactly,
 // so a loaded index searches bit-identically to the one saved and accepts
-// further Add calls without retraining.
-func readIVFPQ(r io.Reader) (*IVFPQ, error) {
+// further Add calls without retraining. remain is the payload byte budget
+// (file size minus magic).
+func readIVFPQ(r io.Reader, remain int64) (*IVFPQ, error) {
 	var dim, m, ksub, nlist, nprobe, flags uint32
 	for _, p := range []*uint32{&dim, &m, &ksub, &nlist, &nprobe, &flags} {
 		if err := binary.Read(r, binary.LittleEndian, p); err != nil {
@@ -599,6 +632,22 @@ func readIVFPQ(r io.Reader) (*IVFPQ, error) {
 	}
 	if count > (1<<31)/uint64(m) {
 		return nil, fmt.Errorf("%w: implausible count %d", ErrBadFormat, count)
+	}
+	// Bound every header-driven section by the bytes the file actually
+	// has: records (key length + codes), coarse centroids, optional
+	// residual anchors, the codebook, the optional dim² rotation, and the
+	// per-cell size prefixes. A corrupt header in a tiny file fails here
+	// rather than make()-ing gigabytes.
+	remain -= 32
+	need := int64(count)*int64(4+m) + 4*int64(nlist)*int64(dim) + 4*int64(ksub)*int64(dim) + 4*int64(nlist)
+	if flags&vsf4FlagResidual != 0 {
+		need += 4 * int64(nlist) * int64(dim)
+	}
+	if flags&vsf4FlagRotation != 0 {
+		need += 4 * int64(dim) * int64(dim)
+	}
+	if need > remain {
+		return nil, fmt.Errorf("%w: header needs >= %d payload bytes, file has %d", ErrBadFormat, need, remain)
 	}
 	ix := NewIVFPQ(IVFPQConfig{
 		Dim: int(dim), NList: int(nlist), NProbe: int(nprobe), M: int(m),

@@ -1,0 +1,138 @@
+package vecstore
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestLiveConcurrentAddSearchCompact is the race hammer for the mutable
+// layer, mirroring the serving layer's locking discipline: writers insert
+// under a write mutex (loading the published Live inside it), searchers
+// read the published pointer lock-free, and a background compactor drains
+// the memtable and rotates the published Live under the same write mutex.
+// After quiesce, every acked insert must be visible — its id resolves to
+// its key and its own vector retrieves it at k=Len — i.e. no insert was
+// lost to a concurrent rotation. Run under -race this also proves the
+// snapshot/append-only memory discipline (see `make race`).
+func TestLiveConcurrentAddSearchCompact(t *testing.T) {
+	const (
+		dim       = 8
+		nBase     = 32
+		writers   = 4
+		perWriter = 150
+		searchers = 2
+	)
+	base := NewFlat(dim)
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < nBase; i++ {
+		base.Add(randVec(rng, dim), fmt.Sprintf("base%02d", i))
+	}
+	var handle atomic.Pointer[Live]
+	handle.Store(NewLive(base, nil))
+	var wmu sync.Mutex // writers and the compactor's rotate step
+
+	type acked struct {
+		key string
+		id  int
+		vec []float32
+	}
+	ackedByWriter := make([][]acked, writers)
+	stop := make(chan struct{})
+	var bg sync.WaitGroup
+
+	for s := 0; s < searchers; s++ {
+		bg.Add(1)
+		go func(seed int64) {
+			defer bg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				lv := handle.Load()
+				res := lv.Search(randVec(rng, dim), 10)
+				for i := 1; i < len(res); i++ {
+					if worse(res[i-1].Score, res[i-1].ID, res[i].Score, res[i].ID) {
+						t.Errorf("unsorted results: %v before %v", res[i-1], res[i])
+						return
+					}
+				}
+			}
+		}(int64(100 + s))
+	}
+
+	bg.Add(1)
+	go func() {
+		defer bg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			lv := handle.Load()
+			if n := lv.MemLen(); n > 0 {
+				newBase, err := lv.CompactBase(n)
+				if err != nil {
+					t.Errorf("CompactBase: %v", err)
+					return
+				}
+				wmu.Lock()
+				if handle.Load() == lv { // no competing publisher raced us
+					handle.Store(lv.Rotate(newBase, n))
+				}
+				wmu.Unlock()
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < perWriter; i++ {
+				key := fmt.Sprintf("w%d-%03d", w, i)
+				vec := randVec(rng, dim)
+				wmu.Lock()
+				lv := handle.Load() // inside wmu: the rotation-safe order
+				id := lv.Add(vec, key)
+				wmu.Unlock()
+				ackedByWriter[w] = append(ackedByWriter[w], acked{key: key, id: id, vec: vec})
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	bg.Wait()
+
+	lv := handle.Load()
+	if want := nBase + writers*perWriter; lv.Len() != want {
+		t.Fatalf("Len=%d after quiesce, want %d", lv.Len(), want)
+	}
+	for _, acks := range ackedByWriter {
+		for _, a := range acks {
+			if got := lv.Key(a.id); got != a.key {
+				t.Fatalf("acked id %d resolves to %q, want %q", a.id, got, a.key)
+			}
+			found := false
+			for _, r := range lv.Search(a.vec, lv.Len()) {
+				if r.ID == a.id {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("acked insert %q (id %d) not visible at k=Len", a.key, a.id)
+			}
+		}
+	}
+}

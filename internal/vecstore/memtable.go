@@ -1,0 +1,325 @@
+package vecstore
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/f16"
+)
+
+// Live ingestion layer: an LSM-flavoured mutable tier over the read-only
+// indexes. Writes land in a Memtable — a small exact Flat-equivalent table
+// that accepts Add concurrently with Search — scanned alongside an
+// immutable trained base index, with the two top-k sets merged under the
+// package's total order (score desc, id asc). Because the memtable stores
+// FP16 codes and scores them through the same halfBlock kernel as Flat,
+// and ids are assigned as base.Len()+row, a Live search is bit-identical
+// to a Flat index over the union corpus whenever the base is exact (the
+// property pinned by TestLiveMatchesFlatUnion).
+//
+// Compaction follows the snapshot discipline of the serving layer: the
+// slow step (CompactBase) encodes a prefix of the memtable into a clone of
+// the base — post-train IVFPQ.Add is the residual encode path — while
+// readers and writers proceed; the fast step (Rotate) runs under the
+// caller's write lock and produces a successor Live whose fresh memtable
+// carries only the rows added since the compaction cut. Acked ids are
+// stable across compaction: row r of the memtable is id base.Len()+r
+// before, and id newBase.Len()+(r-n) == base.Len()+r after draining n rows.
+
+// Memtable is a concurrency-safe exact FP16 index: Add may run
+// concurrently with Search, Len and Key. Scoring is bit-identical to Flat
+// over the same vectors (same FP16 encoding, same blocked-scan kernel).
+type Memtable struct {
+	dim   int
+	mu    sync.RWMutex
+	codes []uint16 // row i at codes[i*dim:(i+1)*dim]
+	keys  []string
+}
+
+// NewMemtable returns an empty mutable exact index.
+func NewMemtable(dim int) *Memtable {
+	if dim <= 0 {
+		panic("vecstore: non-positive dim")
+	}
+	return &Memtable{dim: dim}
+}
+
+// Add implements Index; it is safe to call concurrently with Search.
+func (mt *Memtable) Add(vec []float32, key string) int {
+	if len(vec) != mt.dim {
+		panic(fmt.Sprintf("vecstore: Add dim %d to memtable of dim %d", len(vec), mt.dim))
+	}
+	mt.mu.Lock()
+	mt.codes = f16.AppendEncoded(mt.codes, vec)
+	mt.keys = append(mt.keys, key)
+	id := len(mt.keys) - 1
+	mt.mu.Unlock()
+	return id
+}
+
+// Len implements Index.
+func (mt *Memtable) Len() int {
+	mt.mu.RLock()
+	n := len(mt.keys)
+	mt.mu.RUnlock()
+	return n
+}
+
+// Dim implements Index.
+func (mt *Memtable) Dim() int { return mt.dim }
+
+// Key returns the metadata key for id.
+func (mt *Memtable) Key(id int) string {
+	mt.mu.RLock()
+	k := mt.keys[id]
+	mt.mu.RUnlock()
+	return k
+}
+
+// snapshot returns stable views of rows [lo, hi). Rows are append-only, so
+// the returned slices never change after capture; only the slice headers
+// need the lock.
+func (mt *Memtable) snapshot(lo, hi int) (codes []uint16, keys []string) {
+	mt.mu.RLock()
+	codes = mt.codes[lo*mt.dim : hi*mt.dim : hi*mt.dim]
+	keys = mt.keys[lo:hi:hi]
+	mt.mu.RUnlock()
+	return codes, keys
+}
+
+// Search implements Index with the same blocked scan as Flat, over the
+// rows present at call time.
+func (mt *Memtable) Search(query []float32, k int) []Result {
+	if len(query) != mt.dim {
+		panic("vecstore: Search dim mismatch")
+	}
+	codes, keys := mt.snapshot(0, mt.Len())
+	if k <= 0 || len(keys) == 0 {
+		return nil
+	}
+	return searchBlock(halfBlock{codes: codes, dim: mt.dim}, query, k, keys, nil)
+}
+
+// SearchBatch implements BatchSearcher; the whole batch is answered from
+// one row snapshot.
+func (mt *Memtable) SearchBatch(queries [][]float32, k int) [][]Result {
+	for _, q := range queries {
+		if len(q) != mt.dim {
+			panic("vecstore: Search dim mismatch")
+		}
+	}
+	codes, keys := mt.snapshot(0, mt.Len())
+	if k <= 0 || len(keys) == 0 {
+		return make([][]Result, len(queries))
+	}
+	return searchBlockBatch(halfBlock{codes: codes, dim: mt.dim}, queries, k, keys)
+}
+
+// MemoryBytes reports FP16 row storage, for StatsOf.
+func (mt *Memtable) MemoryBytes() int64 {
+	return int64(mt.Len()) * int64(f16.BytesPerVector(mt.dim))
+}
+
+// AppendableCloner is implemented by indexes that can produce a cheap
+// clone that accepts Add without disturbing rows served through the
+// original — the compaction encode target. Clones may share backing
+// arrays with the original: appends only ever write past the original's
+// visible lengths, so concurrent readers of the original are safe.
+type AppendableCloner interface {
+	Index
+	CloneForAppend() Index
+}
+
+// CloneForAppend implements AppendableCloner for Flat.
+func (ix *Flat) CloneForAppend() Index {
+	cp := *ix
+	return &cp
+}
+
+// CloneForAppend implements AppendableCloner for IVFPQ: the outer per-cell
+// slices are copied so post-train Add mutates only the clone's view, while
+// the trained state (quantizers, codebook, anchors, rotation) is shared
+// read-only.
+func (ix *IVFPQ) CloneForAppend() Index {
+	cp := *ix
+	cp.cellIDs = append([][]int(nil), ix.cellIDs...)
+	cp.cellCodes = append([][]byte(nil), ix.cellCodes...)
+	return &cp
+}
+
+// Live is the mutable serving index: an immutable base plus a Memtable.
+// Search and Add may run concurrently; ids are assigned in union order
+// (base rows keep their ids, memtable row r is id base.Len()+r), so
+// results merge under the total order exactly as one Flat over the union.
+type Live struct {
+	base Index
+	mem  *Memtable
+	nb   int // base.Len(), frozen: the base is immutable under a Live
+	dim  int
+}
+
+// NewLive wraps an immutable base index in a mutable layer. A nil mem
+// starts an empty memtable. The base must not be mutated afterwards.
+func NewLive(base Index, mem *Memtable) *Live {
+	if base == nil {
+		panic("vecstore: NewLive nil base")
+	}
+	if mem == nil {
+		mem = NewMemtable(base.Dim())
+	}
+	if mem.Dim() != base.Dim() {
+		panic(fmt.Sprintf("vecstore: NewLive memtable dim %d != base dim %d", mem.Dim(), base.Dim()))
+	}
+	return &Live{base: base, mem: mem, nb: base.Len(), dim: base.Dim()}
+}
+
+// Add implements Index, appending to the memtable. Safe concurrently with
+// Search. The returned id is stable across compactions.
+func (lv *Live) Add(vec []float32, key string) int {
+	return lv.nb + lv.mem.Add(vec, key)
+}
+
+// Len implements Index.
+func (lv *Live) Len() int { return lv.nb + lv.mem.Len() }
+
+// Dim implements Index.
+func (lv *Live) Dim() int { return lv.dim }
+
+// MemLen reports the number of memtable (not yet compacted) rows.
+func (lv *Live) MemLen() int { return lv.mem.Len() }
+
+// Base exposes the immutable base index (stats, persistence).
+func (lv *Live) Base() Index { return lv.base }
+
+// Key returns the metadata key for id, from the base or the memtable.
+func (lv *Live) Key(id int) string {
+	if id < lv.nb {
+		if kx, ok := lv.base.(keyedIndex); ok {
+			return kx.Key(id)
+		}
+		return ""
+	}
+	return lv.mem.Key(id - lv.nb)
+}
+
+// keyedIndex mirrors rag's keyed probe without importing it.
+type keyedIndex interface{ Key(id int) string }
+
+// mergeLive folds the base and memtable top-k candidate sets under the
+// package total order (score desc, id asc) — the same order mergeHeaps
+// uses, so the merge is exact: the union's true top-k is contained in the
+// union of the two per-tier top-k sets. mem ids arrive memtable-local and
+// are lifted by nb here.
+func mergeLive(base, mem []Result, nb, k int) []Result {
+	if len(mem) == 0 && len(base) == 0 {
+		return nil
+	}
+	merged := make([]Result, 0, len(base)+len(mem))
+	merged = append(merged, base...)
+	for _, r := range mem {
+		r.ID += nb
+		merged = append(merged, r)
+	}
+	sortResults(merged)
+	if len(merged) > k {
+		merged = merged[:k]
+	}
+	return merged
+}
+
+// Search implements Index: the base and the memtable are each searched for
+// their top-k, and the two sets merge under the total order.
+func (lv *Live) Search(query []float32, k int) []Result {
+	if len(query) != lv.dim {
+		panic("vecstore: Search dim mismatch")
+	}
+	if k <= 0 {
+		return nil
+	}
+	var base []Result
+	if lv.nb > 0 {
+		base = lv.base.Search(query, k)
+	}
+	mem := lv.mem.Search(query, k)
+	return mergeLive(base, mem, lv.nb, k)
+}
+
+// SearchBatch implements BatchSearcher: the base answers through its own
+// multi-query kernel, the memtable through its snapshot batch scan, and
+// each query's two sets merge as in Search.
+func (lv *Live) SearchBatch(queries [][]float32, k int) [][]Result {
+	for _, q := range queries {
+		if len(q) != lv.dim {
+			panic("vecstore: Search dim mismatch")
+		}
+	}
+	out := make([][]Result, len(queries))
+	if k <= 0 || len(queries) == 0 {
+		return out
+	}
+	var base [][]Result
+	if lv.nb > 0 {
+		base = BatchSearch(lv.base, queries, k, 0)
+	}
+	mem := lv.mem.SearchBatch(queries, k)
+	for qi := range queries {
+		var b []Result
+		if base != nil {
+			b = base[qi]
+		}
+		out[qi] = mergeLive(b, mem[qi], lv.nb, k)
+	}
+	return out
+}
+
+// MemoryBytes reports base plus memtable storage, for StatsOf.
+func (lv *Live) MemoryBytes() int64 {
+	var b int64
+	type sized interface{ MemoryBytes() int64 }
+	if m, ok := lv.base.(sized); ok {
+		b = m.MemoryBytes()
+	}
+	return b + lv.mem.MemoryBytes()
+}
+
+// CompactBase is the slow half of a compaction: it clones the base and
+// encodes the first n memtable rows into the clone through the base's own
+// Add path (post-train residual encoding for IVFPQ). Readers and writers
+// may proceed concurrently — rows [0,n) are frozen by append-only growth,
+// and the clone never disturbs rows visible through the original base.
+func (lv *Live) CompactBase(n int) (Index, error) {
+	cl, ok := lv.base.(AppendableCloner)
+	if !ok {
+		return nil, fmt.Errorf("vecstore: base %T does not support compaction (no CloneForAppend)", lv.base)
+	}
+	if n < 0 || n > lv.mem.Len() {
+		return nil, fmt.Errorf("vecstore: CompactBase(%d) outside memtable of %d rows", n, lv.mem.Len())
+	}
+	newBase := cl.CloneForAppend()
+	codes, keys := lv.mem.snapshot(0, n)
+	buf := make([]float32, lv.dim)
+	for r := 0; r < n; r++ {
+		f16.DecodeInto(buf, codes[r*lv.dim:(r+1)*lv.dim])
+		newBase.Add(buf, keys[r])
+	}
+	return newBase, nil
+}
+
+// Rotate is the fast half of a compaction: it returns the successor Live
+// serving newBase (which must hold exactly the old base plus memtable rows
+// [0,n), i.e. the CompactBase result) with a fresh memtable seeded with
+// the rows added since the cut. The caller MUST exclude writers (hold the
+// route write lock) across Rotate and the snapshot publish; readers of the
+// old Live are unaffected. Ids are stable: old id nb+r == new id
+// newBase.Len()+(r-n) for every surviving memtable row.
+func (lv *Live) Rotate(newBase Index, n int) *Live {
+	if want := lv.nb + n; newBase.Len() != want {
+		panic(fmt.Sprintf("vecstore: Rotate base has %d rows, want %d", newBase.Len(), want))
+	}
+	m := lv.mem.Len()
+	fresh := NewMemtable(lv.dim)
+	codes, keys := lv.mem.snapshot(n, m)
+	fresh.codes = append(fresh.codes, codes...)
+	fresh.keys = append(fresh.keys, keys...)
+	return &Live{base: newBase, mem: fresh, nb: newBase.Len(), dim: lv.dim}
+}

@@ -292,6 +292,10 @@ func StatsOf(ix Index) IndexStats {
 		st.Kind = fmt.Sprintf("IVF-PQ(nlist=%d,nprobe=%d,m=%d%s)", v.NList(), v.NProbe(), v.M(), variant)
 	case *HNSW:
 		st.Kind = "HNSW(FP16)"
+	case *Memtable:
+		st.Kind = "Memtable(FP16)"
+	case *Live:
+		st.Kind = fmt.Sprintf("Live(%s, mem=%d)", StatsOf(v.Base()).Kind, v.MemLen())
 	}
 	return st
 }
