@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: verify bench bench-all bench-serve docs fmt race fuzz-smoke
+.PHONY: verify bench bench-all bench-serve docs fmt race fuzz-smoke profile
 
 verify:
 	@unformatted="$$(gofmt -l .)"; \
@@ -23,9 +23,11 @@ verify:
 # TestSwapSearchRaceConsistency's swap/search hammering and the live
 # ingest Add+Search+compact hammer), the mutable vecstore layer
 # (memtable + Live rotation), the router's scatter/gather + breaker +
-# health prober, the gateways, and the parallel pipeline.
+# health prober, the gateways, the parallel pipeline, and the
+# observability layer (metrics registry snapshots under writer load,
+# trace/slowlog concurrent appends).
 race:
-	$(GO) test -race ./internal/serve ./internal/router ./internal/batch ./internal/argo ./internal/pipeline ./internal/rag ./internal/vecstore
+	$(GO) test -race ./internal/serve ./internal/router ./internal/batch ./internal/argo ./internal/pipeline ./internal/rag ./internal/vecstore ./internal/metrics ./internal/obs
 
 # Short native-fuzz pass over the VSF loader's magic dispatch and header
 # parsing (FuzzLoad); the checked-in corpus under testdata/fuzz pins the
@@ -70,6 +72,12 @@ bench-all:
 # `make verify` (serve.BenchReport.Check), so a malformed emit fails CI.
 bench-serve:
 	$(GO) run ./cmd/ragload -inprocess -scale 0.01 -n 2000 -c 32 -json BENCH_serve.json
+
+# bench-serve with a CPU profile of the whole run (load generator +
+# in-process server). Inspect with `go tool pprof cpu.pprof`; for a
+# live server use `ragserve -debug` and hit /debug/pprof/ instead.
+profile:
+	$(GO) run ./cmd/ragload -inprocess -scale 0.01 -n 2000 -c 32 -json BENCH_serve.json -cpuprofile cpu.pprof
 
 fmt:
 	gofmt -w .

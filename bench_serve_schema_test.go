@@ -32,4 +32,64 @@ func TestBenchServeReportSchema(t *testing.T) {
 	if err := rep.Check(); err != nil {
 		t.Fatalf("BENCH_serve.json is malformed: %v", err)
 	}
+
+	// The stage breakdown is part of the schema: every documented stage
+	// present, no stages the schema doesn't know (map keys bypass
+	// DisallowUnknownFields, so Check covers them), and the scan stage —
+	// the one every uncached search must cross — actually sampled.
+	for _, stage := range serve.StageNames {
+		if rep.Stages[stage] == nil {
+			t.Fatalf("stages missing %q: %+v", stage, rep.Stages)
+		}
+	}
+	for name := range rep.Stages {
+		known := false
+		for _, stage := range serve.StageNames {
+			known = known || name == stage
+		}
+		if !known {
+			t.Fatalf("stages carries unknown stage %q", name)
+		}
+	}
+	if rep.Stages["scan"].Samples == 0 {
+		t.Fatal("stages.scan has zero samples — the timing phase never reached the kernel")
+	}
+}
+
+// TestBenchReportCheckRejectsBadStages pins the Check-side stage gating
+// that the artifact test above relies on: an unknown stage name and a
+// zero-sample scan stage must both fail validation.
+func TestBenchReportCheckRejectsBadStages(t *testing.T) {
+	mk := func() map[string]*serve.StageLat {
+		m := make(map[string]*serve.StageLat)
+		for _, s := range serve.StageNames {
+			m[s] = &serve.StageLat{Samples: 1, P50MS: 0.1, P99MS: 0.2}
+		}
+		return m
+	}
+	base, err := os.ReadFile("BENCH_serve.json")
+	if os.IsNotExist(err) {
+		t.Skip("no BENCH_serve.json; run `make bench-serve` to produce one")
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep serve.BenchReport
+	if err := json.Unmarshal(base, &rep); err != nil {
+		t.Fatal(err)
+	}
+
+	rep.Stages = mk()
+	if err := rep.Check(); err != nil {
+		t.Fatalf("well-formed stages rejected: %v", err)
+	}
+	rep.Stages["warp"] = &serve.StageLat{Samples: 1}
+	if err := rep.Check(); err == nil {
+		t.Fatal("unknown stage name passed Check")
+	}
+	rep.Stages = mk()
+	rep.Stages["scan"].Samples = 0
+	if err := rep.Check(); err == nil {
+		t.Fatal("zero-sample scan stage passed Check")
+	}
 }

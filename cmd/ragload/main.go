@@ -10,10 +10,12 @@
 // eviction-policy sweep), a live-ingestion phase (a mixed read/write
 // closed loop against a mutable route with background memtable
 // compactions and a post-quiesce audit that no acked insert was lost),
-// and a router phase: the corpus partitioned across a 3-shard fleet
+// a router phase: the corpus partitioned across a 3-shard fleet
 // behind the scatter/gather router, with one shard killed cold mid-run to
 // measure degraded-recall throughput and breaker trip/recovery (zero 5xx
-// expected).
+// expected), and a per-stage latency phase that folds timing-enabled
+// requests' span timelines into a queue/cache/embed/scan/merge breakdown.
+// -cpuprofile wraps the whole run in a CPU profile (`make profile`).
 //
 // Usage:
 //
@@ -31,6 +33,7 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"sync"
@@ -61,16 +64,32 @@ func main() {
 	dist := flag.String("dist", "uniform", "query-key distribution: uniform or zipf (remote mode; inprocess always adds a zipf phase)")
 	zipfS := flag.Float64("zipf-s", 1.1, "zipf exponent for -dist zipf and the inprocess zipf phase")
 	jsonPath := flag.String("json", "", "write the machine-readable report here")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole run here (see `make profile`)")
 	flag.Parse()
 
 	if *dist != "uniform" && *dist != "zipf" {
 		log.Fatalf("-dist %q: want uniform or zipf", *dist)
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
 	}
 	var err error
 	if *inprocess {
 		err = runInProcess(*scale, *seed, *n, *c, *k, *nq, *swaps, *rate, *zipfS, *jsonPath)
 	} else {
 		err = runRemote(*addr, *routes, *n, *c, *nq, *k, *rate, *dist, *zipfS, *jsonPath)
+	}
+	if *cpuprofile != "" {
+		// Stop before the error exit below: log.Fatal skips defers, and an
+		// unflushed profile is unreadable.
+		pprof.StopCPUProfile()
+		fmt.Printf("cpu profile written to %s\n", *cpuprofile)
 	}
 	if err != nil {
 		log.Fatal(err)
@@ -313,6 +332,14 @@ func runInProcess(scale float64, seed uint64, n, c, k, nq, swaps int, rate, zipf
 		return err
 	}
 
+	// Phase 9 — per-stage latency breakdown: timing-enabled requests on the
+	// chunks route, folding the returned span timelines into per-stage
+	// p50/p99 (where a search's time goes, not just how long it takes).
+	rep.Stages, err = runStagesPhase(client, n, k, 2*n+2*nq+8*nq)
+	if err != nil {
+		return err
+	}
+
 	rep.P50MS, rep.P95MS, rep.P99MS = rep.Concurrent.P50MS, rep.Concurrent.P95MS, rep.Concurrent.P99MS
 	fmt.Println("server /metrics after all phases:")
 	fmt.Print(srv.Registry().Render())
@@ -514,6 +541,46 @@ func runRouterPhase(chunks []chunk.Chunk, n, c, k int) (*serve.RouterBench, erro
 	}
 	fmt.Printf("  shard revived, breaker closed again: %v\n\n", rb.Recovered)
 	return rb, nil
+}
+
+// runStagesPhase issues timing-enabled single searches on the chunks route
+// and aggregates the returned span durations by stage name. poolOffset
+// keeps its queries disjoint from every prior phase, so each request is a
+// cache miss whose trace crosses all five serve stages (the cache span is
+// the lookup itself, recorded on hits and misses alike).
+func runStagesPhase(client *serve.Client, n, k, poolOffset int) (map[string]*serve.StageLat, error) {
+	fmt.Println("per-stage latency breakdown (timing-enabled requests):")
+	if n > 512 {
+		n = 512 // plenty of samples for a stable p99 without stretching the run
+	}
+	pool := queryPool(poolOffset + n)[poolOffset:]
+	samples := make(map[string][]int64, len(serve.StageNames))
+	for _, q := range pool {
+		resp, err := client.SearchRouteReq(serve.RouteChunks, serve.SearchRequest{Query: q, K: k, Timing: true})
+		if err != nil {
+			return nil, fmt.Errorf("stages phase: %w", err)
+		}
+		if resp.Timing == nil {
+			return nil, fmt.Errorf("stages phase: timing requested but the response carried none")
+		}
+		for _, sp := range resp.Timing.Spans {
+			samples[sp.Name] = append(samples[sp.Name], sp.DurUS)
+		}
+	}
+	out := make(map[string]*serve.StageLat, len(serve.StageNames))
+	for _, name := range serve.StageNames {
+		ds := samples[name]
+		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+		sl := &serve.StageLat{Samples: int64(len(ds))}
+		if len(ds) > 0 {
+			sl.P50MS = float64(ds[len(ds)/2]) / 1e3
+			sl.P99MS = float64(ds[len(ds)*99/100]) / 1e3
+		}
+		out[name] = sl
+		fmt.Printf("  %-6s %6d samples  p50 %8.3fms  p99 %8.3fms\n", name, sl.Samples, sl.P50MS, sl.P99MS)
+	}
+	fmt.Println()
+	return out, nil
 }
 
 func writeJSON(path string, v any) error {

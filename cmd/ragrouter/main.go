@@ -55,6 +55,7 @@ func main() {
 	cooldown := flag.Duration("breaker-cooldown", 500*time.Millisecond, "open-state cooldown before a half-open probe")
 	probe := flag.Duration("probe", 500*time.Millisecond, "health prober period (drives breaker recovery)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown window")
+	debug := flag.Bool("debug", false, "mount net/http/pprof under /debug/pprof/ on the routing port")
 	flag.Parse()
 
 	if *shards == "" {
@@ -70,6 +71,7 @@ func main() {
 		Retry:         retry.Policy{MaxRetries: normRetries(*retries), BaseBackoff: *backoff},
 		Breaker:       router.BreakerConfig{Threshold: *threshold, Cooldown: *cooldown},
 		ProbeInterval: *probe,
+		Debug:         *debug,
 	}
 	if err := run(*addr, *drain, cfg); err != nil {
 		log.Fatal(err)

@@ -33,7 +33,6 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -43,6 +42,7 @@ import (
 
 	"repro/internal/chunk"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/rag"
 	"repro/internal/serve"
 	"repro/internal/vecstore"
@@ -64,16 +64,45 @@ func main() {
 	saveIndex := flag.String("save-index", "", "also persist the chunk serving index to this VSF path (handy as a swap target)")
 	saveTraces := flag.String("save-traces", "", "also persist the trace indexes to traces_<mode>.vsf under this directory")
 	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown window")
+	debug := flag.Bool("debug", false, "mount net/http/pprof under /debug/pprof/ on the serving port")
 	flag.Parse()
 
+	logger := obs.NewLogger(os.Stderr, "ragserve")
+	// Reject bad flags before the corpus build: a typo'd index kind or
+	// shard spec should fail in milliseconds, not after minutes of
+	// embedding.
+	if err := validateConfig(*indexKind, *shard, *scale); err != nil {
+		logger.Error("invalid configuration", "err", err)
+		os.Exit(2)
+	}
 	if err := run(*addr, *artifacts, *indexKind, *saveIndex, *saveTraces, *shard, *scale, *seed,
-		*maxBatch, *cacheCap, *compactAt, *maxDelay, *drain, *traces, *live); err != nil {
-		log.Fatal(err)
+		*maxBatch, *cacheCap, *compactAt, *maxDelay, *drain, *traces, *live, *debug, logger); err != nil {
+		logger.Error("fatal", "err", err)
+		os.Exit(1)
 	}
 }
 
+// validateConfig checks flag values that would otherwise only fail deep
+// inside the build or serve path.
+func validateConfig(indexKind, shard string, scale float64) error {
+	switch indexKind {
+	case "flat", "ivf", "pq", "ivfpq":
+	default:
+		return fmt.Errorf("unknown -index %q (flat | ivf | pq | ivfpq)", indexKind)
+	}
+	if shard != "" {
+		if _, _, err := parseShard(shard); err != nil {
+			return err
+		}
+	}
+	if scale <= 0 {
+		return fmt.Errorf("-scale %v: want positive", scale)
+	}
+	return nil
+}
+
 func run(addr, artifactDir, indexKind, saveIndex, saveTraces, shard string, scale float64, seed uint64,
-	maxBatch, cacheCap, compactAt int, maxDelay, drain time.Duration, traces, live bool) error {
+	maxBatch, cacheCap, compactAt int, maxDelay, drain time.Duration, traces, live, debug bool, logger *obs.Logger) error {
 	a, err := buildArtifacts(artifactDir, shard, scale, seed, indexKind)
 	if err != nil {
 		return err
@@ -105,6 +134,7 @@ func run(addr, artifactDir, indexKind, saveIndex, saveTraces, shard string, scal
 	cfg.MaxBatch = maxBatch
 	cfg.MaxDelay = maxDelay
 	cfg.CacheCap = cacheCap
+	cfg.Debug = debug
 	if live {
 		// Mutable chunk route: a memtable layer accepts POST /v1/chunks/add
 		// while searches keep running; the background compactor drains it
@@ -125,15 +155,17 @@ func run(addr, artifactDir, indexKind, saveIndex, saveTraces, shard string, scal
 	fmt.Printf("ragserve listening on %s — %d chunks, %d traces, %s chunk index (%.1f bytes/vector), batch≤%d window=%s cache=%d\n",
 		srv.Addr(), len(a.Chunks), len(a.Traces), st.Kind, st.BytesPerVector(), maxBatch, maxDelay, cacheCap)
 	fmt.Printf("routes: %s\n", strings.Join(srv.Routes(), ", "))
+	logger.Info("serving", "addr", srv.Addr(), "routes", strings.Join(srv.Routes(), ","), "debug", debug)
 
 	// SIGTERM drain: stop accepting, let in-flight requests finish.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	<-ctx.Done()
-	fmt.Println("\ndraining…")
+	logger.Info("draining", "window", drain.String())
 	drainCtx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
 	if err := srv.Shutdown(drainCtx); err != nil {
+		logger.Error("shutdown incomplete", "err", err)
 		return fmt.Errorf("shutdown: %w", err)
 	}
 	fmt.Println(srv.Registry().Render())
@@ -181,9 +213,9 @@ func buildArtifacts(artifactDir, shard string, scale float64, seed uint64, index
 // merge rests on. All shards use the same deterministic default encoder,
 // so a document scores bit-identically wherever it lives.
 func shardChunks(a *core.Artifacts, spec string) error {
-	var i, n int
-	if _, err := fmt.Sscanf(spec, "%d/%d", &i, &n); err != nil || n <= 0 || i < 0 || i >= n {
-		return fmt.Errorf(`bad -shard %q: want "i/n" with 0 <= i < n`, spec)
+	i, n, err := parseShard(spec)
+	if err != nil {
+		return err
 	}
 	part := make([]chunk.Chunk, 0, len(a.Chunks)/n+1)
 	for j, c := range a.Chunks {
@@ -195,4 +227,12 @@ func shardChunks(a *core.Artifacts, spec string) error {
 	a.Chunks = part
 	a.ChunkStore = rag.BuildChunkStore(nil, part, 0)
 	return nil
+}
+
+// parseShard parses an "i/n" shard spec (0-based, 0 <= i < n).
+func parseShard(spec string) (i, n int, err error) {
+	if _, err := fmt.Sscanf(spec, "%d/%d", &i, &n); err != nil || n <= 0 || i < 0 || i >= n {
+		return 0, 0, fmt.Errorf(`bad -shard %q: want "i/n" with 0 <= i < n`, spec)
+	}
+	return i, n, nil
 }

@@ -82,16 +82,48 @@ func (r *Registry) Render() string {
 	return b.String()
 }
 
-func writeHistogram(b *strings.Builder, name string, s Snapshot) {
+// Report renders a human-oriented aligned summary of all metrics, sorted
+// by kind then name. It is built from the same Snapshot and histogram
+// summary line as WriteTo/Render — one formatting path, so the two text
+// exports cannot drift — differing only in layout (aligned columns, no
+// per-bucket lines).
+func (r *Registry) Report() string {
+	snap := r.Snapshot()
+	var lines []string
+	for _, name := range sortedKeys(snap.Counters) {
+		lines = append(lines, fmt.Sprintf("counter   %-32s %d", name, snap.Counters[name]))
+	}
+	for _, name := range sortedKeys(snap.Gauges) {
+		lines = append(lines, fmt.Sprintf("gauge     %-32s %d", name, snap.Gauges[name]))
+	}
+	for _, name := range sortedKeys(snap.Histograms) {
+		lines = append(lines, fmt.Sprintf("histogram %-32s %s", name, snap.Histograms[name].summary()))
+	}
+	return strings.Join(lines, "\n")
+}
+
+// summary renders a histogram's one-line count/mean/quantile body — the
+// shared formatting core behind both WriteTo and Report.
+func (s Snapshot) summary() string {
 	val := func(d time.Duration) string {
 		if s.Sizes {
 			return fmt.Sprintf("%d", int64(d))
 		}
 		return d.String()
 	}
-	fmt.Fprintf(b, "histogram %s count=%d mean=%s p50=%s p95=%s p99=%s max=%s\n",
-		name, s.Total, val(s.Mean),
+	return fmt.Sprintf("count=%d mean=%s p50=%s p95=%s p99=%s max=%s",
+		s.Total, val(s.Mean),
 		val(s.Quantile(0.50)), val(s.Quantile(0.95)), val(s.Quantile(0.99)), val(s.Max))
+}
+
+func writeHistogram(b *strings.Builder, name string, s Snapshot) {
+	fmt.Fprintf(b, "histogram %s %s\n", name, s.summary())
+	val := func(d time.Duration) string {
+		if s.Sizes {
+			return fmt.Sprintf("%d", int64(d))
+		}
+		return d.String()
+	}
 	var cum int64
 	for i, c := range s.Counts {
 		cum += c

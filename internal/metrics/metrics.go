@@ -11,7 +11,6 @@ package metrics
 import (
 	"fmt"
 	"sort"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -247,25 +246,4 @@ func (r *Registry) SizeHistogram(name string) *Histogram {
 		panic(fmt.Sprintf("metrics: histogram %q already registered as a duration histogram", name))
 	}
 	return h
-}
-
-// Report renders all metrics sorted by name.
-func (r *Registry) Report() string {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	var lines []string
-	for name, c := range r.counters {
-		lines = append(lines, fmt.Sprintf("counter   %-32s %d", name, c.Value()))
-	}
-	for name, g := range r.gauges {
-		lines = append(lines, fmt.Sprintf("gauge     %-32s %d", name, g.Value()))
-	}
-	for name, h := range r.histograms {
-		s := h.Snapshot()
-		lines = append(lines, fmt.Sprintf("histogram %-32s n=%d mean=%s p95≈%s max=%s",
-			name, s.Total, s.Mean.Round(time.Microsecond),
-			s.Quantile(0.95).Round(time.Microsecond), s.Max.Round(time.Microsecond)))
-	}
-	sort.Strings(lines)
-	return strings.Join(lines, "\n")
 }

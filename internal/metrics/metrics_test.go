@@ -163,10 +163,16 @@ func TestRegistryReport(t *testing.T) {
 	r.Gauge("queue.depth").Set(3)
 	r.Histogram("parse.latency").Observe(time.Millisecond)
 	rep := r.Report()
-	for _, want := range []string{"items.parsed", "queue.depth", "parse.latency", "n=1"} {
+	for _, want := range []string{"items.parsed", "queue.depth", "parse.latency", "count=1"} {
 		if !strings.Contains(rep, want) {
 			t.Fatalf("report missing %q:\n%s", want, rep)
 		}
+	}
+	// Report and WriteTo share one formatting path: the histogram summary
+	// body must be identical in both renderings.
+	summary := r.Snapshot().Histogram("parse.latency").summary()
+	if !strings.Contains(rep, summary) || !strings.Contains(r.Render(), summary) {
+		t.Fatalf("report and render disagree on the summary line %q:\n%s\n%s", summary, rep, r.Render())
 	}
 }
 
@@ -274,6 +280,42 @@ func TestRegistryRender(t *testing.T) {
 	if err != nil || b.String() != out || n != int64(len(out)) {
 		t.Fatalf("WriteTo n=%d err=%v", n, err)
 	}
+}
+
+func TestSnapshotConcurrentWithWriters(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				r.Counter("hits").Inc()
+				r.Gauge("depth").Set(9)
+				r.Histogram("lat").Observe(time.Microsecond)
+				r.SizeHistogram("batch").ObserveN(3)
+			}
+		}()
+	}
+	for i := 0; i < 50; i++ {
+		snap := r.Snapshot()
+		if snap.Counter("hits") < 0 {
+			t.Fatal("negative counter")
+		}
+		var b strings.Builder
+		if _, err := r.WriteTo(&b); err != nil {
+			t.Fatalf("WriteTo: %v", err)
+		}
+		_ = r.Report()
+	}
+	close(stop)
+	wg.Wait()
 }
 
 func TestHistogramKindCollisionPanics(t *testing.T) {

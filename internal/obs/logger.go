@@ -1,0 +1,48 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Logger is a minimal structured logger for the serving binaries:
+// one line per event, `ts=<RFC3339> level=<info|error> component=<name>
+// msg=<quoted> k=v ...`. It exists so runtime errors from ragserve and
+// ragrouter are machine-greppable instead of bare fmt.Printf strings, with
+// no dependency beyond the standard library. Safe for concurrent use and
+// on a nil receiver (no-op).
+type Logger struct {
+	mu        sync.Mutex
+	w         io.Writer
+	component string
+}
+
+// NewLogger writes events for one component ("ragserve", "ragrouter") to w.
+func NewLogger(w io.Writer, component string) *Logger {
+	return &Logger{w: w, component: component}
+}
+
+// Info logs an informational event with alternating key/value pairs.
+func (l *Logger) Info(msg string, kv ...any) { l.log("info", msg, kv) }
+
+// Error logs an error event with alternating key/value pairs.
+func (l *Logger) Error(msg string, kv ...any) { l.log("error", msg, kv) }
+
+func (l *Logger) log(level, msg string, kv []any) {
+	if l == nil {
+		return
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "ts=%s level=%s component=%s msg=%q",
+		time.Now().UTC().Format(time.RFC3339), level, l.component, msg)
+	for i := 0; i+1 < len(kv); i += 2 {
+		fmt.Fprintf(&b, " %v=%v", kv[i], kv[i+1])
+	}
+	b.WriteByte('\n')
+	l.mu.Lock()
+	io.WriteString(l.w, b.String()) //nolint:errcheck // best-effort logging
+	l.mu.Unlock()
+}

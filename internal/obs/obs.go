@@ -1,0 +1,210 @@
+// Package obs is the serving stack's observability kit: a lightweight,
+// allocation-conscious request tracer (trace id + ordered spans over
+// monotonic timestamps, context-propagated, no external deps), a bounded
+// slow-query log, and a small structured logger. It is the instrument
+// behind the per-stage latency breakdown — every hop of a request's life
+// (router scatter/merge, shard HTTP call, coalescer queue wait, cache
+// lookup, embed, vecstore scan/merge, response encode) records a span on
+// the request's trace, and the trace id rides the X-Trace-Id header across
+// tiers so one id names the same request in the router, the shard and the
+// response.
+//
+// The tracer is deliberately minimal: a Trace is a mutex-protected span
+// slice, spans are offsets from the trace's start (monotonic clock, so
+// wall-time skew cannot reorder them), and every method is safe on a nil
+// *Trace — untraced programmatic callers pay one nil check, no
+// allocations.
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TraceHeader is the HTTP header that carries a trace id across tiers
+// (router → shard on requests; handlers adopt an incoming id instead of
+// minting one, so one id names the request end to end).
+const TraceHeader = "X-Trace-Id"
+
+// Span is one named stage of a traced request. Offsets and durations are
+// microseconds from the owning trace's start — small on the wire, readable
+// in a slowlog dump, and directly comparable across spans of one trace.
+type Span struct {
+	Name    string `json:"name"`
+	StartUS int64  `json:"start_us"`
+	DurUS   int64  `json:"dur_us"`
+}
+
+// Trace is one request's span timeline. The zero of its clock is the
+// moment NewTrace ran (monotonic, via time.Time's monotonic reading).
+// All methods are safe for concurrent use and on a nil receiver.
+type Trace struct {
+	id    string
+	start time.Time
+
+	mu    sync.Mutex
+	spans []Span
+}
+
+// idPrefix makes trace ids unique across processes without coordination:
+// a per-process random prefix plus an atomic counter. Falling back to a
+// time-derived prefix keeps NewTrace total if the system entropy pool is
+// unreadable.
+var idPrefix = func() string {
+	var b [6]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return strconv.FormatInt(time.Now().UnixNano(), 36)
+	}
+	return hex.EncodeToString(b[:])
+}()
+
+var idCounter atomic.Uint64
+
+func newID() string {
+	return idPrefix + "-" + strconv.FormatUint(idCounter.Add(1), 36)
+}
+
+// NewTrace starts a trace. A non-empty id adopts the caller's (the
+// header-propagation path: the router minted it, the shard adopts it);
+// ids that are empty, overlong or contain characters outside
+// [0-9A-Za-z._-] are replaced with a fresh one, so a hostile header cannot
+// smuggle bytes into the slowlog JSON or metrics.
+func NewTrace(id string) *Trace {
+	if !validID(id) {
+		id = newID()
+	}
+	return &Trace{id: id, start: time.Now()}
+}
+
+func validID(id string) bool {
+	if id == "" || len(id) > 64 {
+		return false
+	}
+	for _, r := range id {
+		if (r < '0' || r > '9') && (r < 'a' || r > 'z') && (r < 'A' || r > 'Z') &&
+			r != '.' && r != '_' && r != '-' {
+			return false
+		}
+	}
+	return true
+}
+
+// ID returns the trace id ("" on nil).
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// StartTime returns the trace's zero instant (zero time on nil).
+func (t *Trace) StartTime() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	return t.start
+}
+
+// Since returns the elapsed time since the trace started (0 on nil).
+func (t *Trace) Since() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return time.Since(t.start)
+}
+
+// AddSpan records a span that began at start and ran for d. Negative
+// offsets (a span that began before the trace — possible when a queued
+// job's enqueue predates a joiner's trace) clamp to zero.
+func (t *Trace) AddSpan(name string, start time.Time, d time.Duration) {
+	if t == nil {
+		return
+	}
+	off := start.Sub(t.start)
+	if off < 0 {
+		off = 0
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, Span{Name: name, StartUS: off.Microseconds(), DurUS: d.Microseconds()})
+	t.mu.Unlock()
+}
+
+// StartSpan begins a span now and returns the closure that ends it —
+// `defer tr.StartSpan("cache")()` brackets a stage in one line.
+func (t *Trace) StartSpan(name string) func() {
+	if t == nil {
+		return func() {}
+	}
+	start := time.Now()
+	return func() { t.AddSpan(name, start, time.Since(start)) }
+}
+
+// AttachAt adopts spans recorded on another trace's clock (a shard's
+// timeline, returned in its response timing), prefixing their names and
+// shifting their offsets so they sit at `at` on this trace's timeline —
+// the instant the remote call was issued. Remote offsets stay internally
+// consistent; only their anchor is local, so clock skew between hosts
+// cannot reorder the merged timeline.
+func (t *Trace) AttachAt(prefix string, at time.Time, spans []Span) {
+	if t == nil || len(spans) == 0 {
+		return
+	}
+	base := at.Sub(t.start)
+	if base < 0 {
+		base = 0
+	}
+	baseUS := base.Microseconds()
+	t.mu.Lock()
+	for _, s := range spans {
+		t.spans = append(t.spans, Span{Name: prefix + s.Name, StartUS: baseUS + s.StartUS, DurUS: s.DurUS})
+	}
+	t.mu.Unlock()
+}
+
+// Spans returns a copy of the recorded spans sorted by start offset (name
+// breaks ties), the ordered timeline for responses and the slowlog.
+func (t *Trace) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := append([]Span(nil), t.spans...)
+	t.mu.Unlock()
+	// Insertion sort: span counts are single digits and mostly appended in
+	// time order already.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && less(out[j], out[j-1]); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func less(a, b Span) bool {
+	if a.StartUS != b.StartUS {
+		return a.StartUS < b.StartUS
+	}
+	return a.Name < b.Name
+}
+
+type ctxKey struct{}
+
+// WithTrace attaches a trace to a context; FromContext recovers it.
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, t)
+}
+
+// FromContext returns the context's trace, or nil — every Trace method
+// no-ops on nil, so callers never need to branch.
+func FromContext(ctx context.Context) *Trace {
+	t, _ := ctx.Value(ctxKey{}).(*Trace)
+	return t
+}

@@ -1,0 +1,182 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNewTraceIDAdoptionAndSanitisation(t *testing.T) {
+	if got := NewTrace("router-abc.1").ID(); got != "router-abc.1" {
+		t.Fatalf("valid id not adopted: %q", got)
+	}
+	for _, bad := range []string{"", "has space", "semi;colon", strings.Repeat("x", 65), "new\nline"} {
+		tr := NewTrace(bad)
+		if tr.ID() == bad || tr.ID() == "" || !validID(tr.ID()) {
+			t.Fatalf("bad id %q not replaced (got %q)", bad, tr.ID())
+		}
+	}
+	a, b := NewTrace(""), NewTrace("")
+	if a.ID() == b.ID() {
+		t.Fatalf("generated ids collide: %q", a.ID())
+	}
+}
+
+func TestTraceSpansOrderedByOffset(t *testing.T) {
+	tr := NewTrace("")
+	base := tr.StartTime()
+	tr.AddSpan("late", base.Add(3*time.Millisecond), time.Millisecond)
+	tr.AddSpan("early", base.Add(1*time.Millisecond), time.Millisecond)
+	tr.AddSpan("middle", base.Add(2*time.Millisecond), time.Millisecond)
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans", len(spans))
+	}
+	want := []string{"early", "middle", "late"}
+	for i, s := range spans {
+		if s.Name != want[i] {
+			t.Fatalf("span %d = %q, want %q (order %v)", i, s.Name, want[i], spans)
+		}
+	}
+	if spans[0].StartUS != 1000 || spans[0].DurUS != 1000 {
+		t.Fatalf("span offsets wrong: %+v", spans[0])
+	}
+}
+
+func TestTraceNegativeOffsetClamps(t *testing.T) {
+	tr := NewTrace("")
+	tr.AddSpan("pre", tr.StartTime().Add(-time.Second), time.Millisecond)
+	if got := tr.Spans()[0].StartUS; got != 0 {
+		t.Fatalf("negative offset not clamped: %d", got)
+	}
+}
+
+func TestTraceAttachAtShiftsRemoteSpans(t *testing.T) {
+	remote := []Span{{Name: "scan", StartUS: 100, DurUS: 50}, {Name: "merge", StartUS: 150, DurUS: 10}}
+	tr := NewTrace("")
+	at := tr.StartTime().Add(2 * time.Millisecond)
+	tr.AttachAt("shard1.", at, remote)
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans", len(spans))
+	}
+	if spans[0].Name != "shard1.scan" || spans[0].StartUS != 2100 || spans[0].DurUS != 50 {
+		t.Fatalf("attached span wrong: %+v", spans[0])
+	}
+	if spans[1].Name != "shard1.merge" || spans[1].StartUS != 2150 {
+		t.Fatalf("attached span wrong: %+v", spans[1])
+	}
+}
+
+func TestNilTraceIsSafe(t *testing.T) {
+	var tr *Trace
+	tr.AddSpan("x", time.Now(), time.Second)
+	tr.AttachAt("p.", time.Now(), []Span{{Name: "y"}})
+	tr.StartSpan("z")()
+	if tr.ID() != "" || tr.Spans() != nil || tr.Since() != 0 {
+		t.Fatal("nil trace methods not inert")
+	}
+	var sl *SlowLog
+	sl.Record(tr, "op", "detail")
+	if sl.Snapshot() != nil {
+		t.Fatal("nil slowlog not inert")
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	tr := NewTrace("ctx-1")
+	ctx := WithTrace(context.Background(), tr)
+	if FromContext(ctx) != tr {
+		t.Fatal("trace lost in context")
+	}
+	if FromContext(context.Background()) != nil {
+		t.Fatal("empty context returned a trace")
+	}
+	if WithTrace(context.Background(), nil) != context.Background() {
+		t.Fatal("nil trace should not wrap the context")
+	}
+}
+
+func TestSlowLogKeepsSlowest(t *testing.T) {
+	sl := NewSlowLog(3)
+	// Record 6 traces with controlled totals by back-dating the start.
+	durs := []time.Duration{5, 1, 9, 3, 7, 2} // milliseconds
+	for i, d := range durs {
+		tr := NewTrace("")
+		tr.start = time.Now().Add(-d * time.Millisecond)
+		sl.Record(tr, "search", strings.Repeat("q", i))
+	}
+	got := sl.Snapshot()
+	if len(got) != 3 {
+		t.Fatalf("retained %d, want 3", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].TotalUS > got[i-1].TotalUS {
+			t.Fatalf("not sorted slowest-first: %v", got)
+		}
+	}
+	// The three slowest were 9ms, 7ms, 5ms: the fastest retained must be
+	// at least ~5ms and the head at least ~9ms.
+	if got[0].TotalUS < 9000 || got[2].TotalUS < 5000 {
+		t.Fatalf("wrong traces retained: %v", got)
+	}
+}
+
+func TestSlowLogTruncatesDetail(t *testing.T) {
+	sl := NewSlowLog(1)
+	sl.Record(NewTrace(""), "search", strings.Repeat("a", 1000))
+	got := sl.Snapshot()[0].Detail
+	if len(got) > maxDetailLen+len("…") {
+		t.Fatalf("detail not truncated: %d bytes", len(got))
+	}
+}
+
+// TestConcurrentTraceAndSlowLog hammers one trace and one slowlog from
+// many goroutines; run under -race this is the data-race gate for the
+// tracing hot path.
+func TestConcurrentTraceAndSlowLog(t *testing.T) {
+	tr := NewTrace("")
+	sl := NewSlowLog(8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				tr.AddSpan("s", time.Now(), time.Microsecond)
+				_ = tr.Spans()
+				sl.Record(NewTrace(""), "op", "q")
+				_ = sl.Snapshot()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if len(tr.Spans()) != 8*200 {
+		t.Fatalf("lost spans: %d", len(tr.Spans()))
+	}
+	if len(sl.Snapshot()) != 8 {
+		t.Fatalf("slowlog size %d, want 8", len(sl.Snapshot()))
+	}
+}
+
+func TestLoggerFormat(t *testing.T) {
+	var b strings.Builder
+	l := NewLogger(&b, "ragserve")
+	l.Info("listening", "addr", "127.0.0.1:8080", "routes", 4)
+	l.Error("shutdown failed", "err", "context deadline exceeded")
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	if !strings.Contains(lines[0], "level=info") || !strings.Contains(lines[0], `msg="listening"`) ||
+		!strings.Contains(lines[0], "addr=127.0.0.1:8080") || !strings.Contains(lines[0], "component=ragserve") {
+		t.Fatalf("info line malformed: %s", lines[0])
+	}
+	if !strings.Contains(lines[1], "level=error") {
+		t.Fatalf("error line malformed: %s", lines[1])
+	}
+	var nilLogger *Logger
+	nilLogger.Info("must not panic")
+}

@@ -2,6 +2,7 @@ package rag
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/vecstore"
 )
@@ -44,6 +45,28 @@ type Facade interface {
 	Len() int
 }
 
+// StageTimings decomposes one RetrieveBatch into the retrieval stages the
+// serving layer's observability reports: Embed is query encoding, Scan the
+// index kernel's scan phase, Merge its heap merge plus the metadata
+// collect. The sum can trail the whole call (slack is glue code, not a
+// stage).
+type StageTimings struct {
+	Embed time.Duration
+	Scan  time.Duration
+	Merge time.Duration
+}
+
+// StagedRetriever is the optional facade extension behind the per-stage
+// latency breakdown: a store that can report where a batch's time went.
+// Both built-in facades implement it; the serving layer falls back to
+// booking a plain RetrieveBatch entirely under Scan when a custom store
+// doesn't.
+type StagedRetriever interface {
+	// RetrieveBatchStaged is RetrieveBatch plus stage timing; results are
+	// identical to RetrieveBatch for the same inputs.
+	RetrieveBatchStaged(queries []string, k int, exclude []string) ([][]Hit, StageTimings)
+}
+
 // NewChunkFacade adapts a ChunkStore to the serving facade.
 func NewChunkFacade(s *ChunkStore) Facade { return chunkFacade{s} }
 
@@ -53,7 +76,12 @@ func NewTraceFacade(s *TraceStore) Facade { return traceFacade{s} }
 type chunkFacade struct{ s *ChunkStore }
 
 func (f chunkFacade) RetrieveBatch(queries []string, k int, _ []string) [][]Hit {
-	res := f.s.RetrieveBatch(queries, k)
+	out, _ := f.RetrieveBatchStaged(queries, k, nil)
+	return out
+}
+
+func (f chunkFacade) RetrieveBatchStaged(queries []string, k int, _ []string) ([][]Hit, StageTimings) {
+	res, st := f.s.RetrieveBatchStaged(queries, k)
 	out := make([][]Hit, len(res))
 	for i, rcs := range res {
 		hits := make([]Hit, len(rcs))
@@ -62,7 +90,7 @@ func (f chunkFacade) RetrieveBatch(queries []string, k int, _ []string) [][]Hit 
 		}
 		out[i] = hits
 	}
-	return out
+	return out, st
 }
 
 func (f chunkFacade) WithIndex(index vecstore.Index) (Facade, error) {
@@ -79,7 +107,12 @@ func (f chunkFacade) Len() int              { return f.s.Len() }
 type traceFacade struct{ s *TraceStore }
 
 func (f traceFacade) RetrieveBatch(queries []string, k int, exclude []string) [][]Hit {
-	res := f.s.RetrieveBatch(queries, k, exclude)
+	out, _ := f.RetrieveBatchStaged(queries, k, exclude)
+	return out
+}
+
+func (f traceFacade) RetrieveBatchStaged(queries []string, k int, exclude []string) ([][]Hit, StageTimings) {
+	res, st := f.s.RetrieveBatchStaged(queries, k, exclude)
 	out := make([][]Hit, len(res))
 	for i, rts := range res {
 		hits := make([]Hit, len(rts))
@@ -88,7 +121,7 @@ func (f traceFacade) RetrieveBatch(queries []string, k int, exclude []string) []
 		}
 		out[i] = hits
 	}
-	return out
+	return out, st
 }
 
 func (f traceFacade) WithIndex(index vecstore.Index) (Facade, error) {

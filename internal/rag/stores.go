@@ -2,6 +2,7 @@ package rag
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/chunk"
 	"repro/internal/embed"
@@ -141,13 +142,29 @@ func (s *ChunkStore) Retrieve(query string, k int) []RetrievedChunk {
 // which amortises code decoding across the whole batch. Results are in
 // query order and identical to per-query Retrieve calls.
 func (s *ChunkStore) RetrieveBatch(queries []string, k int) [][]RetrievedChunk {
+	out, _ := s.RetrieveBatchStaged(queries, k)
+	return out
+}
+
+// RetrieveBatchStaged is RetrieveBatch plus the stage decomposition the
+// serving observability reports: Embed covers query encoding, Scan/Merge
+// come from the index's timed kernel (vecstore.BatchSearchTimed), and the
+// metadata collect is booked under Merge — it is part of producing final
+// ordered hits, not scanning.
+func (s *ChunkStore) RetrieveBatchStaged(queries []string, k int) ([][]RetrievedChunk, StageTimings) {
+	var st StageTimings
+	embedStart := time.Now()
 	vecs := s.pool.EncodeAll(queries)
-	res := vecstore.BatchSearch(s.index, vecs, k, 0)
+	st.Embed = time.Since(embedStart)
+	res, sc := vecstore.BatchSearchTimed(s.index, vecs, k, 0)
+	st.Scan, st.Merge = sc.Scan, sc.Merge
+	collectStart := time.Now()
 	out := make([][]RetrievedChunk, len(queries))
 	for i, rs := range res {
 		out[i] = s.collect(rs)
 	}
-	return out
+	st.Merge += time.Since(collectStart)
+	return out, st
 }
 
 func (s *ChunkStore) collect(res []vecstore.Result) []RetrievedChunk {
@@ -251,8 +268,22 @@ func (s *TraceStore) Retrieve(query string, k int, excludeQuestionID string) []R
 // self-exclusion rule as Retrieve. Results are in query order and identical
 // to per-query Retrieve calls.
 func (s *TraceStore) RetrieveBatch(queries []string, k int, excludeQuestionIDs []string) [][]RetrievedTrace {
+	out, _ := s.RetrieveBatchStaged(queries, k, excludeQuestionIDs)
+	return out
+}
+
+// RetrieveBatchStaged is RetrieveBatch plus stage timing (see
+// ChunkStore.RetrieveBatchStaged); the self-exclusion collect is booked
+// under Merge.
+func (s *TraceStore) RetrieveBatchStaged(queries []string, k int, excludeQuestionIDs []string) ([][]RetrievedTrace, StageTimings) {
+	var st StageTimings
+	embedStart := time.Now()
 	vecs := s.pool.EncodeAll(queries)
-	res := vecstore.BatchSearch(s.index, vecs, k+2, 0)
+	st.Embed = time.Since(embedStart)
+	// Over-fetch to survive the self-exclusion filter, as in Retrieve.
+	res, sc := vecstore.BatchSearchTimed(s.index, vecs, k+2, 0)
+	st.Scan, st.Merge = sc.Scan, sc.Merge
+	collectStart := time.Now()
 	out := make([][]RetrievedTrace, len(queries))
 	for i, rs := range res {
 		exclude := ""
@@ -261,7 +292,8 @@ func (s *TraceStore) RetrieveBatch(queries []string, k int, excludeQuestionIDs [
 		}
 		out[i] = s.collect(rs, k, exclude)
 	}
-	return out
+	st.Merge += time.Since(collectStart)
+	return out, st
 }
 
 func (s *TraceStore) collect(res []vecstore.Result, k int, excludeQuestionID string) []RetrievedTrace {

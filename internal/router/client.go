@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
@@ -40,6 +41,11 @@ func (c *Client) post(ctx context.Context, path string, req, resp any) error {
 		return err
 	}
 	hreq.Header.Set("Content-Type", "application/json")
+	// Propagate a context trace's id so the router adopts it — the same
+	// contract the router itself uses toward its shards.
+	if tr := obs.FromContext(ctx); tr != nil {
+		hreq.Header.Set(obs.TraceHeader, tr.ID())
+	}
 	hr, err := c.hc.Do(hreq)
 	if err != nil {
 		return err
@@ -64,6 +70,15 @@ func (c *Client) Search(query string, k int) (SearchResponse, error) {
 func (c *Client) SearchRouteCtx(ctx context.Context, route, query string, k int, exclude string) (SearchResponse, error) {
 	var resp SearchResponse
 	err := c.post(ctx, "/v1/"+route+"/search", serve.SearchRequest{Query: query, K: k, Exclude: exclude}, &resp)
+	return resp, err
+}
+
+// SearchRouteReqCtx runs one query on the named route from a full request
+// body — the way to set opt-in fields like Timing that the positional
+// helpers don't carry.
+func (c *Client) SearchRouteReqCtx(ctx context.Context, route string, req serve.SearchRequest) (SearchResponse, error) {
+	var resp SearchResponse
+	err := c.post(ctx, "/v1/"+route+"/search", req, &resp)
 	return resp, err
 }
 

@@ -27,14 +27,17 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
+	"unicode/utf8"
 
 	"repro/internal/batch"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/retry"
 	"repro/internal/serve"
 )
@@ -68,6 +71,11 @@ type Config struct {
 	// prober polls every shard's /healthz and is what closes a tripped
 	// breaker again once the shard reports "ok".
 	ProbeInterval time.Duration
+	// SlowLog is the per-route retention of slowest traces served at
+	// GET /debug/slowlog/<route> (0 selects obs.DefaultSlowLogSize).
+	SlowLog int
+	// Debug mounts net/http/pprof under /debug/pprof/ (opt-in).
+	Debug bool
 	// Registry receives the router's metrics; nil creates a private one.
 	Registry *metrics.Registry
 	// HTTPClient is shared by all shard clients; nil gets the serve
@@ -120,11 +128,37 @@ type shard struct {
 	br     *breaker
 
 	probe   atomic.Value // string: ok | degraded | unreachable | unknown
-	lastErr atomic.Value // string
+	lastErr atomic.Value // lastError
 
 	mRequests, mFailures, mRetries, mRejects *metrics.Counter
 	gState, gTrips                           *metrics.Gauge
 	hLatency                                 *metrics.Histogram
+}
+
+// lastError is a shard's most recent failure as /healthz reports it:
+// bounded text plus when it happened, so an operator can tell a fresh
+// outage from one the breaker recovered from minutes ago.
+type lastError struct {
+	msg string
+	at  time.Time
+}
+
+// maxLastErrLen bounds the error text retained per shard — wrapped
+// transport errors repeat the full URL per attempt and would otherwise
+// bloat every /healthz reply.
+const maxLastErrLen = 200
+
+// setLastErr records a failure, truncating on a rune boundary.
+func (sh *shard) setLastErr(err error) {
+	msg := err.Error()
+	if len(msg) > maxLastErrLen {
+		cut := maxLastErrLen
+		for cut > 0 && !utf8.RuneStart(msg[cut]) {
+			cut--
+		}
+		msg = msg[:cut] + "…"
+	}
+	sh.lastErr.Store(lastError{msg: msg, at: time.Now()})
 }
 
 // route is the per-route serving state: its own coalescer and metrics,
@@ -133,17 +167,26 @@ type shard struct {
 type route struct {
 	name string
 	co   *batch.Coalescer[job, result]
+	slow *obs.SlowLog
 
-	mRequests, mDegraded, mErrors *metrics.Counter
-	mBatches, mBatchedQueries     *metrics.Counter
-	hLatency                      *metrics.Histogram
-	hBatch                        *metrics.Histogram
+	mRequests, mDegraded, mErrors           *metrics.Counter
+	mBatches, mBatchedQueries               *metrics.Counter
+	hLatency                                *metrics.Histogram
+	hBatch                                  *metrics.Histogram
+	hStageQueue, hStageScatter, hStageMerge *metrics.Histogram
+	hStageEncode                            *metrics.Histogram
 }
 
 type job struct {
 	query   string
 	k       int
 	exclude string
+
+	// Tracing mirrors the serve tier: enq starts the queue span, tr lets
+	// the batch function attribute the shared scatter/merge stages back to
+	// every member request (nil for untraced programmatic callers).
+	enq time.Time
+	tr  *obs.Trace
 }
 
 type result struct {
@@ -219,6 +262,7 @@ func New(cfg Config) (*Router, error) {
 		p := MetricPrefix(name)
 		rt := &route{
 			name:            name,
+			slow:            obs.NewSlowLog(cfg.SlowLog),
 			mRequests:       reg.Counter(p + "requests"),
 			mDegraded:       reg.Counter(p + "degraded"),
 			mErrors:         reg.Counter(p + "errors"),
@@ -226,6 +270,10 @@ func New(cfg Config) (*Router, error) {
 			mBatchedQueries: reg.Counter(p + "batch.queries"),
 			hLatency:        reg.Histogram(p + "latency"),
 			hBatch:          reg.SizeHistogram(p + "batch.size"),
+			hStageQueue:     reg.Histogram(p + "stage.queue"),
+			hStageScatter:   reg.Histogram(p + "stage.scatter"),
+			hStageMerge:     reg.Histogram(p + "stage.merge"),
+			hStageEncode:    reg.Histogram(p + "stage.encode"),
 		}
 		rt.co = batch.New(batch.Config{MaxBatch: cfg.MaxBatch, MaxDelay: cfg.MaxDelay}, func(jobs []job) []result {
 			return r.runBatch(rt, jobs)
@@ -270,9 +318,15 @@ func (r *Router) BreakerTrips() int64 {
 // runBatch is a route's coalescer batch function: scatter the whole
 // micro-batch to every shard concurrently, then merge per query.
 func (r *Router) runBatch(rt *route, jobs []job) []result {
+	t0 := time.Now()
 	queries := make([]string, len(jobs))
 	var excludes []string
 	maxK := 0
+	// The fan-out leader is the first traced member: its id rides the
+	// X-Trace-Id header to every shard, and the shards' span timelines are
+	// grafted back onto its trace. The other members still get the shared
+	// queue/scatter/merge spans — they did wait for the same fan-out.
+	var lead *obs.Trace
 	for i, j := range jobs {
 		queries[i] = j.query
 		if j.k > maxK {
@@ -281,13 +335,28 @@ func (r *Router) runBatch(rt *route, jobs []job) []result {
 		if j.exclude != "" && excludes == nil {
 			excludes = make([]string, len(jobs))
 		}
+		if !j.enq.IsZero() {
+			wait := t0.Sub(j.enq)
+			rt.hStageQueue.Observe(wait)
+			j.tr.AddSpan("queue", j.enq, wait)
+		}
+		if lead == nil && j.tr != nil {
+			lead = j.tr
+		}
 	}
 	if excludes != nil {
 		for i, j := range jobs {
 			excludes[i] = j.exclude
 		}
 	}
-	perShard, okFlags := r.scatter(rt, queries, maxK, excludes)
+	scatterStart := time.Now()
+	perShard, okFlags, timings := r.scatter(rt, queries, maxK, excludes, lead)
+	scatterDur := time.Since(scatterStart)
+	rt.hStageScatter.Observe(scatterDur)
+	for _, j := range jobs {
+		j.tr.AddSpan("scatter", scatterStart, scatterDur)
+	}
+	r.attachShardTimings(lead, scatterStart, timings)
 	ok := 0
 	for _, f := range okFlags {
 		if f {
@@ -302,6 +371,7 @@ func (r *Router) runBatch(rt *route, jobs []job) []result {
 		return outs
 	}
 	degraded := ok < len(r.shards)
+	mergeStart := time.Now()
 	lists := make([][]serve.SearchResult, 0, ok)
 	for qi := range jobs {
 		lists = lists[:0]
@@ -317,44 +387,69 @@ func (r *Router) runBatch(rt *route, jobs []job) []result {
 			shardsTotal: len(r.shards),
 		}
 	}
+	mergeDur := time.Since(mergeStart)
+	rt.hStageMerge.Observe(mergeDur)
+	for _, j := range jobs {
+		j.tr.AddSpan("merge", mergeStart, mergeDur)
+	}
 	return outs
 }
 
+// attachShardTimings grafts the ok shards' remote span timelines onto the
+// fan-out leader's trace, anchored at the instant the scatter began —
+// clock skew between router and shard cannot reorder the merged timeline.
+func (r *Router) attachShardTimings(lead *obs.Trace, at time.Time, timings []*serve.TimingInfo) {
+	if lead == nil {
+		return
+	}
+	for si, ti := range timings {
+		if ti != nil {
+			lead.AttachAt(r.shards[si].name+".", at, ti.Spans)
+		}
+	}
+}
+
 // scatter issues one batch-search per shard concurrently and returns each
-// shard's per-query result lists plus a per-shard success flag.
-func (r *Router) scatter(rt *route, queries []string, k int, excludes []string) ([][][]serve.SearchResult, []bool) {
+// shard's per-query result lists, a per-shard success flag, and each ok
+// shard's span timeline (nil when the shard failed). tr is the fan-out
+// leader's trace; its id propagates to every shard call.
+func (r *Router) scatter(rt *route, queries []string, k int, excludes []string, tr *obs.Trace) ([][][]serve.SearchResult, []bool, []*serve.TimingInfo) {
 	rt.mBatches.Inc()
 	rt.mBatchedQueries.Add(int64(len(queries)))
 	rt.hBatch.ObserveN(int64(len(queries)))
 	perShard := make([][][]serve.SearchResult, len(r.shards))
 	okFlags := make([]bool, len(r.shards))
+	timings := make([]*serve.TimingInfo, len(r.shards))
 	var wg sync.WaitGroup
 	for i, sh := range r.shards {
 		wg.Add(1)
 		go func(i int, sh *shard) {
 			defer wg.Done()
-			lists, err := r.callShard(sh, rt.name, queries, k, excludes)
+			resp, err := r.callShard(sh, rt.name, queries, k, excludes, tr)
 			if err == nil {
-				perShard[i], okFlags[i] = lists, true
+				perShard[i], okFlags[i], timings[i] = resp.Results, true, resp.Timing
 			}
 		}(i, sh)
 	}
 	wg.Wait()
-	return perShard, okFlags
+	return perShard, okFlags, timings
 }
 
 // callShard runs one shard call under the robustness stack: breaker
 // admission, per-attempt deadline, bounded retry on transient failures.
-func (r *Router) callShard(sh *shard, routeName string, queries []string, k int, excludes []string) ([][]serve.SearchResult, error) {
+// The shard is always asked for timing — a few hundred extra bytes per
+// micro-batch buys the cross-tier span timeline unconditionally, so the
+// slowlog never misses the shard-side breakdown of a slow fan-out.
+func (r *Router) callShard(sh *shard, routeName string, queries []string, k int, excludes []string, tr *obs.Trace) (serve.BatchSearchResponse, error) {
 	if !sh.br.Allow() {
 		sh.mRejects.Inc()
-		return nil, errShardTripped
+		return serve.BatchSearchResponse{}, errShardTripped
 	}
 	sh.mRequests.Inc()
 	start := time.Now()
 	var resp serve.BatchSearchResponse
 	attempts := 0
-	err := r.cfg.Retry.Do(r.ctx, func(ctx context.Context) error {
+	err := r.cfg.Retry.Do(obs.WithTrace(r.ctx, tr), func(ctx context.Context) error {
 		if attempts > 0 {
 			sh.mRetries.Inc()
 		}
@@ -362,7 +457,8 @@ func (r *Router) callShard(sh *shard, routeName string, queries []string, k int,
 		actx, cancel := context.WithTimeout(ctx, r.cfg.ShardTimeout)
 		defer cancel()
 		var e error
-		resp, e = sh.client.SearchRouteBatchCtx(actx, routeName, queries, k, excludes)
+		resp, e = sh.client.SearchRouteBatchReqCtx(actx, routeName,
+			serve.BatchSearchRequest{Queries: queries, K: k, Exclude: excludes, Timing: true})
 		return e
 	}, retryableError)
 	sh.hLatency.Observe(time.Since(start))
@@ -371,14 +467,14 @@ func (r *Router) callShard(sh *shard, routeName string, queries []string, k int,
 	}
 	if err != nil {
 		sh.mFailures.Inc()
-		sh.lastErr.Store(err.Error())
+		sh.setLastErr(err)
 		sh.br.Record(false)
 		r.publishShardGauges(sh)
-		return nil, err
+		return serve.BatchSearchResponse{}, err
 	}
 	sh.br.Record(true)
 	r.publishShardGauges(sh)
-	return resp.Results, nil
+	return resp, nil
 }
 
 func (r *Router) publishShardGauges(sh *shard) {
@@ -433,7 +529,7 @@ func (r *Router) probeShard(sh *shard) {
 	}
 	sh.probe.Store(status)
 	if err != nil {
-		sh.lastErr.Store(err.Error())
+		sh.setLastErr(err)
 	}
 	if sh.br.AllowProbe() {
 		sh.br.Record(err == nil && status == "ok")
@@ -452,7 +548,7 @@ func (r *Router) search(ctx context.Context, rt *route, query string, k int, exc
 	rt.mRequests.Inc()
 	start := time.Now()
 	defer func() { rt.hLatency.Observe(time.Since(start)) }()
-	out, err := rt.co.Do(ctx, job{query: query, k: k, exclude: exclude})
+	out, err := rt.co.Do(ctx, job{query: query, k: k, exclude: exclude, enq: time.Now(), tr: obs.FromContext(ctx)})
 	if err != nil {
 		return result{}, err
 	}
@@ -476,6 +572,11 @@ func (r *Router) search(ctx context.Context, rt *route, query string, k int, exc
 //	GET /healthz   per-shard breaker state, probe status, trip counts
 //	GET /metrics   text exposition of the registry
 //
+// and the debug surface:
+//
+//	GET /debug/slowlog/<route>   {"route","slowest":[trace records]}
+//	GET /debug/pprof/...         net/http/pprof (only with Config.Debug)
+//
 // Calling Handler (or Start) also starts the background health prober.
 func (r *Router) Handler() http.Handler {
 	r.startProber()
@@ -490,7 +591,27 @@ func (r *Router) Handler() http.Handler {
 	}
 	mux.HandleFunc("GET /healthz", r.handleHealthz)
 	mux.HandleFunc("GET /metrics", r.handleMetrics)
+	mux.HandleFunc("GET /debug/slowlog/{route...}", r.handleSlowlog)
+	if r.cfg.Debug {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return mux
+}
+
+// handleSlowlog serves a route's retained slowest traces.
+func (r *Router) handleSlowlog(w http.ResponseWriter, req *http.Request) {
+	name := req.PathValue("route")
+	rt, ok := r.routes[name]
+	if !ok {
+		http.Error(w, fmt.Sprintf("router: unknown route %q (routed: %s)", name, strings.Join(r.Routes(), ", ")),
+			http.StatusNotFound)
+		return
+	}
+	writeJSON(w, obs.SlowLogPage{Route: rt.name, Slowest: rt.slow.Snapshot()})
 }
 
 func (r *Router) startProber() {
@@ -552,6 +673,7 @@ type SearchResponse struct {
 	ShardsOK    int                  `json:"shards_ok"`
 	ShardsTotal int                  `json:"shards_total"`
 	Route       string               `json:"route,omitempty"`
+	Timing      *serve.TimingInfo    `json:"timing,omitempty"`
 }
 
 // BatchSearchResponse is the router's batch reply, per-query results in
@@ -562,6 +684,7 @@ type BatchSearchResponse struct {
 	ShardsOK    int                    `json:"shards_ok"`
 	ShardsTotal int                    `json:"shards_total"`
 	Route       string                 `json:"route,omitempty"`
+	Timing      *serve.TimingInfo      `json:"timing,omitempty"`
 }
 
 // ShardHealth is one shard's entry in the router's /healthz reply.
@@ -574,7 +697,10 @@ type ShardHealth struct {
 	Probe            string `json:"probe"`
 	ConsecutiveFails int    `json:"consecutive_fails,omitempty"`
 	Trips            int64  `json:"trips"`
-	LastError        string `json:"last_error,omitempty"`
+	// LastError is the shard's most recent failure, truncated to a bounded
+	// length; LastErrorAt is when it happened (RFC 3339, UTC).
+	LastError   string `json:"last_error,omitempty"`
+	LastErrorAt string `json:"last_error_at,omitempty"`
 }
 
 // Healthz is the router's /healthz reply.
@@ -598,20 +724,38 @@ func (r *Router) searchHandler(rt *route) http.HandlerFunc {
 			http.Error(w, "empty query", http.StatusBadRequest)
 			return
 		}
-		out, err := r.search(req.Context(), rt, sr.Query, sr.K, sr.Exclude)
+		// Adopt the caller's trace id or mint one; either way it propagates
+		// to the shards when this request leads its micro-batch's fan-out.
+		tr := obs.NewTrace(req.Header.Get(obs.TraceHeader))
+		out, err := r.search(obs.WithTrace(req.Context(), tr), rt, sr.Query, sr.K, sr.Exclude)
 		if err != nil {
 			rt.mErrors.Inc()
 			http.Error(w, err.Error(), http.StatusServiceUnavailable)
 			return
 		}
-		writeJSON(w, SearchResponse{
+		resp := SearchResponse{
 			Results:     out.results,
 			Degraded:    out.degraded,
 			ShardsOK:    out.shardsOK,
 			ShardsTotal: out.shardsTotal,
 			Route:       rt.name,
-		})
+		}
+		if sr.Timing {
+			resp.Timing = &serve.TimingInfo{TraceID: tr.ID(), TotalUS: tr.Since().Microseconds(), Spans: tr.Spans()}
+		}
+		rt.encodeTraced(w, tr, resp)
+		rt.slow.Record(tr, "search", sr.Query)
 	}
+}
+
+// encodeTraced writes the JSON response under an "encode" span and the
+// encode-stage histogram, mirroring the serve tier.
+func (rt *route) encodeTraced(w http.ResponseWriter, tr *obs.Trace, v any) {
+	start := time.Now()
+	writeJSON(w, v)
+	d := time.Since(start)
+	rt.hStageEncode.Observe(d)
+	tr.AddSpan("encode", start, d)
 }
 
 // batchHandler serves an explicit batch as its own micro-batch: it
@@ -648,7 +792,13 @@ func (r *Router) batchHandler(rt *route) http.HandlerFunc {
 			k = r.cfg.MaxK
 		}
 		rt.mRequests.Add(int64(len(br.Queries)))
-		perShard, okFlags := r.scatter(rt, br.Queries, k, br.Exclude)
+		tr := obs.NewTrace(req.Header.Get(obs.TraceHeader))
+		scatterStart := time.Now()
+		perShard, okFlags, timings := r.scatter(rt, br.Queries, k, br.Exclude, tr)
+		scatterDur := time.Since(scatterStart)
+		rt.hStageScatter.Observe(scatterDur)
+		tr.AddSpan("scatter", scatterStart, scatterDur)
+		r.attachShardTimings(tr, scatterStart, timings)
 		ok := 0
 		for _, f := range okFlags {
 			if f {
@@ -667,6 +817,7 @@ func (r *Router) batchHandler(rt *route) http.HandlerFunc {
 			ShardsTotal: len(r.shards),
 			Route:       rt.name,
 		}
+		mergeStart := time.Now()
 		lists := make([][]serve.SearchResult, 0, ok)
 		for qi := range br.Queries {
 			lists = lists[:0]
@@ -677,10 +828,17 @@ func (r *Router) batchHandler(rt *route) http.HandlerFunc {
 			}
 			resp.Results[qi] = MergeTopK(lists, k)
 		}
+		mergeDur := time.Since(mergeStart)
+		rt.hStageMerge.Observe(mergeDur)
+		tr.AddSpan("merge", mergeStart, mergeDur)
 		if resp.Degraded {
 			rt.mDegraded.Add(int64(len(br.Queries)))
 		}
-		writeJSON(w, resp)
+		if br.Timing {
+			resp.Timing = &serve.TimingInfo{TraceID: tr.ID(), TotalUS: tr.Since().Microseconds(), Spans: tr.Spans()}
+		}
+		rt.encodeTraced(w, tr, resp)
+		rt.slow.Record(tr, "search/batch", br.Queries[0])
 	}
 }
 
@@ -705,8 +863,9 @@ func (r *Router) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 			ConsecutiveFails: sh.br.ConsecutiveFails(),
 			Trips:            sh.br.Trips(),
 		}
-		if e, ok := sh.lastErr.Load().(string); ok {
-			entry.LastError = e
+		if le, ok := sh.lastErr.Load().(lastError); ok {
+			entry.LastError = le.msg
+			entry.LastErrorAt = le.at.UTC().Format(time.RFC3339)
 		}
 		hz.Shards[sh.name] = entry
 	}

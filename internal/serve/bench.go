@@ -42,6 +42,24 @@ type BenchReport struct {
 	// against a live-mounted route, with background compactions mid-run
 	// and a post-quiesce visibility audit of every acked insert.
 	Ingest *IngestBench `json:"ingest"`
+	// Stages is the per-stage latency breakdown of the chunks route,
+	// measured from the span timelines of timing-enabled requests (the
+	// stages phase) — where a search's time goes, not just how long it
+	// takes. Keys are exactly StageNames.
+	Stages map[string]*StageLat `json:"stages"`
+}
+
+// StageNames are the serve-tier stages the stages phase samples and the
+// only keys Check admits in Stages: queue is coalescer wait, cache the
+// lookup, embed query encoding, scan the index kernel, merge the heap
+// merge plus collect.
+var StageNames = []string{"queue", "cache", "embed", "scan", "merge"}
+
+// StageLat is one stage's latency summary over the sampled spans.
+type StageLat struct {
+	Samples int64   `json:"samples"`
+	P50MS   float64 `json:"p50_ms"`
+	P99MS   float64 `json:"p99_ms"`
 }
 
 // IngestBench is the live-ingestion phase's record: a closed loop in
@@ -173,6 +191,45 @@ func (r *BenchReport) Check() error {
 	}
 	if err := r.Ingest.check(); err != nil {
 		return fmt.Errorf("ingest: %w", err)
+	}
+	if err := checkStages(r.Stages); err != nil {
+		return fmt.Errorf("stages: %w", err)
+	}
+	return nil
+}
+
+// checkStages validates the per-stage breakdown: every known stage
+// present, no unknown keys (json.Decoder's DisallowUnknownFields does not
+// reach into map keys, so the schema gate lives here), sane quantiles, and
+// real scan samples — a report whose scan stage never fired measured
+// nothing.
+func checkStages(stages map[string]*StageLat) error {
+	if len(stages) == 0 {
+		return fmt.Errorf("missing per-stage breakdown")
+	}
+	known := make(map[string]bool, len(StageNames))
+	for _, name := range StageNames {
+		known[name] = true
+	}
+	for name := range stages {
+		if !known[name] {
+			return fmt.Errorf("unknown stage %q", name)
+		}
+	}
+	for _, name := range StageNames {
+		sl := stages[name]
+		if sl == nil {
+			return fmt.Errorf("missing stage %q", name)
+		}
+		if sl.Samples < 0 {
+			return fmt.Errorf("stage %q: samples=%d negative", name, sl.Samples)
+		}
+		if sl.P50MS < 0 || sl.P99MS < 0 || sl.P50MS > sl.P99MS {
+			return fmt.Errorf("stage %q: non-monotone quantiles p50=%v p99=%v", name, sl.P50MS, sl.P99MS)
+		}
+	}
+	if stages["scan"].Samples <= 0 {
+		return fmt.Errorf("scan stage has no samples: the breakdown measured nothing")
 	}
 	return nil
 }

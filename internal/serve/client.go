@@ -8,6 +8,8 @@ import (
 	"io"
 	"net/http"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Client is a minimal JSON client for a ragserve endpoint, shared by the
@@ -65,6 +67,11 @@ func (c *Client) postCtx(ctx context.Context, path string, req, resp any) error 
 		return err
 	}
 	hreq.Header.Set("Content-Type", "application/json")
+	// Propagate the caller's trace id so the server adopts it instead of
+	// minting one — one id names the request across tiers.
+	if tr := obs.FromContext(ctx); tr != nil {
+		hreq.Header.Set(obs.TraceHeader, tr.ID())
+	}
 	r, err := c.hc.Do(hreq)
 	if err != nil {
 		return err
@@ -141,6 +148,30 @@ func (c *Client) CompactRoute(route string) (CompactResponse, error) {
 func (c *Client) SwapRoute(route, path string) (SwapResponse, error) {
 	var out SwapResponse
 	err := c.post("/admin/"+route+"/swap", SwapRequest{Path: path}, &out)
+	return out, err
+}
+
+// SearchRouteReq issues one /v1/<route>/search request from a full request
+// body — the way to set opt-in fields like Timing that the positional
+// helpers don't carry.
+func (c *Client) SearchRouteReq(route string, req SearchRequest) (SearchResponse, error) {
+	return c.SearchRouteReqCtx(context.Background(), route, req)
+}
+
+// SearchRouteReqCtx is SearchRouteReq under a caller context.
+func (c *Client) SearchRouteReqCtx(ctx context.Context, route string, req SearchRequest) (SearchResponse, error) {
+	var out SearchResponse
+	err := c.postCtx(ctx, "/v1/"+route+"/search", req, &out)
+	return out, err
+}
+
+// SearchRouteBatchReqCtx issues one /v1/<route>/search/batch request from
+// a full request body under a caller context — the router's scatter path,
+// which always asks shards for timing so it can graft their spans onto the
+// fan-out trace.
+func (c *Client) SearchRouteBatchReqCtx(ctx context.Context, route string, req BatchSearchRequest) (BatchSearchResponse, error) {
+	var out BatchSearchResponse
+	err := c.postCtx(ctx, "/v1/"+route+"/search/batch", req, &out)
 	return out, err
 }
 

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"strings"
 	"sync"
@@ -17,6 +18,7 @@ import (
 	"repro/internal/chunk"
 	"repro/internal/mcq"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/rag"
 	"repro/internal/vecstore"
 )
@@ -65,6 +67,12 @@ type Config struct {
 	// once its memtable reaches this many rows; 0 disables automatic
 	// compaction (the /admin/<route>/compact endpoint still works).
 	CompactAt int
+	// SlowLog is the per-route retention of slowest traces served at
+	// GET /debug/slowlog/<route> (0 selects obs.DefaultSlowLogSize).
+	SlowLog int
+	// Debug mounts net/http/pprof under /debug/pprof/. Off by default:
+	// profiling endpoints on a serving port are opt-in.
+	Debug bool
 	// Registry receives the server's metrics; nil creates a private one.
 	Registry *metrics.Registry
 }
@@ -142,12 +150,18 @@ type route struct {
 	writeGen   atomic.Uint64
 	compacting atomic.Bool
 
+	// slow retains the route's slowest completed traces for the debug
+	// surface (GET /debug/slowlog/<route>).
+	slow *obs.SlowLog
+
 	// metric handles resolved once so the hot path skips registry lookups
 	mRequests, mHits, mMisses, mShared     *metrics.Counter
 	mBatches, mBatchedQueries              *metrics.Counter
 	mErrors, mSwaps                        *metrics.Counter
 	mInserts, mInsertBatches, mCompactions *metrics.Counter
 	hLatency, hSearch, hBatch              *metrics.Histogram
+	hStageQueue, hStageCache, hStageEmbed  *metrics.Histogram
+	hStageScan, hStageMerge, hStageEncode  *metrics.Histogram
 	gVectors, gEpoch, gCacheLen, gMemRows  *metrics.Gauge
 }
 
@@ -155,6 +169,13 @@ type searchJob struct {
 	query   string
 	k       int
 	exclude string // trace routes: suppress hits from this question id
+
+	// Tracing: enq is when the job entered the coalescer (the queue span's
+	// start) and tr the request's trace, so the batch function can attribute
+	// the shared batch stages back to every member request. tr is nil for
+	// untraced programmatic callers.
+	enq time.Time
+	tr  *obs.Trace
 }
 
 // searchOut carries one job's results plus the epoch of the snapshot the
@@ -286,6 +307,13 @@ func newRoute(name string, st Store, cfg Config, reg *metrics.Registry) *route {
 		hLatency:        reg.Histogram(p + "latency"),
 		hSearch:         reg.Histogram(p + "search.latency"),
 		hBatch:          reg.SizeHistogram(p + "batch.size"),
+		hStageQueue:     reg.Histogram(p + "stage.queue"),
+		hStageCache:     reg.Histogram(p + "stage.cache"),
+		hStageEmbed:     reg.Histogram(p + "stage.embed"),
+		hStageScan:      reg.Histogram(p + "stage.scan"),
+		hStageMerge:     reg.Histogram(p + "stage.merge"),
+		hStageEncode:    reg.Histogram(p + "stage.encode"),
+		slow:            obs.NewSlowLog(cfg.SlowLog),
 		gVectors:        reg.Gauge(p + "index.vectors"),
 		gEpoch:          reg.Gauge(p + "index.epoch"),
 		gCacheLen:       reg.Gauge(p + "cache.len"),
@@ -305,6 +333,7 @@ func newRoute(name string, st Store, cfg Config, reg *metrics.Registry) *route {
 // hot swap mid-batch cannot tear an individual batch across two indexes.
 func (rt *route) runBatch(jobs []searchJob) []searchOut {
 	snap := rt.snap.Load()
+	t0 := time.Now()
 	queries := make([]string, len(jobs))
 	var excludes []string
 	maxK := 0
@@ -316,13 +345,24 @@ func (rt *route) runBatch(jobs []searchJob) []searchOut {
 		if j.exclude != "" && excludes == nil {
 			excludes = make([]string, len(jobs))
 		}
+		if !j.enq.IsZero() {
+			wait := t0.Sub(j.enq)
+			rt.hStageQueue.Observe(wait)
+			j.tr.AddSpan("queue", j.enq, wait)
+		}
 	}
 	if excludes != nil {
 		for i, j := range jobs {
 			excludes[i] = j.exclude
 		}
 	}
-	res := rt.retrieve(snap, queries, maxK, excludes)
+	res, st := rt.retrieve(snap, queries, maxK, excludes)
+	// The batch's stage decomposition is shared by every member request:
+	// embed/scan/merge ran once for the whole batch, so each traced job gets
+	// the same three spans, laid end to end from the batch's start.
+	for _, j := range jobs {
+		attachStages(j.tr, t0, st)
+	}
 	// Each request gets the top-k prefix of the shared maxK retrieval —
 	// identical to what its own k would have returned.
 	out := make([]searchOut, len(jobs))
@@ -335,17 +375,40 @@ func (rt *route) runBatch(jobs []searchJob) []searchOut {
 	return out
 }
 
+// attachStages records a retrieve's embed/scan/merge decomposition as
+// consecutive spans starting at t0, the instant the retrieve began.
+func attachStages(tr *obs.Trace, t0 time.Time, st rag.StageTimings) {
+	if tr == nil {
+		return
+	}
+	tr.AddSpan("embed", t0, st.Embed)
+	tr.AddSpan("scan", t0.Add(st.Embed), st.Scan)
+	tr.AddSpan("merge", t0.Add(st.Embed+st.Scan), st.Merge)
+}
+
 // retrieve runs one timed, metered RetrieveBatch against a snapshot — the
 // shared core of the coalesced path and the explicit batch endpoint, so
-// both report identical batch accounting.
-func (rt *route) retrieve(snap *Snapshot, queries []string, k int, exclude []string) [][]rag.Hit {
+// both report identical batch accounting. The returned stage timings feed
+// the per-stage histograms here and the caller's trace spans; a store
+// without RetrieveBatchStaged books the whole call under Scan.
+func (rt *route) retrieve(snap *Snapshot, queries []string, k int, exclude []string) ([][]rag.Hit, rag.StageTimings) {
 	start := time.Now()
-	res := snap.Store.RetrieveBatch(queries, k, exclude)
+	var res [][]rag.Hit
+	var st rag.StageTimings
+	if sr, ok := snap.Store.(rag.StagedRetriever); ok {
+		res, st = sr.RetrieveBatchStaged(queries, k, exclude)
+	} else {
+		res = snap.Store.RetrieveBatch(queries, k, exclude)
+		st.Scan = time.Since(start)
+	}
 	rt.hSearch.Observe(time.Since(start))
+	rt.hStageEmbed.Observe(st.Embed)
+	rt.hStageScan.Observe(st.Scan)
+	rt.hStageMerge.Observe(st.Merge)
 	rt.mBatches.Inc()
 	rt.mBatchedQueries.Add(int64(len(queries)))
 	rt.hBatch.ObserveN(int64(len(queries)))
-	return res
+	return res, st
 }
 
 // search answers one query through the route's cache and coalescer.
@@ -357,11 +420,12 @@ func (rt *route) search(ctx context.Context, query string, k int, exclude string
 		k = rt.cfg.MaxK
 	}
 	rt.mRequests.Inc()
+	tr := obs.FromContext(ctx)
 	start := time.Now()
 	defer func() { rt.hLatency.Observe(time.Since(start)) }()
 
 	if rt.cache == nil {
-		out, err := rt.co.Do(ctx, searchJob{query: query, k: k, exclude: exclude})
+		out, err := rt.co.Do(ctx, searchJob{query: query, k: k, exclude: exclude, enq: time.Now(), tr: tr})
 		return out.results, false, out.epoch, err
 	}
 	// The epoch in the key makes entries generation-scoped: after a swap,
@@ -379,7 +443,12 @@ func (rt *route) search(ctx context.Context, query string, k int, exclude string
 	snap := rt.snap.Load()
 	keyEpoch := snap.Epoch
 	key := fmt.Sprintf("%d\x1f%d\x1f%d\x1f%d\x1f%s%s", keyEpoch, keyGen, k, len(exclude), exclude, query)
-	if val, ok := rt.cache.Get(key); ok {
+	cacheStart := time.Now()
+	val, ok := rt.cache.Get(key)
+	cacheDur := time.Since(cacheStart)
+	rt.hStageCache.Observe(cacheDur)
+	tr.AddSpan("cache", cacheStart, cacheDur)
+	if ok {
 		rt.mHits.Inc()
 		return val.Results, true, val.Epoch, nil
 	}
@@ -389,7 +458,10 @@ func (rt *route) search(ctx context.Context, query string, k int, exclude string
 		// flight computes a result shared by every joiner, so one
 		// client's disconnect must not poison the rest (each caller still
 		// guards its own wait with its own ctx inside do and co.Do).
-		out, err := rt.co.Do(context.WithoutCancel(ctx), searchJob{query: query, k: k, exclude: exclude})
+		// Only the flight leader's job reaches the batch, so only its trace
+		// sees the queue/embed/scan/merge spans; joiners share the result and
+		// keep just their cache span — an honest timeline, they did no work.
+		out, err := rt.co.Do(context.WithoutCancel(ctx), searchJob{query: query, k: k, exclude: exclude, enq: time.Now(), tr: tr})
 		if err != nil {
 			return CachedResult{}, err
 		}
@@ -642,6 +714,11 @@ func (s *Server) Registry() *metrics.Registry { return s.reg }
 //
 //	GET  /healthz   {"status","epoch","vectors","source","routes":{...}}
 //	GET  /metrics   text exposition of the registry
+//
+// and the debug surface:
+//
+//	GET  /debug/slowlog/<route>   {"route","slowest":[trace records]}
+//	GET  /debug/pprof/...         net/http/pprof (only with Config.Debug)
 func (s *Server) Handler() http.Handler {
 	s.started.Store(true)
 	mux := http.NewServeMux()
@@ -659,7 +736,25 @@ func (s *Server) Handler() http.Handler {
 	}
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /debug/slowlog/{route...}", s.handleSlowlog)
+	if s.cfg.Debug {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return mux
+}
+
+// handleSlowlog serves a route's retained slowest traces.
+func (s *Server) handleSlowlog(w http.ResponseWriter, r *http.Request) {
+	rt, err := s.route(r.PathValue("route"))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	writeJSON(w, obs.SlowLogPage{Route: rt.name, Slowest: rt.slow.Snapshot()})
 }
 
 // Start binds addr ("127.0.0.1:0" for an ephemeral port) and serves in the
@@ -708,6 +803,20 @@ type SearchRequest struct {
 	Query   string `json:"query"`
 	K       int    `json:"k,omitempty"`
 	Exclude string `json:"exclude,omitempty"`
+	// Timing opts the response into the per-stage trace timeline.
+	Timing bool `json:"timing,omitempty"`
+}
+
+// TimingInfo is the opt-in per-request trace a response carries when the
+// request set "timing": the trace id (minted, or adopted from the caller's
+// X-Trace-Id header), the total microseconds since the handler adopted the
+// trace, and the ordered span timeline. It is snapshotted before response
+// encoding, so the encode span itself appears only in the slowlog and the
+// stage.encode histogram.
+type TimingInfo struct {
+	TraceID string     `json:"trace_id"`
+	TotalUS int64      `json:"total_us"`
+	Spans   []obs.Span `json:"spans"`
 }
 
 // SearchResult is one retrieval hit on the wire. ID/Group are chunk
@@ -726,6 +835,7 @@ type SearchResponse struct {
 	Cached  bool           `json:"cached,omitempty"`
 	Epoch   uint64         `json:"epoch"`
 	Route   string         `json:"route,omitempty"`
+	Timing  *TimingInfo    `json:"timing,omitempty"`
 }
 
 // BatchSearchRequest is the batch search body. Exclude is empty or one
@@ -734,6 +844,8 @@ type BatchSearchRequest struct {
 	Queries []string `json:"queries"`
 	K       int      `json:"k,omitempty"`
 	Exclude []string `json:"exclude,omitempty"`
+	// Timing opts the response into the per-stage trace timeline.
+	Timing bool `json:"timing,omitempty"`
 }
 
 // BatchSearchResponse is the batch search reply, per-query results in
@@ -742,6 +854,7 @@ type BatchSearchResponse struct {
 	Results [][]SearchResult `json:"results"`
 	Epoch   uint64           `json:"epoch"`
 	Route   string           `json:"route,omitempty"`
+	Timing  *TimingInfo      `json:"timing,omitempty"`
 }
 
 // SwapRequest is the swap body.
@@ -832,13 +945,32 @@ func (rt *route) handleSearch(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "empty query", http.StatusBadRequest)
 		return
 	}
-	res, cached, epoch, err := rt.search(r.Context(), req.Query, req.K, req.Exclude)
+	// Adopt the caller's trace id (router → shard propagation) or mint one.
+	tr := obs.NewTrace(r.Header.Get(obs.TraceHeader))
+	res, cached, epoch, err := rt.search(obs.WithTrace(r.Context(), tr), req.Query, req.K, req.Exclude)
 	if err != nil {
 		rt.mErrors.Inc()
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
 		return
 	}
-	writeJSON(w, SearchResponse{Results: rt.results(res), Cached: cached, Epoch: epoch, Route: rt.name})
+	resp := SearchResponse{Results: rt.results(res), Cached: cached, Epoch: epoch, Route: rt.name}
+	if req.Timing {
+		// Snapshot before encoding: the response timing necessarily excludes
+		// its own encode span (it still lands in the slowlog and histogram).
+		resp.Timing = &TimingInfo{TraceID: tr.ID(), TotalUS: tr.Since().Microseconds(), Spans: tr.Spans()}
+	}
+	rt.encodeTraced(w, tr, resp)
+	rt.slow.Record(tr, "search", req.Query)
+}
+
+// encodeTraced writes the JSON response under an "encode" span and the
+// encode-stage histogram — the last hop of a traced request's life.
+func (rt *route) encodeTraced(w http.ResponseWriter, tr *obs.Trace, v any) {
+	start := time.Now()
+	writeJSON(w, v)
+	d := time.Since(start)
+	rt.hStageEncode.Observe(d)
+	tr.AddSpan("encode", start, d)
 }
 
 // handleSearchBatch serves an already-batched request straight through the
@@ -874,13 +1006,20 @@ func (rt *route) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 		k = rt.cfg.MaxK
 	}
 	rt.mRequests.Add(int64(len(req.Queries)))
+	tr := obs.NewTrace(r.Header.Get(obs.TraceHeader))
 	snap := rt.snap.Load()
-	res := rt.retrieve(snap, req.Queries, k, req.Exclude)
+	t0 := time.Now()
+	res, st := rt.retrieve(snap, req.Queries, k, req.Exclude)
+	attachStages(tr, t0, st)
 	out := BatchSearchResponse{Results: make([][]SearchResult, len(res)), Epoch: snap.Epoch, Route: rt.name}
 	for i, hits := range res {
 		out.Results[i] = rt.results(hits)
 	}
-	writeJSON(w, out)
+	if req.Timing {
+		out.Timing = &TimingInfo{TraceID: tr.ID(), TotalUS: tr.Since().Microseconds(), Spans: tr.Spans()}
+	}
+	rt.encodeTraced(w, tr, out)
+	rt.slow.Record(tr, "search/batch", req.Queries[0])
 }
 
 func (rt *route) handleSwap(w http.ResponseWriter, r *http.Request) {

@@ -246,30 +246,11 @@ func (lv *Live) Search(query []float32, k int) []Result {
 
 // SearchBatch implements BatchSearcher: the base answers through its own
 // multi-query kernel, the memtable through its snapshot batch scan, and
-// each query's two sets merge as in Search.
+// each query's two sets merge as in Search (see SearchBatchTimed in
+// timing.go, which this delegates to).
 func (lv *Live) SearchBatch(queries [][]float32, k int) [][]Result {
-	for _, q := range queries {
-		if len(q) != lv.dim {
-			panic("vecstore: Search dim mismatch")
-		}
-	}
-	out := make([][]Result, len(queries))
-	if k <= 0 || len(queries) == 0 {
-		return out
-	}
-	var base [][]Result
-	if lv.nb > 0 {
-		base = BatchSearch(lv.base, queries, k, 0)
-	}
-	mem := lv.mem.SearchBatch(queries, k)
-	for qi := range queries {
-		var b []Result
-		if base != nil {
-			b = base[qi]
-		}
-		out[qi] = mergeLive(b, mem[qi], lv.nb, k)
-	}
-	return out
+	res, _ := lv.SearchBatchTimed(queries, k)
+	return res
 }
 
 // MemoryBytes reports base plus memtable storage, for StatsOf.

@@ -3,6 +3,7 @@ package vecstore
 import (
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/f16"
 )
@@ -258,11 +259,23 @@ func searchBlock[B codeBlock[B]](b B, q []float32, k int, keys []string, dst []R
 // SearchBatch: every worker owns a row segment and one heap per query, and
 // each tile it decodes is scored against the whole batch.
 func searchBlockBatch[B codeBlock[B]](b B, queries [][]float32, k int, keys []string) [][]Result {
+	res, _ := searchBlockBatchTimed(b, queries, k, keys)
+	return res
+}
+
+// searchBlockBatchTimed is searchBlockBatch reporting where the kernel's
+// time went: Scan covers the segment-parallel tile scans (spawn to
+// wg.Wait), Merge the per-query heap folds into final descending order.
+// Results are bit-identical to searchBlockBatch — the split only brackets
+// the two existing phases with clock reads.
+func searchBlockBatchTimed[B codeBlock[B]](b B, queries [][]float32, k int, keys []string) ([][]Result, ScanTiming) {
 	out := make([][]Result, len(queries))
+	var tm ScanTiming
 	rows := b.Rows()
 	if rows == 0 || k <= 0 {
-		return out
+		return out, tm
 	}
+	scanStart := time.Now()
 	workers := scanSegments(rows, len(queries))
 	seg := segmentSize(rows, workers)
 	nseg := (rows + seg - 1) / seg
@@ -285,6 +298,8 @@ func searchBlockBatch[B codeBlock[B]](b B, queries [][]float32, k int, keys []st
 		}(b.Slice(r0, r1), r0, hs)
 	}
 	wg.Wait()
+	tm.Scan = time.Since(scanStart)
+	mergeStart := time.Now()
 	for qi := range queries {
 		perSeg := make([]*topK, len(heaps))
 		for si := range heaps {
@@ -292,7 +307,8 @@ func searchBlockBatch[B codeBlock[B]](b B, queries [][]float32, k int, keys []st
 		}
 		out[qi] = mergeHeaps(perSeg, keys, nil)
 	}
-	return out
+	tm.Merge = time.Since(mergeStart)
+	return out, tm
 }
 
 // scanPQTopK streams a block of M-byte PQ codes against a precomputed

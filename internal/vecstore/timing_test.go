@@ -1,0 +1,80 @@
+package vecstore
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func timingFixture(t *testing.T, dim, n int) (*Flat, [][]float32) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(99))
+	ix := NewFlat(dim)
+	vec := make([]float32, dim)
+	for i := 0; i < n; i++ {
+		for d := range vec {
+			vec[d] = rng.Float32()*2 - 1
+		}
+		ix.Add(vec, keyOf(i))
+	}
+	queries := make([][]float32, 7)
+	for qi := range queries {
+		q := make([]float32, dim)
+		for d := range q {
+			q[d] = rng.Float32()*2 - 1
+		}
+		queries[qi] = q
+	}
+	return ix, queries
+}
+
+func keyOf(i int) string { return string(rune('a'+i%26)) + string(rune('0'+i%10)) }
+
+// TestBatchSearchTimedParity pins the timed kernel to the untimed one:
+// identical results on Flat (native split), on Live (base+memtable split)
+// and through the generic fallback, with non-negative phase durations.
+func TestBatchSearchTimedParity(t *testing.T) {
+	ix, queries := timingFixture(t, 16, 500)
+	want := ix.SearchBatch(queries, 10)
+
+	got, tm := ix.SearchBatchTimed(queries, 10)
+	if tm.Scan < 0 || tm.Merge < 0 {
+		t.Fatalf("negative timing: %+v", tm)
+	}
+	assertSameResults(t, "Flat.SearchBatchTimed", want, got)
+
+	got, tm = BatchSearchTimed(ix, queries, 10, 0)
+	if tm.Scan < 0 || tm.Merge < 0 {
+		t.Fatalf("negative timing: %+v", tm)
+	}
+	assertSameResults(t, "BatchSearchTimed(Flat)", want, got)
+
+	lv := NewLive(ix, NewMemtable(16))
+	q0 := queries[0]
+	lv.Add(q0, "live-row")
+	wantLive := make([][]Result, len(queries))
+	for qi, q := range queries {
+		wantLive[qi] = lv.Search(q, 10)
+	}
+	gotLive, tmLive := lv.SearchBatchTimed(queries, 10)
+	if tmLive.Scan < 0 || tmLive.Merge < 0 {
+		t.Fatalf("negative live timing: %+v", tmLive)
+	}
+	assertSameResults(t, "Live.SearchBatchTimed", wantLive, gotLive)
+}
+
+func assertSameResults(t *testing.T, label string, want, got [][]Result) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d result sets, want %d", label, len(got), len(want))
+	}
+	for qi := range want {
+		if len(want[qi]) != len(got[qi]) {
+			t.Fatalf("%s: query %d: %d results, want %d", label, qi, len(got[qi]), len(want[qi]))
+		}
+		for i := range want[qi] {
+			if want[qi][i] != got[qi][i] {
+				t.Fatalf("%s: query %d result %d: %+v, want %+v", label, qi, i, got[qi][i], want[qi][i])
+			}
+		}
+	}
+}
