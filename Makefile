@@ -1,11 +1,11 @@
 # Repro build/verify entry points. `make verify` is the tier-1 gate
-# (format, build, vet, docs checks, tests); `make bench` runs the
+# (format, build, vet, lint, docs checks, tests); `make bench` runs the
 # vecstore kernel benchmarks that track the contiguous-scan and PQ-LUT
 # speedups.
 
 GO ?= go
 
-.PHONY: verify bench bench-all bench-serve docs fmt race fuzz-smoke profile
+.PHONY: verify bench bench-all bench-serve docs fmt lint race fuzz-smoke profile
 
 verify:
 	@unformatted="$$(gofmt -l .)"; \
@@ -14,6 +14,7 @@ verify:
 	fi
 	$(GO) build ./...
 	$(MAKE) docs
+	$(MAKE) lint
 	$(GO) test ./...
 	$(MAKE) fuzz-smoke
 	$(MAKE) race
@@ -51,6 +52,16 @@ docs:
 		echo "missing package comment in:$$missing"; exit 1; \
 	fi
 	@echo "docs checks passed"
+
+# Project-specific static analysis: raglint encodes the repo's
+# concurrency and robustness invariants (ctx-abortable sleeps, ctx-ful
+# HTTP, no blocking under locks, nil-Trace contract, header-bounded
+# allocations, stage-name taxonomy, %w wrapping) as seven analyzers
+# built on go/ast + go/types only. Exits non-zero on any finding;
+# suppress a deliberate violation with `//lint:ignore <analyzer>
+# <reason>`. See internal/lint/doc.go and docs/ARCHITECTURE.md.
+lint:
+	$(GO) run ./cmd/raglint
 
 # Kernel benchmarks: ns/vector and bytes/vector for the contiguous
 # blocked scan vs the frozen jagged baseline, the SQ8/PQ quantized scans,

@@ -1,0 +1,58 @@
+// Command raglint runs the repo's custom static-analysis suite (see
+// internal/lint): stdlib-only analyzers that encode the concurrency and
+// robustness invariants earned across the serving stack's history —
+// ctx-abortable sleeps, context-carrying outbound HTTP, no blocking ops
+// under locks, nil-safe obs.Trace methods, budget-checked VSF header
+// allocations, the closed stage-name taxonomy, and %w error wrapping.
+//
+// Usage:
+//
+//	raglint [-C dir] [-analyzers a,b,c] [-list] [packages]
+//
+// The package arguments are accepted for familiarity (`raglint ./...`)
+// but the driver always analyzes every non-test package of the module
+// enclosing -C (default: the working directory). Diagnostics print as
+// "file:line: analyzer: message" with module-root-relative paths; the
+// exit status is 1 if any finding survives its //lint:ignore check.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	dir := flag.String("C", ".", "directory inside the module to lint")
+	names := flag.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-11s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	analyzers, err := lint.Select(*names)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	mod, err := lint.LoadModule(*dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "raglint:", err)
+		os.Exit(2)
+	}
+	diags := lint.Run(mod.Packages(), analyzers)
+	lint.Relativize(diags, mod.Root)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "raglint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

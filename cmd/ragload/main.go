@@ -27,17 +27,20 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime/pprof"
 	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"repro/internal/chunk"
@@ -79,11 +82,16 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+	// Interrupting a run cancels this ctx: pacing and polling sleeps
+	// (retry.Sleep) wake immediately and the run exits with an error
+	// instead of riding out its schedule or writing a truncated report.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	var err error
 	if *inprocess {
-		err = runInProcess(*scale, *seed, *n, *c, *k, *nq, *swaps, *rate, *zipfS, *jsonPath)
+		err = runInProcess(ctx, *scale, *seed, *n, *c, *k, *nq, *swaps, *rate, *zipfS, *jsonPath)
 	} else {
-		err = runRemote(*addr, *routes, *n, *c, *nq, *k, *rate, *dist, *zipfS, *jsonPath)
+		err = runRemote(ctx, *addr, *routes, *n, *c, *nq, *k, *rate, *dist, *zipfS, *jsonPath)
 	}
 	if *cpuprofile != "" {
 		// Stop before the error exit below: log.Fatal skips defers, and an
@@ -109,7 +117,7 @@ func queryPool(n int) []string {
 	return out
 }
 
-func runRemote(addr, routeList string, n, c, nq, k int, rate float64, dist string, zipfS float64, jsonPath string) error {
+func runRemote(ctx context.Context, addr, routeList string, n, c, nq, k int, rate float64, dist string, zipfS float64, jsonPath string) error {
 	client := serve.NewClient(addr, nil)
 	if _, err := client.Healthz(); err != nil {
 		return fmt.Errorf("server not healthy: %w", err)
@@ -128,11 +136,14 @@ func runRemote(addr, routeList string, n, c, nq, k int, rate float64, dist strin
 	}
 	rep := serve.RunLoadMixed(serve.LoadConfig{
 		Concurrency: c, Requests: n, RatePerSec: rate, K: k, Queries: queryPool(nq),
-		Dist: dist, ZipfS: zipfS,
+		Dist: dist, ZipfS: zipfS, Ctx: ctx,
 	}, routes, func(route, q string, k int) error {
 		_, err := client.SearchRoute(route, q, k, "")
 		return err
 	})
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("load run interrupted after %d requests: %w", rep.Total.Requests, err)
+	}
 	fmt.Println(rep.Total)
 	if len(routes) > 1 {
 		for _, route := range routes {
@@ -151,7 +162,7 @@ func runRemote(addr, routeList string, n, c, nq, k int, rate float64, dist strin
 	return nil
 }
 
-func runInProcess(scale float64, seed uint64, n, c, k, nq, swaps int, rate, zipfS float64, jsonPath string) error {
+func runInProcess(ctx context.Context, scale float64, seed uint64, n, c, k, nq, swaps int, rate, zipfS float64, jsonPath string) error {
 	if nq <= 0 {
 		nq = 64
 	}
@@ -251,7 +262,9 @@ func runInProcess(scale float64, seed uint64, n, c, k, nq, swaps int, rate, zipf
 			done <- serve.RunLoad(serve.LoadConfig{Concurrency: c, Requests: n, K: k, Queries: queryPool(n)}, do)
 		}()
 		for i := 0; i < swaps; i++ {
-			time.Sleep(10 * time.Millisecond)
+			if err := retry.Sleep(ctx, 10*time.Millisecond); err != nil {
+				return fmt.Errorf("interrupted during swap phase: %w", err)
+			}
 			if _, err := client.Swap(vsf); err != nil {
 				return fmt.Errorf("hot swap %d: %w", i, err)
 			}
@@ -318,7 +331,7 @@ func runInProcess(scale float64, seed uint64, n, c, k, nq, swaps int, rate, zipf
 	// search), background compactions publishing mid-loop, then a forced
 	// final drain and a visibility audit of every acked insert. Zero
 	// failures and zero lost inserts expected.
-	rep.Ingest, err = runIngestPhase(srv, client, n, c, k)
+	rep.Ingest, err = runIngestPhase(ctx, srv, client, n, c, k)
 	if err != nil {
 		return err
 	}
@@ -327,7 +340,7 @@ func runInProcess(scale float64, seed uint64, n, c, k, nq, swaps int, rate, zipf
 	// in-process shards behind the scatter/gather router, with a cold
 	// shard kill mid-way through the degraded sub-phase. Zero failures
 	// expected: outages degrade responses, they never 5xx.
-	rep.Router, err = runRouterPhase(a.Chunks, n, c, k)
+	rep.Router, err = runRouterPhase(ctx, a.Chunks, n, c, k)
 	if err != nil {
 		return err
 	}
@@ -335,9 +348,12 @@ func runInProcess(scale float64, seed uint64, n, c, k, nq, swaps int, rate, zipf
 	// Phase 9 — per-stage latency breakdown: timing-enabled requests on the
 	// chunks route, folding the returned span timelines into per-stage
 	// p50/p99 (where a search's time goes, not just how long it takes).
-	rep.Stages, err = runStagesPhase(client, n, k, 2*n+2*nq+8*nq)
+	rep.Stages, err = runStagesPhase(ctx, client, n, k, 2*n+2*nq+8*nq)
 	if err != nil {
 		return err
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("benchmark interrupted: %w", err)
 	}
 
 	rep.P50MS, rep.P95MS, rep.P99MS = rep.Concurrent.P50MS, rep.Concurrent.P95MS, rep.Concurrent.P99MS
@@ -370,7 +386,10 @@ const (
 // memtable fill, a forced final drain, and an audit that every acked
 // insert is retrievable by its own text (the deterministic encoder ranks
 // an exact-text match first, so a lost row is a k=1 miss).
-func runIngestPhase(srv *serve.Server, client *serve.Client, n, c, k int) (*serve.IngestBench, error) {
+func runIngestPhase(ctx context.Context, srv *serve.Server, client *serve.Client, n, c, k int) (*serve.IngestBench, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("interrupted before ingest phase: %w", err)
+	}
 	fmt.Println("live ingestion (mixed read/write):")
 	prefix := serve.MetricPrefix(liveRoute)
 	before := srv.Registry().Snapshot()
@@ -453,7 +472,10 @@ const routerShards = 3
 // fan-out, and a closed loop during which shard1 is killed cold. It then
 // revives the shard and waits for the router's half-open probe to restore
 // full-recall responses.
-func runRouterPhase(chunks []chunk.Chunk, n, c, k int) (*serve.RouterBench, error) {
+func runRouterPhase(ctx context.Context, chunks []chunk.Chunk, n, c, k int) (*serve.RouterBench, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("interrupted before router phase: %w", err)
+	}
 	fmt.Printf("router fleet (%d shards over %d chunks):\n", routerShards, len(chunks))
 	parts := make([][]chunk.Chunk, routerShards)
 	for i, ch := range chunks {
@@ -537,7 +559,9 @@ func runRouterPhase(chunks []chunk.Chunk, n, c, k int) (*serve.RouterBench, erro
 			rb.Recovered = true
 			break
 		}
-		time.Sleep(25 * time.Millisecond)
+		if err := retry.Sleep(ctx, 25*time.Millisecond); err != nil {
+			return nil, fmt.Errorf("interrupted during breaker recovery wait: %w", err)
+		}
 	}
 	fmt.Printf("  shard revived, breaker closed again: %v\n\n", rb.Recovered)
 	return rb, nil
@@ -548,7 +572,10 @@ func runRouterPhase(chunks []chunk.Chunk, n, c, k int) (*serve.RouterBench, erro
 // keeps its queries disjoint from every prior phase, so each request is a
 // cache miss whose trace crosses all five serve stages (the cache span is
 // the lookup itself, recorded on hits and misses alike).
-func runStagesPhase(client *serve.Client, n, k, poolOffset int) (map[string]*serve.StageLat, error) {
+func runStagesPhase(ctx context.Context, client *serve.Client, n, k, poolOffset int) (map[string]*serve.StageLat, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("interrupted before stages phase: %w", err)
+	}
 	fmt.Println("per-stage latency breakdown (timing-enabled requests):")
 	if n > 512 {
 		n = 512 // plenty of samples for a stable p99 without stretching the run

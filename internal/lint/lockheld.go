@@ -1,0 +1,249 @@
+package lint
+
+import (
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"strings"
+)
+
+// lockheld: the serving stack's locks (coalescer mu, cache shard mu,
+// per-route writeMu, vecstore memtable RWMutex) bound O(µs) critical
+// sections. A channel operation, sleep or network call while one is held
+// turns a mutex into a convoy — or a deadlock, when the channel's other
+// end needs the same lock. The analyzer walks each function linearly:
+// between `x.Lock()` (or RLock) and the matching unlock on the same
+// expression it flags channel sends/receives, selects without a default
+// clause (a select WITH default is a non-blocking poll and is allowed),
+// time.Sleep / retry.Sleep / retry-policy Do calls, and net or net/http
+// calls. `defer x.Unlock()` holds to function end. Two idioms are
+// recognised as safe: function literals are not descended into (a
+// goroutine body does not hold the caller's lock), and a select every
+// arm of which opens by releasing the lock is treated as the lock's
+// release point — the coalescer's close-vs-enqueue handoff, where the
+// read lock must be held across the enqueue attempt and is dropped on
+// every path out.
+var analyzerLockHeld = &Analyzer{
+	Name: "lockheld",
+	Doc:  "no channel ops, sleeps or network calls while a mutex is held",
+	Run: func(p *Package, report func(pos token.Pos, msg string)) {
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				checkLockBlock(p, fd.Body.List, map[string]bool{}, report)
+			}
+		}
+	},
+}
+
+// checkLockBlock scans one statement list with the set of lock
+// expressions held on entry. Nested blocks get a copy, so a lock taken
+// inside a branch is only considered held within it.
+func checkLockBlock(p *Package, stmts []ast.Stmt, held map[string]bool, report func(pos token.Pos, msg string)) {
+	held = copySet(held)
+	for _, s := range stmts {
+		if recv, kind, ok := lockCall(p, s); ok {
+			switch kind {
+			case "Lock", "RLock":
+				held[recv] = true
+			case "Unlock", "RUnlock":
+				delete(held, recv)
+			}
+			continue
+		}
+		if def, ok := s.(*ast.DeferStmt); ok {
+			// `defer x.Unlock()` keeps x held for the rest of the scan —
+			// exactly the region the invariant covers.
+			if _, _, ok := lockCallExpr(p, def.Call); ok {
+				continue
+			}
+		}
+		if sel, ok := s.(*ast.SelectStmt); ok {
+			// The coalescer's close-vs-enqueue handoff: a select every
+			// arm of which opens by releasing lock L is L's sanctioned
+			// release point — the lock is gone on every path out.
+			for _, l := range selectReleases(p, sel, held) {
+				delete(held, l)
+			}
+			if len(held) > 0 && !hasDefaultClause(sel) {
+				report(sel.Pos(), "blocking select while "+anyKey(held)+" is held")
+			}
+			for _, c := range sel.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok {
+					checkLockBlock(p, cc.Body, held, report)
+				}
+			}
+			continue
+		}
+		if len(held) > 0 {
+			flagBlockingOps(p, s, held, report)
+		}
+		// Descend into compound statements so the held set survives into
+		// loop and branch bodies.
+		switch st := s.(type) {
+		case *ast.BlockStmt:
+			checkLockBlock(p, st.List, held, report)
+		case *ast.IfStmt:
+			checkLockBlock(p, st.Body.List, held, report)
+			if st.Else != nil {
+				switch e := st.Else.(type) {
+				case *ast.BlockStmt:
+					checkLockBlock(p, e.List, held, report)
+				case *ast.IfStmt:
+					checkLockBlock(p, []ast.Stmt{e}, held, report)
+				}
+			}
+		case *ast.ForStmt:
+			checkLockBlock(p, st.Body.List, held, report)
+		case *ast.RangeStmt:
+			checkLockBlock(p, st.Body.List, held, report)
+		case *ast.SwitchStmt:
+			for _, c := range st.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					checkLockBlock(p, cc.Body, held, report)
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			for _, c := range st.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					checkLockBlock(p, cc.Body, held, report)
+				}
+			}
+		}
+	}
+}
+
+// selectReleases returns the held locks that every comm clause of sel
+// releases as its first statement.
+func selectReleases(p *Package, sel *ast.SelectStmt, held map[string]bool) []string {
+	var out []string
+	for l := range held {
+		releasedByAll := len(sel.Body.List) > 0
+		for _, c := range sel.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok || len(cc.Body) == 0 {
+				releasedByAll = false
+				break
+			}
+			recv, kind, ok := lockCall(p, cc.Body[0])
+			if !ok || recv != l || (kind != "Unlock" && kind != "RUnlock") {
+				releasedByAll = false
+				break
+			}
+		}
+		if releasedByAll {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+func hasDefaultClause(sel *ast.SelectStmt) bool {
+	for _, c := range sel.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+func copySet(m map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// lockCall matches a statement of the form `expr.Lock()` etc. and
+// returns the lock expression's source text as identity.
+func lockCall(p *Package, s ast.Stmt) (recv, kind string, ok bool) {
+	es, isExpr := s.(*ast.ExprStmt)
+	if !isExpr {
+		return "", "", false
+	}
+	call, isCall := es.X.(*ast.CallExpr)
+	if !isCall {
+		return "", "", false
+	}
+	return lockCallExpr(p, call)
+}
+
+func lockCallExpr(p *Package, call *ast.CallExpr) (recv, kind string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel || len(call.Args) != 0 {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	return exprString(p.Fset, sel.X), sel.Sel.Name, true
+}
+
+func exprString(fset *token.FileSet, e ast.Expr) string {
+	var b strings.Builder
+	printer.Fprint(&b, fset, e)
+	return b.String()
+}
+
+// flagBlockingOps reports channel ops, sleeps and network calls inside
+// one statement (not descending into nested statement lists — the block
+// scanner owns those — nor into function literals).
+func flagBlockingOps(p *Package, s ast.Stmt, held map[string]bool, report func(pos token.Pos, msg string)) {
+	lock := anyKey(held)
+	ast.Inspect(s, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.BlockStmt:
+			// Nested lists are scanned by checkLockBlock with proper
+			// lock tracking; only look at this statement's own exprs.
+			return false
+		case *ast.SelectStmt:
+			return false // selects are handled by checkLockBlock
+		case *ast.SendStmt:
+			report(v.Pos(), "channel send while "+lock+" is held")
+			return true
+		case *ast.UnaryExpr:
+			if v.Op == token.ARROW {
+				report(v.Pos(), "channel receive while "+lock+" is held")
+			}
+			return true
+		case *ast.CallExpr:
+			flagBlockingCall(p, v, lock, report)
+			return true
+		}
+		return true
+	})
+}
+
+func flagBlockingCall(p *Package, call *ast.CallExpr, lock string, report func(pos token.Pos, msg string)) {
+	fn := calleeFunc(p, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	path, name := fn.Pkg().Path(), fn.Name()
+	switch {
+	case path == "time" && name == "Sleep":
+		report(call.Pos(), "time.Sleep while "+lock+" is held")
+	case strings.HasSuffix(path, "internal/retry") && (name == "Sleep" || name == "Do"):
+		report(call.Pos(), "retry."+name+" (backoff sleep) while "+lock+" is held")
+	case path == "net/http" || path == "net":
+		report(call.Pos(), path+"."+name+" network call while "+lock+" is held")
+	}
+}
+
+func anyKey(m map[string]bool) string {
+	best := ""
+	for k := range m {
+		if best == "" || k < best {
+			best = k
+		}
+	}
+	return best
+}

@@ -1,0 +1,73 @@
+// Fixture for the allocbound analyzer. The package is named vecstore
+// because the rule is scoped to the persistence layer: allocation sizes
+// decoded from a file header must be validated before make().
+package vecstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"io"
+)
+
+var errHeader = errors.New("bad header")
+
+func unguarded(r io.Reader) ([]byte, error) {
+	var n uint64
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, n) // want: n is header-tainted and unvalidated
+	_, err := io.ReadFull(r, buf)
+	return buf, err
+}
+
+func guarded(r io.Reader, limit uint64) ([]byte, error) {
+	var n uint64
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	if n > limit {
+		return nil, errHeader
+	}
+	buf := make([]byte, n) // fine: bounded against the caller's budget
+	_, err := io.ReadFull(r, buf)
+	return buf, err
+}
+
+func endianTaint(hdr []byte) []uint32 {
+	count := binary.LittleEndian.Uint32(hdr)
+	return make([]uint32, count) // want: count decoded straight from bytes
+}
+
+func derivedGuard(r io.Reader, remain uint64) ([]byte, error) {
+	var rows, dim uint32
+	if err := binary.Read(r, binary.LittleEndian, &rows); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(r, binary.LittleEndian, &dim); err != nil {
+		return nil, err
+	}
+	if need := uint64(rows) * uint64(dim); need > remain {
+		return nil, errHeader
+	}
+	buf := make([]byte, int(rows)*int(dim)) // fine: the product was budget-checked
+	_, err := io.ReadFull(r, buf)
+	return buf, err
+}
+
+func constSize(r io.Reader) ([]byte, error) {
+	buf := make([]byte, 16) // fine: constant size, nothing tainted
+	_, err := io.ReadFull(r, buf)
+	return buf, err
+}
+
+func suppressed(r io.Reader) ([]byte, error) {
+	var n uint16
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	//lint:ignore allocbound uint16 caps the allocation at 64KiB
+	buf := make([]byte, n)
+	_, err := io.ReadFull(r, buf)
+	return buf, err
+}

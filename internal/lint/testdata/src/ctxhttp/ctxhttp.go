@@ -1,0 +1,33 @@
+// Fixture for the ctxhttp analyzer: outbound requests must carry a
+// context so deadlines propagate router→shard.
+package ctxhttp
+
+import (
+	"context"
+	"net/http"
+)
+
+func noCtx(url string) (*http.Request, error) {
+	return http.NewRequest(http.MethodGet, url, nil) // want: drops the caller's context
+}
+
+func pkgHelper(url string) (*http.Response, error) {
+	return http.Get(url) // want: cannot carry a context
+}
+
+func clientHelper(c *http.Client, url string) (*http.Response, error) {
+	return c.Post(url, "application/json", nil) // want: cannot carry a context
+}
+
+func withCtx(ctx context.Context, c *http.Client, url string) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	return c.Do(req) // fine: the request carries ctx
+}
+
+func suppressed(url string) (*http.Response, error) {
+	//lint:ignore ctxhttp one-shot CLI probe, no deadline chain to preserve
+	return http.Get(url)
+}

@@ -1,0 +1,51 @@
+// Fixture for the errwrap analyzer: fmt.Errorf with an error operand
+// must wrap it with %w so errors.Is/As see through the chain.
+package errwrap
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errBase = errors.New("base")
+
+type codedErr struct{ code int }
+
+func (e *codedErr) Error() string { return fmt.Sprintf("code %d", e.code) }
+
+func flatten(err error) error {
+	return fmt.Errorf("load failed: %v", err) // want: %v flattens the chain
+}
+
+func flattenString(err error) error {
+	return fmt.Errorf("load failed: %s", err) // want: %s flattens the chain
+}
+
+func positional(name string, err error) error {
+	return fmt.Errorf("shard %s: open: %v", name, err) // want: second operand is the error
+}
+
+func customType(e *codedErr) error {
+	return fmt.Errorf("reject: %v", e) // want: concrete error type, still flattened
+}
+
+func wrapped(err error) error {
+	return fmt.Errorf("load failed: %w", err) // fine
+}
+
+func doubleWrap(a, b error) error {
+	return fmt.Errorf("compact: %w (after %w)", a, b) // fine: multiple %w is legal
+}
+
+func nonError(n int, s string) error {
+	return fmt.Errorf("row %d: field %q out of range", n, s) // fine: no error operands
+}
+
+func stringified(err error) error {
+	return fmt.Errorf("gave up: %s", err.Error()) // fine: operand is a string, by choice
+}
+
+func suppressed(err error) error {
+	//lint:ignore errwrap boundary error, chain intentionally severed for the API response
+	return fmt.Errorf("internal failure: %v", err)
+}

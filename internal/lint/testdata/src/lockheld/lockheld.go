@@ -1,0 +1,91 @@
+// Fixture for the lockheld analyzer: no channel ops, sleeps or network
+// calls while a mutex is held.
+package lockheld
+
+import (
+	"net/http"
+	"sync"
+	"time"
+)
+
+type box struct {
+	mu sync.RWMutex
+	ch chan int
+}
+
+func sendHeld(b *box) {
+	b.mu.Lock()
+	b.ch <- 1 // want: channel send while b.mu is held
+	b.mu.Unlock()
+}
+
+func recvHeld(b *box) int {
+	b.mu.RLock()
+	v := <-b.ch // want: channel receive while b.mu is held
+	b.mu.RUnlock()
+	return v
+}
+
+func sleepHeld(b *box) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	time.Sleep(time.Millisecond) // want: time.Sleep while b.mu is held
+}
+
+func netHeld(b *box, url string) {
+	b.mu.Lock()
+	http.Get(url) // want: network call while b.mu is held
+	b.mu.Unlock()
+}
+
+func blockingSelectHeld(b *box) {
+	b.mu.Lock()
+	select { // want: blocking select while b.mu is held
+	case v := <-b.ch:
+		_ = v
+	case b.ch <- 2:
+	}
+	b.mu.Unlock()
+}
+
+func pollSelectHeld(b *box) {
+	b.mu.Lock()
+	select { // fine: a default clause makes this a non-blocking poll
+	case b.ch <- 3:
+	default:
+	}
+	b.mu.Unlock()
+}
+
+func handoffSelect(b *box, done chan struct{}) {
+	// The coalescer's close-vs-enqueue handoff: every arm releases the
+	// lock first, so the select IS the unlock point — no finding.
+	b.mu.RLock()
+	select {
+	case b.ch <- 4:
+		b.mu.RUnlock()
+	case <-done:
+		b.mu.RUnlock()
+	}
+}
+
+func afterUnlock(b *box) {
+	b.mu.Lock()
+	b.mu.Unlock()
+	b.ch <- 5 // fine: lock already released
+}
+
+func goroutineBody(b *box) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	go func() {
+		b.ch <- 6 // fine: the goroutine does not hold the caller's lock
+	}()
+}
+
+func suppressed(b *box) {
+	b.mu.Lock()
+	//lint:ignore lockheld buffered signal channel, send can never block
+	b.ch <- 7
+	b.mu.Unlock()
+}

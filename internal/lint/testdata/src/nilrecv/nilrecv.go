@@ -1,0 +1,55 @@
+// Fixture for the nilrecv analyzer. The package is named obs because the
+// rule pins the real obs.Trace contract: every exported pointer-receiver
+// method opens with a nil guard.
+package obs
+
+import "sync"
+
+// Trace mirrors the real trace type's shape.
+type Trace struct {
+	id    string
+	mu    sync.Mutex
+	spans []string
+}
+
+func (t *Trace) ID() string { // want: no nil guard
+	return t.id
+}
+
+func (t *Trace) Add(name string) { // want: first statement is not the guard
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t == nil {
+		return
+	}
+	t.spans = append(t.spans, name)
+}
+
+func (t *Trace) Guarded() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+func (t *Trace) GuardedDisjunct(names []string) {
+	if t == nil || len(names) == 0 {
+		return
+	}
+	t.spans = append(t.spans, names...)
+}
+
+func (t *Trace) internal() string {
+	// unexported: the contract covers the exported surface only
+	return t.id
+}
+
+func (t Trace) Value() string {
+	// value receiver: cannot be nil, no guard required
+	return t.id
+}
+
+//lint:ignore nilrecv constructor-checked method, receiver proven non-nil by its only caller
+func (t *Trace) Suppressed() string {
+	return t.id
+}

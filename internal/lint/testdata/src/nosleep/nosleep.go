@@ -1,0 +1,41 @@
+// Fixture for the nosleep analyzer: bare time.Sleep in non-test code.
+package nosleep
+
+import (
+	"context"
+	gotime "time"
+)
+
+func bare(d gotime.Duration) {
+	gotime.Sleep(d) // want: bare time.Sleep (resolved through the import alias)
+}
+
+func suppressed(d gotime.Duration) {
+	//lint:ignore nosleep test helper pacing is allowed to block
+	gotime.Sleep(d)
+}
+
+func timerWait(ctx context.Context, d gotime.Duration) error {
+	// The sanctioned shape (retry.Sleep's implementation): no finding.
+	t := gotime.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Sleep is a local function that happens to share the name; calling it
+// is fine — resolution is by package path, not name.
+func Sleep(d gotime.Duration) {}
+
+func localSleep(d gotime.Duration) {
+	Sleep(d)
+}
+
+func malformedDirective(d gotime.Duration) {
+	//lint:ignore nosleep
+	gotime.Sleep(d) // the directive above has no reason: finding stays AND the directive is reported
+}

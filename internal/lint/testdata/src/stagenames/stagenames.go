@@ -1,0 +1,39 @@
+// Fixture for the stagenames analyzer: span and stage-metric names must
+// come from the taxonomy that BenchReport.Check gates on.
+package stagenames
+
+import "time"
+
+// Trace mirrors the obs span API surface the analyzer keys on.
+type Trace struct{ spans []string }
+
+func (t *Trace) AddSpan(name string, d time.Duration) { t.spans = append(t.spans, name) }
+func (t *Trace) StartSpan(name string) func()         { return func() {} }
+
+// Registry mirrors the metrics registry surface.
+type Registry struct{}
+
+func (r *Registry) Histogram(name string) *int { return nil }
+func (r *Registry) Counter(name string) *int   { return nil }
+
+func spans(tr *Trace) {
+	tr.AddSpan("scann", time.Millisecond) // want: typo, not in the taxonomy
+	tr.AddSpan("cache", time.Millisecond) // fine
+	done := tr.StartSpan("rerank")        // want: not a known stage
+	done()
+	tr.StartSpan("scatter") // fine: router fan-out stage
+}
+
+func metrics(reg *Registry) {
+	reg.Histogram("serve.stage.cachee") // want: stage. metric outside the taxonomy
+	reg.Histogram("serve.stage.embed")  // fine
+	reg.Histogram("pipe.stage.chunk")   // fine: pipeline taxonomy
+	reg.Counter("serve.requests")       // fine: not a stage metric
+	prefix := "serve."
+	reg.Histogram(prefix + "stage.scan") // fine for the literal part; prefix is opaque
+}
+
+func suppressed(tr *Trace) {
+	//lint:ignore stagenames experimental stage behind a flag, not yet in the schema
+	tr.AddSpan("prefetch", time.Millisecond)
+}

@@ -218,7 +218,17 @@ func (c *Client) HealthzCtx(ctx context.Context) (Healthz, error) {
 
 // Metrics fetches the /metrics text exposition.
 func (c *Client) Metrics() (string, error) {
-	r, err := c.hc.Get(c.base + "/metrics")
+	return c.MetricsCtx(context.Background())
+}
+
+// MetricsCtx fetches the /metrics text exposition under a caller
+// context, so a scrape against a wedged server can be abandoned.
+func (c *Client) MetricsCtx(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	r, err := c.hc.Do(req)
 	if err != nil {
 		return "", err
 	}

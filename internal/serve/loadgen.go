@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -8,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/retry"
 	"repro/internal/rng"
 )
 
@@ -41,6 +43,12 @@ type LoadConfig struct {
 	// Seed drives the zipf sampler; the drawn sequence is deterministic
 	// per (Seed, Requests, len(Queries), ZipfS).
 	Seed uint64
+	// Ctx, when non-nil, aborts the run: cancelling it stops further
+	// requests from being issued and wakes the open loop's pacing sleep
+	// immediately (via retry.Sleep), so an interrupted load run does not
+	// ride out its schedule. In-flight requests still complete and the
+	// report covers exactly the requests that were issued.
+	Ctx context.Context
 }
 
 func (c *LoadConfig) fill() {
@@ -58,6 +66,9 @@ func (c *LoadConfig) fill() {
 	}
 	if c.ZipfS <= 0 {
 		c.ZipfS = 1.1
+	}
+	if c.Ctx == nil {
+		c.Ctx = context.Background()
 	}
 }
 
@@ -154,6 +165,7 @@ func RunLoadMixed(cfg LoadConfig, routes []string, do func(route, query string, 
 	}
 
 	mode := "closed"
+	issued := cfg.Requests
 	start := time.Now()
 	if cfg.RatePerSec > 0 {
 		mode = "open"
@@ -162,8 +174,17 @@ func RunLoadMixed(cfg LoadConfig, routes []string, do func(route, query string, 
 		sem := make(chan struct{}, cfg.Concurrency)
 		next := time.Now()
 		for i := 0; i < cfg.Requests; i++ {
+			// The pacing sleep goes through retry.Sleep so cancelling
+			// cfg.Ctx aborts the schedule immediately instead of riding
+			// out the inter-arrival gap (the first real nosleep finding).
 			if d := time.Until(next); d > 0 {
-				time.Sleep(d)
+				if retry.Sleep(cfg.Ctx, d) != nil {
+					issued = i
+					break
+				}
+			} else if cfg.Ctx.Err() != nil {
+				issued = i
+				break
 			}
 			next = next.Add(interval)
 			sem <- struct{}{}
@@ -182,6 +203,9 @@ func RunLoadMixed(cfg LoadConfig, routes []string, do func(route, query string, 
 			go func() {
 				defer wg.Done()
 				for {
+					if cfg.Ctx.Err() != nil {
+						return
+					}
 					i := int(next.Add(1)) - 1
 					if i >= cfg.Requests {
 						return
@@ -191,10 +215,16 @@ func RunLoadMixed(cfg LoadConfig, routes []string, do func(route, query string, 
 			}()
 		}
 		wg.Wait()
+		// Workers claim indexes in order and bail before claiming once
+		// the ctx is cancelled, so everything below the counter ran.
+		if n := int(next.Load()); n < issued {
+			issued = n
+		}
 	}
 	elapsed := time.Since(start)
 
-	all := make([]int, cfg.Requests)
+	lat, failed = lat[:issued], failed[:issued]
+	all := make([]int, issued)
 	for i := range all {
 		all[i] = i
 	}
@@ -204,7 +234,7 @@ func RunLoadMixed(cfg LoadConfig, routes []string, do func(route, query string, 
 	}
 	for ri, route := range perRoute {
 		var idx []int
-		for i := ri; i < cfg.Requests; i += len(routes) {
+		for i := ri; i < issued; i += len(routes) {
 			idx = append(idx, i)
 		}
 		rep.PerRoute[route] = summarize(mode, cfg.Dist, cfg.Concurrency, idx, lat, failed, elapsed)

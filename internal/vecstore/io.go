@@ -221,7 +221,7 @@ func openSized(path string) (*os.File, int64, error) {
 func readMagic(r io.Reader) ([4]byte, error) {
 	var m [4]byte
 	if _, err := io.ReadFull(r, m[:]); err != nil {
-		return m, fmt.Errorf("%w: %v", ErrBadFormat, err)
+		return m, fmt.Errorf("%w: %w", ErrBadFormat, err)
 	}
 	return m, nil
 }
@@ -231,14 +231,14 @@ func readMagic(r io.Reader) ([4]byte, error) {
 func readFlat(r io.Reader, remain int64, legacy bool) (*Flat, error) {
 	var dim uint32
 	if err := binary.Read(r, binary.LittleEndian, &dim); err != nil {
-		return nil, fmt.Errorf("%w: dim: %v", ErrBadFormat, err)
+		return nil, fmt.Errorf("%w: dim: %w", ErrBadFormat, err)
 	}
 	if dim == 0 || dim > 1<<16 {
 		return nil, fmt.Errorf("%w: implausible dim %d", ErrBadFormat, dim)
 	}
 	var count uint64
 	if err := binary.Read(r, binary.LittleEndian, &count); err != nil {
-		return nil, fmt.Errorf("%w: count: %v", ErrBadFormat, err)
+		return nil, fmt.Errorf("%w: count: %w", ErrBadFormat, err)
 	}
 	if count > (1<<31)/uint64(dim) {
 		return nil, fmt.Errorf("%w: implausible count %d", ErrBadFormat, count)
@@ -264,7 +264,7 @@ func readFlat(r io.Reader, remain int64, legacy bool) (*Flat, error) {
 	}
 	ix.codes = make([]uint16, count*uint64(dim))
 	if err := readCodes(r, ix.codes); err != nil {
-		return nil, fmt.Errorf("%w: code block: %v", ErrBadFormat, err)
+		return nil, fmt.Errorf("%w: code block: %w", ErrBadFormat, err)
 	}
 	return ix, nil
 }
@@ -282,7 +282,7 @@ func readFlatV1(r io.Reader, ix *Flat, count uint64) (*Flat, error) {
 		}
 		ix.codes = ix.codes[:uint64(len(ix.codes))+dim]
 		if err := readCodes(r, ix.codes[uint64(len(ix.codes))-dim:]); err != nil {
-			return nil, fmt.Errorf("%w: vector at %d: %v", ErrBadFormat, i, err)
+			return nil, fmt.Errorf("%w: vector at %d: %w", ErrBadFormat, i, err)
 		}
 		ix.keys = append(ix.keys, key)
 	}
@@ -292,14 +292,14 @@ func readFlatV1(r io.Reader, ix *Flat, count uint64) (*Flat, error) {
 func readKey(r io.Reader, i uint64) (string, error) {
 	var klen uint32
 	if err := binary.Read(r, binary.LittleEndian, &klen); err != nil {
-		return "", fmt.Errorf("%w: key len at %d: %v", ErrBadFormat, i, err)
+		return "", fmt.Errorf("%w: key len at %d: %w", ErrBadFormat, i, err)
 	}
 	if klen > 1<<20 {
 		return "", fmt.Errorf("%w: implausible key length %d", ErrBadFormat, klen)
 	}
 	key := make([]byte, klen)
 	if _, err := io.ReadFull(r, key); err != nil {
-		return "", fmt.Errorf("%w: key at %d: %v", ErrBadFormat, i, err)
+		return "", fmt.Errorf("%w: key at %d: %w", ErrBadFormat, i, err)
 	}
 	return string(key), nil
 }
@@ -364,7 +364,7 @@ func readPQ(r io.Reader, remain int64) (*PQ, error) {
 	var dim, m, ksub uint32
 	for _, p := range []*uint32{&dim, &m, &ksub} {
 		if err := binary.Read(r, binary.LittleEndian, p); err != nil {
-			return nil, fmt.Errorf("%w: PQ header: %v", ErrBadFormat, err)
+			return nil, fmt.Errorf("%w: PQ header: %w", ErrBadFormat, err)
 		}
 	}
 	if dim == 0 || dim > 1<<16 {
@@ -378,7 +378,7 @@ func readPQ(r io.Reader, remain int64) (*PQ, error) {
 	}
 	var count uint64
 	if err := binary.Read(r, binary.LittleEndian, &count); err != nil {
-		return nil, fmt.Errorf("%w: count: %v", ErrBadFormat, err)
+		return nil, fmt.Errorf("%w: count: %w", ErrBadFormat, err)
 	}
 	if count > (1<<31)/uint64(m) {
 		return nil, fmt.Errorf("%w: implausible count %d", ErrBadFormat, count)
@@ -400,11 +400,11 @@ func readPQ(r io.Reader, remain int64) (*PQ, error) {
 	}
 	ix.cb = newPQCodebook(int(dim), int(m), int(ksub))
 	if err := readF32s(r, ix.cb.cents); err != nil {
-		return nil, fmt.Errorf("%w: PQ codebook: %v", ErrBadFormat, err)
+		return nil, fmt.Errorf("%w: PQ codebook: %w", ErrBadFormat, err)
 	}
 	ix.codes = make([]byte, count*uint64(m))
 	if _, err := io.ReadFull(r, ix.codes); err != nil {
-		return nil, fmt.Errorf("%w: PQ code block: %v", ErrBadFormat, err)
+		return nil, fmt.Errorf("%w: PQ code block: %w", ErrBadFormat, err)
 	}
 	// Bad files must fail here, not at query time: a code byte ≥ ksub
 	// (possible whenever ksub < 256) would index past its subspace's LUT
@@ -605,7 +605,7 @@ func readIVFPQ(r io.Reader, remain int64) (*IVFPQ, error) {
 	var dim, m, ksub, nlist, nprobe, flags uint32
 	for _, p := range []*uint32{&dim, &m, &ksub, &nlist, &nprobe, &flags} {
 		if err := binary.Read(r, binary.LittleEndian, p); err != nil {
-			return nil, fmt.Errorf("%w: IVF-PQ header: %v", ErrBadFormat, err)
+			return nil, fmt.Errorf("%w: IVF-PQ header: %w", ErrBadFormat, err)
 		}
 	}
 	if dim == 0 || dim > 1<<16 {
@@ -628,7 +628,7 @@ func readIVFPQ(r io.Reader, remain int64) (*IVFPQ, error) {
 	}
 	var count uint64
 	if err := binary.Read(r, binary.LittleEndian, &count); err != nil {
-		return nil, fmt.Errorf("%w: count: %v", ErrBadFormat, err)
+		return nil, fmt.Errorf("%w: count: %w", ErrBadFormat, err)
 	}
 	if count > (1<<31)/uint64(m) {
 		return nil, fmt.Errorf("%w: implausible count %d", ErrBadFormat, count)
@@ -665,7 +665,7 @@ func readIVFPQ(r io.Reader, remain int64) (*IVFPQ, error) {
 	for c := range ix.km.Centroids {
 		cent := make([]float32, dim)
 		if err := readF32s(r, cent); err != nil {
-			return nil, fmt.Errorf("%w: coarse centroid %d: %v", ErrBadFormat, c, err)
+			return nil, fmt.Errorf("%w: coarse centroid %d: %w", ErrBadFormat, c, err)
 		}
 		ix.km.Centroids[c] = cent
 	}
@@ -674,19 +674,19 @@ func readIVFPQ(r io.Reader, remain int64) (*IVFPQ, error) {
 		for c := range ix.anchors {
 			anchor := make([]float32, dim)
 			if err := readF32s(r, anchor); err != nil {
-				return nil, fmt.Errorf("%w: residual anchor %d: %v", ErrBadFormat, c, err)
+				return nil, fmt.Errorf("%w: residual anchor %d: %w", ErrBadFormat, c, err)
 			}
 			ix.anchors[c] = anchor
 		}
 	}
 	ix.cb = newPQCodebook(int(dim), int(m), int(ksub))
 	if err := readF32s(r, ix.cb.cents); err != nil {
-		return nil, fmt.Errorf("%w: IVF-PQ codebook: %v", ErrBadFormat, err)
+		return nil, fmt.Errorf("%w: IVF-PQ codebook: %w", ErrBadFormat, err)
 	}
 	if flags&vsf4FlagRotation != 0 {
 		ix.rot = make([]float32, int(dim)*int(dim))
 		if err := readF32s(r, ix.rot); err != nil {
-			return nil, fmt.Errorf("%w: OPQ rotation: %v", ErrBadFormat, err)
+			return nil, fmt.Errorf("%w: OPQ rotation: %w", ErrBadFormat, err)
 		}
 	} else {
 		ix.rot = nil
@@ -697,7 +697,7 @@ func readIVFPQ(r io.Reader, remain int64) (*IVFPQ, error) {
 	for c := uint32(0); c < nlist; c++ {
 		var cn uint32
 		if err := binary.Read(r, binary.LittleEndian, &cn); err != nil {
-			return nil, fmt.Errorf("%w: cell %d size: %v", ErrBadFormat, c, err)
+			return nil, fmt.Errorf("%w: cell %d size: %w", ErrBadFormat, c, err)
 		}
 		total += uint64(cn)
 		if total > count {
@@ -705,7 +705,7 @@ func readIVFPQ(r io.Reader, remain int64) (*IVFPQ, error) {
 		}
 		idbytes := make([]byte, 4*uint64(cn))
 		if _, err := io.ReadFull(r, idbytes); err != nil {
-			return nil, fmt.Errorf("%w: cell %d postings: %v", ErrBadFormat, c, err)
+			return nil, fmt.Errorf("%w: cell %d postings: %w", ErrBadFormat, c, err)
 		}
 		ids := make([]int, cn)
 		for j := range ids {
@@ -717,7 +717,7 @@ func readIVFPQ(r io.Reader, remain int64) (*IVFPQ, error) {
 		}
 		codes := make([]byte, uint64(cn)*uint64(m))
 		if _, err := io.ReadFull(r, codes); err != nil {
-			return nil, fmt.Errorf("%w: cell %d code block: %v", ErrBadFormat, c, err)
+			return nil, fmt.Errorf("%w: cell %d code block: %w", ErrBadFormat, c, err)
 		}
 		// Same discipline as VSF3: a code byte ≥ ksub must fail at load
 		// time, not index past the LUT at query time.

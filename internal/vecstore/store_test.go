@@ -1,6 +1,8 @@
 package vecstore
 
 import (
+	"errors"
+	"io"
 	"math"
 	"path/filepath"
 	"testing"
@@ -285,6 +287,44 @@ func TestLoadRejectsTruncated(t *testing.T) {
 	}
 	if _, err := LoadFlat(trunc); err == nil {
 		t.Fatal("truncated file loaded without error")
+	}
+}
+
+// TestLoadErrorWrapsCause pins the %w discipline the errwrap lint rule
+// enforces: a load failure must expose BOTH the format sentinel and the
+// underlying I/O cause through errors.Is, so callers can distinguish
+// "corrupt index" from "disk fell over" without string matching.
+func TestLoadErrorWrapsCause(t *testing.T) {
+	r := rng.New(11)
+	ix := NewFlat(8)
+	for _, v := range randomUnit(r, 3, 8) {
+		ix.Add(v, "k")
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "full.vsf")
+	if err := ix.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := readFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut mid-way through the dim field: 4 magic bytes + 2 of 4 header
+	// bytes. The loader's binary.Read sees io.ErrUnexpectedEOF and must
+	// wrap it under ErrBadFormat, not flatten it into the message.
+	trunc := filepath.Join(dir, "trunc.vsf")
+	if err := writeFile(trunc, data[:6]); err != nil {
+		t.Fatal(err)
+	}
+	_, err = LoadFlat(trunc)
+	if err == nil {
+		t.Fatal("truncated header loaded without error")
+	}
+	if !errors.Is(err, ErrBadFormat) {
+		t.Errorf("errors.Is(err, ErrBadFormat) = false; err = %v", err)
+	}
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("errors.Is(err, io.ErrUnexpectedEOF) = false; load errors must wrap the I/O cause with %%w; err = %v", err)
 	}
 }
 
