@@ -56,6 +56,41 @@ func TestBenchServeReportSchema(t *testing.T) {
 	}
 }
 
+// TestBenchReportCheckRequiresHNSW pins the graph phase as a required
+// part of the schema: a report without it, or one whose recall says the
+// graph lost the corpus, must fail validation.
+func TestBenchReportCheckRequiresHNSW(t *testing.T) {
+	base, err := os.ReadFile("BENCH_serve.json")
+	if os.IsNotExist(err) {
+		t.Skip("no BENCH_serve.json; run `make bench-serve` to produce one")
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	load := func() serve.BenchReport {
+		var rep serve.BenchReport
+		if err := json.Unmarshal(base, &rep); err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	rep := load()
+	rep.HNSW = nil
+	if err := rep.Check(); err == nil {
+		t.Fatal("report without the hnsw phase passed Check")
+	}
+	rep = load()
+	rep.HNSW.RecallAt10 = 0.1
+	if err := rep.Check(); err == nil {
+		t.Fatal("hnsw recall@10 of 0.1 passed Check")
+	}
+	rep = load()
+	rep.HNSW.BuildMS = 0
+	if err := rep.Check(); err == nil {
+		t.Fatal("untimed hnsw build passed Check")
+	}
+}
+
 // TestBenchReportCheckRejectsBadStages pins the Check-side stage gating
 // that the artifact test above relies on: an unknown stage name and a
 // zero-sample scan stage must both fail validation.

@@ -288,6 +288,13 @@ func ablations(w io.Writer, a *core.Artifacts) error {
 	if err := ivfpqVariantAblation(w, a); err != nil {
 		return err
 	}
+
+	// HNSW against the two poles it sits between.
+	fmt.Fprintln(w, "### Index ablation: HNSW vs Flat vs IVF-PQ trade-off (chunk store)")
+	fmt.Fprintln(w)
+	if err := hnswTradeoffAblation(w, a); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -311,6 +318,63 @@ func ivfAblation(w io.Writer, a *core.Artifacts) error {
 	for _, np := range []int{1, 2, 4, 8, 16, 64} {
 		ix.SetNProbe(np)
 		fmt.Fprintf(w, "| %d | %.3f |\n", np, ix.Recall(queries, 5))
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+// hnswTradeoffAblation holds the modernised HNSW graph against the two
+// poles it sits between — the exact Flat scan and the compressed IVF-PQ —
+// on the same chunk embeddings: what each costs to build, what it holds
+// per vector, what recall it returns, and what a single query costs. The
+// serving-side counterpart (throughput through the full stack) is the
+// hnsw phase of BENCH_serve.json.
+func hnswTradeoffAblation(w io.Writer, a *core.Artifacts) error {
+	encDefault := embed.NewDefault()
+	vecs := make([][]float32, 0, len(a.Chunks))
+	flat := vecstore.NewFlat(384)
+	for _, c := range a.Chunks {
+		v := encDefault.Encode(c.Text)
+		vecs = append(vecs, v)
+		flat.Add(v, c.ID)
+	}
+	queries := make([][]float32, 0, 50)
+	for i, q := range a.Questions {
+		if i >= 50 {
+			break
+		}
+		queries = append(queries, encDefault.Encode(q.Question))
+	}
+
+	t0 := time.Now()
+	hn := flat.ToHNSW(vecstore.HNSWConfig{Seed: 1})
+	hnswBuild := time.Since(t0)
+	t0 = time.Now()
+	ipq := flat.ToIVFPQ(vecstore.IVFPQConfig{NList: 64, NProbe: 8, M: 48, Seed: 1, Residual: true})
+	pqBuild := time.Since(t0)
+
+	perQueryUS := func(ix vecstore.Index) float64 {
+		start := time.Now()
+		for _, q := range queries {
+			ix.Search(q, 5)
+		}
+		return float64(time.Since(start).Microseconds()) / float64(len(queries))
+	}
+	rows := []struct {
+		ix      vecstore.Index
+		buildMS float64
+		recall  float64
+	}{
+		{flat, 0, 1}, // the exact reference: no conversion cost, recall 1 by definition
+		{hn, float64(hnswBuild.Microseconds()) / 1e3, hn.Recall(queries, 5)},
+		{ipq, float64(pqBuild.Microseconds()) / 1e3, ipq.Recall(vecs, queries, 5)},
+	}
+	fmt.Fprintln(w, "| index | build ms | bytes/vec | recall@5 | µs/query |")
+	fmt.Fprintln(w, "|---|---|---|---|---|")
+	for _, r := range rows {
+		st := vecstore.StatsOf(r.ix)
+		fmt.Fprintf(w, "| %s | %.1f | %.1f | %.3f | %.1f |\n",
+			st.Kind, r.buildMS, st.BytesPerVector(), r.recall, perQueryUS(r.ix))
 	}
 	fmt.Fprintln(w)
 	return nil

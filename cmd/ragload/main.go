@@ -45,6 +45,7 @@ import (
 
 	"repro/internal/chunk"
 	"repro/internal/core"
+	"repro/internal/embed"
 	"repro/internal/rag"
 	"repro/internal/retry"
 	"repro/internal/router"
@@ -195,6 +196,21 @@ func runInProcess(ctx context.Context, scale float64, seed uint64, n, c, k, nq, 
 	liveStore := rag.WrapChunkStore(nil, a.ChunkStore.Index(), a.Chunks)
 	liveStore.EnableLive()
 	if err := srv.Mount(liveRoute, rag.NewChunkFacade(liveStore)); err != nil {
+		return err
+	}
+	// The graph route serves the same corpus through the modernised HNSW:
+	// the already-embedded flat chunk index is flattened into the graph
+	// (timed — the route's price of admission) and mounted alongside the
+	// exact routes, before Start like every mount.
+	flatIx, ok := a.ChunkStore.Index().(*vecstore.Flat)
+	if !ok {
+		return fmt.Errorf("inprocess bench needs a Flat chunk index to seed the hnsw route, got %T", a.ChunkStore.Index())
+	}
+	buildStart := time.Now()
+	hnswIx := flatIx.ToHNSW(vecstore.HNSWConfig{Seed: seed})
+	hnswBuildMS := float64(time.Since(buildStart).Nanoseconds()) / 1e6
+	hnswStore := rag.WrapChunkStore(nil, hnswIx, a.Chunks)
+	if err := srv.Mount(hnswRoute, rag.NewChunkFacade(hnswStore)); err != nil {
 		return err
 	}
 	if err := srv.Start("127.0.0.1:0"); err != nil {
@@ -352,6 +368,14 @@ func runInProcess(ctx context.Context, scale float64, seed uint64, n, c, k, nq, 
 	if err != nil {
 		return err
 	}
+
+	// Phase 10 — graph index: the hnsw route's closed loop against the
+	// modernised HNSW built before Start, with index-side recall@10 vs
+	// the exact Flat the graph was flattened from.
+	rep.HNSW, err = runHNSWPhase(ctx, client, hnswIx, flatIx, n, c, k, hnswBuildMS, 3*n+2*nq+8*nq)
+	if err != nil {
+		return err
+	}
 	if err := ctx.Err(); err != nil {
 		return fmt.Errorf("benchmark interrupted: %w", err)
 	}
@@ -373,6 +397,38 @@ func runInProcess(ctx context.Context, scale float64, seed uint64, n, c, k, nq, 
 
 // liveRoute is the mutable route the ingest phase writes to.
 const liveRoute = "live"
+
+// hnswRoute is the graph-index route the hnsw phase drives.
+const hnswRoute = "hnsw"
+
+// runHNSWPhase measures the graph route: closed-loop throughput through
+// the serving stack on the modernised HNSW, and recall@10 of the graph
+// against the exact Flat it was built from (embedded probe queries). The
+// recall number here is a serving-side sanity floor — the strict
+// efSearch-sweep gate lives in the vecstore tests.
+func runHNSWPhase(ctx context.Context, client *serve.Client, h *vecstore.HNSW, flat *vecstore.Flat, n, c, k int, buildMS float64, poolOffset int) (*serve.HNSWBench, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("interrupted before hnsw phase: %w", err)
+	}
+	fmt.Println("hnsw graph route:")
+	hb := &serve.HNSWBench{BuildMS: buildMS, EfSearch: h.EfSearch()}
+	pool := queryPool(poolOffset + n)[poolOffset:] // disjoint from all prior phases
+	hb.Load = serve.RunLoad(serve.LoadConfig{Concurrency: c, Requests: n, K: k, Queries: pool},
+		func(q string, kk int) error {
+			_, err := client.SearchRoute(hnswRoute, q, kk, "")
+			return err
+		})
+	hb.QPS = hb.Load.QPS
+	enc := embed.NewDefault()
+	recallQ := make([][]float32, 50)
+	for i := range recallQ {
+		recallQ[i] = enc.Encode(fmt.Sprintf("graph recall probe %d over the bench corpus", i))
+	}
+	hb.RecallAt10 = h.RecallAgainst(flat, recallQ, 10)
+	fmt.Printf("%s\nbuild %.1fms, recall@10 %.3f at efSearch %d\n\n",
+		hb.Load, hb.BuildMS, hb.RecallAt10, hb.EfSearch)
+	return hb, nil
+}
 
 // ingest phase workload shape: every insertEvery-th request of the closed
 // loop is an insert of insertBatch fresh chunks; the rest are searches.

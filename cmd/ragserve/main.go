@@ -53,7 +53,7 @@ func main() {
 	scale := flag.Float64("scale", 0.02, "fraction of the paper's corpus to build")
 	seed := flag.Uint64("seed", 42, "corpus seed")
 	artifacts := flag.String("artifacts", "", "load a saved artifact directory (from mcqgen) instead of regenerating")
-	indexKind := flag.String("index", "flat", "chunk index kind: flat | ivf | pq | ivfpq (trace stores stay flat)")
+	indexKind := flag.String("index", "flat", "chunk index kind: flat | ivf | pq | ivfpq | hnsw (trace stores stay flat)")
 	maxBatch := flag.Int("max-batch", 32, "coalescer batch size")
 	maxDelay := flag.Duration("max-delay", time.Millisecond, "coalescer admission window")
 	cacheCap := flag.Int("cache", 4096, "per-route query cache entries (0 disables)")
@@ -86,9 +86,9 @@ func main() {
 // inside the build or serve path.
 func validateConfig(indexKind, shard string, scale float64) error {
 	switch indexKind {
-	case "flat", "ivf", "pq", "ivfpq":
+	case "flat", "ivf", "pq", "ivfpq", "hnsw":
 	default:
-		return fmt.Errorf("unknown -index %q (flat | ivf | pq | ivfpq)", indexKind)
+		return fmt.Errorf("unknown -index %q (flat | ivf | pq | ivfpq | hnsw)", indexKind)
 	}
 	if shard != "" {
 		if _, _, err := parseShard(shard); err != nil {
@@ -200,8 +200,10 @@ func buildArtifacts(artifactDir, shard string, scale float64, seed uint64, index
 		a.ChunkStore.UsePQ(vecstore.PQConfig{Seed: seed})
 	case "ivfpq":
 		a.ChunkStore.UseIVFPQ(vecstore.IVFPQConfig{Seed: seed})
+	case "hnsw":
+		a.ChunkStore.UseHNSW(vecstore.HNSWConfig{Seed: seed})
 	default:
-		return nil, fmt.Errorf("unknown -index %q (flat | ivf | pq | ivfpq)", indexKind)
+		return nil, fmt.Errorf("unknown -index %q (flat | ivf | pq | ivfpq | hnsw)", indexKind)
 	}
 	return a, nil
 }

@@ -95,6 +95,16 @@ func (s *ChunkStore) UseIVFPQ(cfg vecstore.IVFPQConfig) {
 	}
 }
 
+// UseHNSW swaps the exact index for an HNSW graph built over the same
+// FP16 code block (latency trade-off with no training pass; the only
+// swap target that keeps supporting incremental Add, so an EnableLive
+// store can later compact its memtable into the graph).
+func (s *ChunkStore) UseHNSW(cfg vecstore.HNSWConfig) {
+	if flat, ok := s.index.(*vecstore.Flat); ok {
+		s.index = flat.ToHNSW(cfg)
+	}
+}
+
 // IndexStats reports the underlying index's storage profile (kind,
 // bytes/vector), surfaced by the eval report's retrieval-config table.
 func (s *ChunkStore) IndexStats() vecstore.IndexStats {
@@ -116,8 +126,9 @@ func (s *ChunkStore) MemoryBytes() int64 {
 
 // SaveIndex persists the underlying vector index (VSF2 for Flat-backed
 // stores, VSF3 for PQ-backed ones, VSF4 for IVF-PQ — including residual
-// and OPQ trained state). Plain-IVF-backed stores are saved as their flat
-// data and can be re-trained after load.
+// and OPQ trained state — and VSF5 for HNSW, including the whole graph).
+// Plain-IVF-backed stores are saved as their flat data and can be
+// re-trained after load.
 func (s *ChunkStore) SaveIndex(path string) error {
 	switch ix := s.index.(type) {
 	case *vecstore.Flat:
@@ -126,8 +137,10 @@ func (s *ChunkStore) SaveIndex(path string) error {
 		return ix.Save(path)
 	case *vecstore.IVFPQ:
 		return ix.Save(path)
+	case *vecstore.HNSW:
+		return ix.Save(path)
 	default:
-		return fmt.Errorf("rag: SaveIndex supports Flat-, PQ- or IVF-PQ-backed stores only (have %T)", ix)
+		return fmt.Errorf("rag: SaveIndex supports Flat-, PQ-, IVF-PQ- or HNSW-backed stores only (have %T)", ix)
 	}
 }
 
@@ -335,13 +348,21 @@ func (s *TraceStore) UseIVFPQ(cfg vecstore.IVFPQConfig) {
 	}
 }
 
+// UseHNSW swaps the exact index for an HNSW graph (see
+// ChunkStore.UseHNSW).
+func (s *TraceStore) UseHNSW(cfg vecstore.HNSWConfig) {
+	if flat, ok := s.index.(*vecstore.Flat); ok {
+		s.index = flat.ToHNSW(cfg)
+	}
+}
+
 // IndexStats reports the underlying index's storage profile.
 func (s *TraceStore) IndexStats() vecstore.IndexStats {
 	return vecstore.StatsOf(s.index)
 }
 
 // SaveIndex persists the trace store's vector index (VSF2 for Flat, VSF3
-// for PQ, VSF4 for IVF-PQ).
+// for PQ, VSF4 for IVF-PQ, VSF5 for HNSW).
 func (s *TraceStore) SaveIndex(path string) error {
 	switch ix := s.index.(type) {
 	case *vecstore.Flat:
@@ -350,8 +371,10 @@ func (s *TraceStore) SaveIndex(path string) error {
 		return ix.Save(path)
 	case *vecstore.IVFPQ:
 		return ix.Save(path)
+	case *vecstore.HNSW:
+		return ix.Save(path)
 	default:
-		return fmt.Errorf("rag: SaveIndex supports Flat-, PQ- or IVF-PQ-backed stores only (have %T)", ix)
+		return fmt.Errorf("rag: SaveIndex supports Flat-, PQ-, IVF-PQ- or HNSW-backed stores only (have %T)", ix)
 	}
 }
 

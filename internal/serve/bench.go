@@ -42,6 +42,10 @@ type BenchReport struct {
 	// against a live-mounted route, with background compactions mid-run
 	// and a post-quiesce visibility audit of every acked insert.
 	Ingest *IngestBench `json:"ingest"`
+	// HNSW is the graph-index phase: the chunks corpus flattened into an
+	// HNSW graph (build timed), served on its own route, with throughput
+	// and recall@10 against the exact Flat answers on the same corpus.
+	HNSW *HNSWBench `json:"hnsw"`
 	// Stages is the per-stage latency breakdown of the chunks route,
 	// measured from the span timelines of timing-enabled requests (the
 	// stages phase) — where a search's time goes, not just how long it
@@ -80,6 +84,27 @@ type IngestBench struct {
 	MemRows     int   `json:"mem_rows"`
 	// InsertP99MS is the p99 latency of add requests alone.
 	InsertP99MS float64 `json:"insert_p99_ms"`
+}
+
+// HNSWBench is the graph-index phase's record: the serving trade-off of
+// the modernised HNSW against the exact Flat scan on the same corpus —
+// what the graph costs to build, what it serves at, and what recall it
+// gives up. RecallAt10 is measured index-side (RecallAgainst vs the Flat
+// the graph was built from); its floor here is deliberately loose — the
+// strict efSearch-sweep recall gate lives in the vecstore tests, this
+// one only catches a graph that came out broken.
+type HNSWBench struct {
+	Load *LoadReport `json:"load"`
+	// BuildMS is the wall time of flattening the chunk corpus into the
+	// graph (Flat.ToHNSW), the price paid before the route can serve.
+	BuildMS float64 `json:"build_ms"`
+	// QPS is the closed-loop throughput of the hnsw route, the number to
+	// hold against the chunks (Flat) route's concurrent phase.
+	QPS float64 `json:"qps"`
+	// RecallAt10 is recall@10 against exact search over the same corpus,
+	// at the EfSearch beam width the route served with.
+	RecallAt10 float64 `json:"recall_at_10"`
+	EfSearch   int     `json:"ef_search"`
 }
 
 // RouterBench is the router phase's record. It lives here with plain
@@ -192,6 +217,12 @@ func (r *BenchReport) Check() error {
 	if err := r.Ingest.check(); err != nil {
 		return fmt.Errorf("ingest: %w", err)
 	}
+	if r.HNSW == nil {
+		return fmt.Errorf("missing hnsw phase")
+	}
+	if err := r.HNSW.check(); err != nil {
+		return fmt.Errorf("hnsw: %w", err)
+	}
 	if err := checkStages(r.Stages); err != nil {
 		return fmt.Errorf("stages: %w", err)
 	}
@@ -230,6 +261,32 @@ func checkStages(stages map[string]*StageLat) error {
 	}
 	if stages["scan"].Samples <= 0 {
 		return fmt.Errorf("scan stage has no samples: the breakdown measured nothing")
+	}
+	return nil
+}
+
+// check validates the graph-index phase: shape, a real (positive) build
+// time and throughput, a plausible beam width, and a recall floor loose
+// enough to tolerate corpus-shape variance but tight enough to catch a
+// graph whose links came out wrong.
+func (hb *HNSWBench) check() error {
+	if err := checkLoad("load", hb.Load); err != nil {
+		return err
+	}
+	if hb.Load.Failures != 0 {
+		return fmt.Errorf("closed loop had %d failures", hb.Load.Failures)
+	}
+	if hb.BuildMS <= 0 {
+		return fmt.Errorf("build_ms=%v, want positive: the graph build was never timed", hb.BuildMS)
+	}
+	if hb.QPS <= 0 {
+		return fmt.Errorf("qps=%v, want positive", hb.QPS)
+	}
+	if hb.EfSearch < 1 {
+		return fmt.Errorf("ef_search=%d, want at least 1", hb.EfSearch)
+	}
+	if hb.RecallAt10 < 0.5 || hb.RecallAt10 > 1 {
+		return fmt.Errorf("recall_at_10=%v outside [0.5,1]: the graph lost the corpus", hb.RecallAt10)
 	}
 	return nil
 }

@@ -45,8 +45,13 @@ func FuzzLoad(f *testing.F) {
 	seed("flat.vsf", flat.Save)
 	seed("pq.vsf", flat.ToPQ(PQConfig{M: 4}).Save)
 	seed("ivfpq.vsf", flat.ToIVFPQ(IVFPQConfig{NList: 4, NProbe: 4, M: 4, Residual: true, OPQ: true}).Save)
+	seed("hnsw.vsf", flat.ToHNSW(HNSWConfig{M: 4, EfConstruction: 16, Seed: 9}).Save)
 	f.Add([]byte("VSF1"))
 	f.Add([]byte("VSF2\x08\x00\x00\x00\xff\xff\xff\xff\xff\xff\xff\xff"))
+	// VSF5 header bomb: plausible dim/M but a count the payload can't back.
+	f.Add([]byte("VSF5\x08\x00\x00\x00\x04\x00\x00\x00\x10\x00\x00\x00\x10\x00\x00\x00" +
+		"\x01\x00\x00\x00\x00\x00\x00\x00\x01\x00\x00\x00\x01\x00\x00\x00" +
+		"\xff\xff\xff\xff\xff\xff\xff\xff"))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) > 1<<20 {

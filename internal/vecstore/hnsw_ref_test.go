@@ -1,0 +1,254 @@
+package vecstore
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/f16"
+	"repro/internal/rng"
+)
+
+// hnswRef is the seed-era jagged HNSW implementation — [][]uint16 rows,
+// map[int][]int adjacency — retained verbatim as the oracle for the
+// flattened index: given the same seed and insertion order the CSR
+// implementation must build the identical graph and return bit-identical
+// results (see hnsw_parity_test.go).
+type hnswRef struct {
+	dim            int
+	m              int
+	efConstruction int
+	efSearch       int
+
+	vecs   [][]uint16
+	keys   []string
+	levels []int
+	links  []map[int][]int
+	entry  int
+	maxLv  int
+	rand   *rng.Source
+}
+
+func newHNSWRef(cfg HNSWConfig) *hnswRef {
+	if cfg.M <= 0 {
+		cfg.M = 16
+	}
+	if cfg.EfConstruction <= 0 {
+		cfg.EfConstruction = 64
+	}
+	if cfg.EfSearch <= 0 {
+		cfg.EfSearch = 32
+	}
+	return &hnswRef{
+		dim:            cfg.Dim,
+		m:              cfg.M,
+		efConstruction: cfg.EfConstruction,
+		efSearch:       cfg.EfSearch,
+		entry:          -1,
+		maxLv:          -1,
+		rand:           rng.New(cfg.Seed).Split("hnsw"),
+	}
+}
+
+func (h *hnswRef) randomLevel() int {
+	u := h.rand.Float64()
+	for u == 0 {
+		u = h.rand.Float64()
+	}
+	return int(-math.Log(u) / math.Log(float64(h.m)))
+}
+
+func (h *hnswRef) score(id int, q []float32) float32 {
+	return f16.Dot(h.vecs[id], q)
+}
+
+func (h *hnswRef) add(vec []float32, key string) int {
+	id := len(h.vecs)
+	h.vecs = append(h.vecs, f16.Encode(vec))
+	h.keys = append(h.keys, key)
+	level := h.randomLevel()
+	h.levels = append(h.levels, level)
+	for len(h.links) <= level {
+		h.links = append(h.links, make(map[int][]int))
+	}
+
+	if h.entry < 0 {
+		h.entry, h.maxLv = id, level
+		return id
+	}
+
+	cur := h.entry
+	for lv := h.maxLv; lv > level; lv-- {
+		cur = h.greedyClosest(vec, cur, lv)
+	}
+	for lv := min(level, h.maxLv); lv >= 0; lv-- {
+		cands := h.searchLayer(vec, cur, h.efConstruction, lv)
+		neighbours := h.selectNeighbours(cands, h.maxLinks(lv))
+		h.links[lv][id] = neighbours
+		for _, n := range neighbours {
+			h.links[lv][n] = append(h.links[lv][n], id)
+			if cap := h.maxLinks(lv); len(h.links[lv][n]) > cap {
+				h.links[lv][n] = h.pruneNeighbours(n, lv, cap)
+			}
+		}
+		if len(cands) > 0 {
+			cur = cands[0].id
+		}
+	}
+	if level > h.maxLv {
+		h.entry, h.maxLv = id, level
+	}
+	return id
+}
+
+func (h *hnswRef) maxLinks(level int) int {
+	if level == 0 {
+		return 2 * h.m
+	}
+	return h.m
+}
+
+func (h *hnswRef) greedyClosest(q []float32, start, lv int) int {
+	cur := start
+	curScore := h.score(cur, q)
+	for {
+		improved := false
+		for _, n := range h.links[lv][cur] {
+			if s := h.score(n, q); s > curScore {
+				cur, curScore = n, s
+				improved = true
+			}
+		}
+		if !improved {
+			return cur
+		}
+	}
+}
+
+func (h *hnswRef) searchLayer(q []float32, start, ef, lv int) []scored {
+	visited := map[int]bool{start: true}
+	startS := scored{start, h.score(start, q)}
+	cands := []scored{startS}
+	results := []scored{startS}
+	for len(cands) > 0 {
+		c := cands[0]
+		cands = cands[1:]
+		worst := results[len(results)-1]
+		if c.score < worst.score && len(results) >= ef {
+			break
+		}
+		for _, n := range h.links[lv][c.id] {
+			if visited[n] {
+				continue
+			}
+			visited[n] = true
+			s := scored{n, h.score(n, q)}
+			if len(results) < ef || s.score > results[len(results)-1].score {
+				cands = insertSorted(cands, s)
+				results = insertSorted(results, s)
+				if len(results) > ef {
+					results = results[:ef]
+				}
+			}
+		}
+	}
+	return results
+}
+
+func (h *hnswRef) selectNeighbours(cands []scored, n int) []int {
+	if len(cands) > n {
+		cands = cands[:n]
+	}
+	out := make([]int, len(cands))
+	for i, c := range cands {
+		out[i] = c.id
+	}
+	return out
+}
+
+func (h *hnswRef) pruneNeighbours(node, lv, cap int) []int {
+	vec := f16.Decode(h.vecs[node])
+	links := h.links[lv][node]
+	cands := make([]scored, 0, len(links))
+	for _, n := range links {
+		cands = append(cands, scored{n, h.score(n, vec)})
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].score > cands[j].score })
+	return h.selectNeighbours(cands, cap)
+}
+
+func (h *hnswRef) search(query []float32, k int) []Result {
+	if k <= 0 || h.entry < 0 {
+		return nil
+	}
+	cur := h.entry
+	for lv := h.maxLv; lv > 0; lv-- {
+		cur = h.greedyClosest(query, cur, lv)
+	}
+	ef := h.efSearch
+	if ef < k {
+		ef = k
+	}
+	cands := h.searchLayer(query, cur, ef, 0)
+	if len(cands) > k {
+		cands = cands[:k]
+	}
+	out := make([]Result, len(cands))
+	for i, c := range cands {
+		out[i] = Result{ID: c.id, Score: c.score, Key: h.keys[c.id]}
+	}
+	return out
+}
+
+// Before/after benchmarks behind the "HNSW modernisation" table in
+// docs/ARCHITECTURE.md: the retained jagged reference against the CSR
+// rewrite, same corpus, same queries. Both graphs are bit-identical (the
+// parity tests pin that), so any delta is purely the layout and the
+// gather-decode kernel.
+
+func benchRefHNSW(b *testing.B, n, dim int, cfg HNSWConfig) (*hnswRef, [][]float32) {
+	b.Helper()
+	cfg.Dim = dim
+	r := rng.New(2)
+	vecs := randomUnit(r, n, dim)
+	h := newHNSWRef(cfg)
+	for i, v := range vecs {
+		h.add(v, benchKey(i))
+	}
+	return h, vecs
+}
+
+func benchKey(i int) string { return "k" + string(rune('a'+i%26)) }
+
+func BenchmarkHNSWRefSearch10k(b *testing.B) {
+	h, _ := benchRefHNSW(b, 10000, 128, HNSWConfig{Seed: 1})
+	q := randomUnit(rng.New(1), 1, 128)[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = h.search(q, 5)
+	}
+}
+
+func BenchmarkHNSWRefBuild2k(b *testing.B) {
+	r := rng.New(2)
+	vecs := randomUnit(r, 2000, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := newHNSWRef(HNSWConfig{Dim: 128, Seed: 1})
+		for j, v := range vecs {
+			h.add(v, benchKey(j))
+		}
+	}
+}
+
+func BenchmarkHNSWBuild2k(b *testing.B) {
+	r := rng.New(2)
+	vecs := randomUnit(r, 2000, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := NewHNSW(HNSWConfig{Dim: 128, Seed: 1})
+		for j, v := range vecs {
+			h.Add(v, benchKey(j))
+		}
+	}
+}

@@ -168,6 +168,52 @@ func TestLiveCompactIntoIVFPQ(t *testing.T) {
 	}
 }
 
+// TestLiveCompactIntoHNSW exercises the modernised graph index as the
+// compaction target: the memtable drains into an HNSW base through
+// CloneForAppend + incremental Add — the sub-linear mutable-base path the
+// HNSW modernisation gives the live tier. Wide beams make the graph
+// near-exact, so every inserted key must be retrievable at k=Len after
+// the drain and the original base must be untouched.
+func TestLiveCompactIntoHNSW(t *testing.T) {
+	const dim, nBase, nMem = 16, 80, 12
+	rng := rand.New(rand.NewSource(17))
+	base := NewHNSW(HNSWConfig{Dim: dim, EfSearch: 256, EfConstruction: 128, Seed: 5})
+	for i := 0; i < nBase; i++ {
+		base.Add(randVec(rng, dim), fmt.Sprintf("b%02d", i))
+	}
+	live := NewLive(base, nil)
+	memVecs := make(map[string][]float32, nMem)
+	for i := 0; i < nMem; i++ {
+		key := fmt.Sprintf("m%02d", i)
+		v := randVec(rng, dim)
+		memVecs[key] = v
+		live.Add(v, key)
+	}
+	newBase, err := live.CompactBase(nMem)
+	if err != nil {
+		t.Fatalf("CompactBase: %v", err)
+	}
+	live = live.Rotate(newBase, nMem)
+	if live.MemLen() != 0 || live.Len() != nBase+nMem {
+		t.Fatalf("after drain: MemLen=%d Len=%d", live.MemLen(), live.Len())
+	}
+	if base.Len() != nBase {
+		t.Fatalf("original base grew to %d rows", base.Len())
+	}
+	for key, v := range memVecs {
+		found := false
+		for _, r := range live.Search(v, live.Len()) {
+			if r.Key == key {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("key %q not retrievable after compaction into HNSW", key)
+		}
+	}
+}
+
 // TestLiveCompactBaseRejects pins the error paths: a cut outside the
 // memtable, and a base family without CloneForAppend.
 func TestLiveCompactBaseRejects(t *testing.T) {

@@ -147,6 +147,22 @@ func (ix *IVFPQ) CloneForAppend() Index {
 	return &cp
 }
 
+// CloneForAppend implements AppendableCloner for HNSW: the adjacency
+// arenas are deep-copied because graph inserts rewrite existing nodes'
+// slot blocks in place (backlinks, prunes), while the append-only arrays
+// — codes, keys, levels, upperBase — are shared with the original (new
+// nodes only ever write past its visible lengths). The rng is copied by
+// value so continued construction on the clone draws the same level
+// stream the original would have.
+func (h *HNSW) CloneForAppend() Index {
+	cp := *h
+	cp.links0 = append([]int32(nil), h.links0...)
+	cp.upper = append([]int32(nil), h.upper...)
+	r := *h.rand
+	cp.rand = &r
+	return &cp
+}
+
 // Live is the mutable serving index: an immutable base plus a Memtable.
 // Search and Add may run concurrently; ids are assigned in union order
 // (base rows keep their ids, memtable row r is id base.Len()+r), so

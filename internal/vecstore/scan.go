@@ -173,6 +173,38 @@ func scanTopK[B codeBlock[B]](b B, q []float32, h *topK, ids []int, base int) {
 	putTile(tp)
 }
 
+// gatherScores decodes an arbitrary gather of rows — the beam-search
+// candidate sets of graph indexes, rather than a forward stream — through
+// the block's tile decoder and writes each row's inner product with q
+// into scores (scores[i] pairs with rows[i]). Rows are staged through the
+// pooled FP32 scratch in scanTileRows chunks, so the traversal hot loop
+// shares the scan path's decode/Dot kernels instead of re-deriving them
+// row-by-row; per the exactness note above, the results are bit-identical
+// to decoding and scoring one row at a time.
+func gatherScores[B codeBlock[B]](b B, rows []int32, q []float32, scores []float32) {
+	if len(rows) == 0 {
+		return
+	}
+	dim := b.RowDim()
+	tp := getTile(scanTileRows * dim)
+	tile := *tp
+	for i0 := 0; i0 < len(rows); i0 += scanTileRows {
+		i1 := min(i0+scanTileRows, len(rows))
+		off := 0
+		for i := i0; i < i1; i++ {
+			r := int(rows[i])
+			b.DecodeTile(tile[off:off+dim], r, r+1)
+			off += dim
+		}
+		off = 0
+		for i := i0; i < i1; i++ {
+			scores[i] = b.Dot(tile[off:off+dim], q)
+			off += dim
+		}
+	}
+	putTile(tp)
+}
+
 // scanBatchTopK is the multi-query kernel: each decoded tile is reused for
 // every query in the batch, so decode cost is amortised 1/len(queries).
 // hs[i] receives the results for queries[i].

@@ -291,7 +291,7 @@ func StatsOf(ix Index) IndexStats {
 		}
 		st.Kind = fmt.Sprintf("IVF-PQ(nlist=%d,nprobe=%d,m=%d%s)", v.NList(), v.NProbe(), v.M(), variant)
 	case *HNSW:
-		st.Kind = "HNSW(FP16)"
+		st.Kind = fmt.Sprintf("HNSW(M=%d,efSearch=%d)", v.M(), v.EfSearch())
 	case *Memtable:
 		st.Kind = "Memtable(FP16)"
 	case *Live:

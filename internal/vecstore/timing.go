@@ -50,6 +50,30 @@ func (ix *Flat) SearchBatchTimed(queries [][]float32, k int) ([][]Result, ScanTi
 	return searchBlockBatchTimed(halfBlock{codes: ix.codes, dim: ix.dim}, queries, k, ix.keys)
 }
 
+// SearchBatchTimed implements TimedBatchSearcher for the graph index.
+// Beam traversals have no tile-amortised merge phase, so the whole
+// query-per-worker fan-out is booked under Scan (the honest split: the
+// per-query beam already returns descending order, there is nothing to
+// fold).
+func (h *HNSW) SearchBatchTimed(queries [][]float32, k int) ([][]Result, ScanTiming) {
+	for _, q := range queries {
+		if len(q) != h.dim {
+			panic("vecstore: Search dim mismatch")
+		}
+	}
+	out := make([][]Result, len(queries))
+	var tm ScanTiming
+	if k <= 0 || len(queries) == 0 || h.entry < 0 {
+		return out, tm
+	}
+	start := time.Now()
+	parallelFor(len(queries), 0, func(i int) {
+		out[i] = h.Search(queries[i], k)
+	})
+	tm.Scan = time.Since(start)
+	return out, tm
+}
+
 // SearchBatchTimed implements TimedBatchSearcher for the mutable layer:
 // Scan covers the base kernel plus the memtable snapshot scan, Merge the
 // per-query fold of the two result sets under the stores' total order.
